@@ -1,0 +1,132 @@
+"""Ablation benches for the design choices DESIGN.md §4 calls out.
+
+Each bench isolates one mechanism of the application-driven pipeline and
+compares it against a degraded variant on the same input:
+
+1. BFS-coherent GetCandidates vs arbitrary candidate order;
+2. MAssign (Eq. 5) vs leaving masters where the baseline put them;
+3. GetDest set-cover destinations vs independent per-algorithm placement;
+4. the learned cost model vs a static edge-balance objective.
+"""
+
+from repro.core.e2h import E2H
+from repro.core.me2h import ME2H
+from repro.core.parallel import ParE2H
+from repro.costmodel.model import CostModel
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+from repro.costmodel.trained import trained_cost_model, trained_cost_models
+from repro.eval.datasets import load_dataset
+from repro.eval.harness import run_algorithm
+from repro.partition.quality import edge_replication_ratio, vertex_replication_ratio
+from repro.partitioners.base import get_partitioner
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_bfs_candidates(benchmark, print_section):
+    """BFS candidate selection should not replicate more than arbitrary
+    order while achieving comparable runtime."""
+    graph = load_dataset("twitter_like")
+    model = trained_cost_model("cn")
+    initial = get_partitioner("xtrapulp").partition(graph, 8)
+
+    def run():
+        out = {}
+        for order in ("bfs", "arbitrary"):
+            refined = E2H(model, candidate_order=order).refine(initial)
+            out[order] = {
+                "cn_ms": run_algorithm(refined, "cn", "twitter_like") * 1e3,
+                "f_v": vertex_replication_ratio(refined),
+                "f_e": edge_replication_ratio(refined),
+            }
+        return out
+
+    result = run_once(benchmark, run)
+    print_section(
+        "Ablation 1: GetCandidates BFS order vs arbitrary order",
+        "\n".join(
+            f"{order}: CN {vals['cn_ms']:.2f} ms, f_v {vals['f_v']:.2f}, "
+            f"f_e {vals['f_e']:.2f}"
+            for order, vals in result.items()
+        ),
+    )
+    assert result["bfs"]["cn_ms"] <= result["arbitrary"]["cn_ms"] * 1.5
+
+
+def test_ablation_massign(benchmark, print_section):
+    """Eq. 5 master assignment vs keeping the baseline's masters."""
+    graph = load_dataset("twitter_like")
+    model = trained_cost_model("pr")
+    initial = get_partitioner("grid").partition(graph, 8)
+
+    def run():
+        from repro.core.parallel import ParV2H
+
+        with_ma, _p1 = ParV2H(model).refine(initial)
+        without_ma, _p2 = ParV2H(model, enable_massign=False).refine(initial)
+        return {
+            "with_massign": run_algorithm(with_ma, "pr", "twitter_like") * 1e3,
+            "without_massign": run_algorithm(without_ma, "pr", "twitter_like") * 1e3,
+        }
+
+    result = run_once(benchmark, run)
+    print_section(
+        "Ablation 2: MAssign (Eq. 5) vs baseline master placement (PR, Grid)",
+        "\n".join(f"{k}: {v:.2f} ms" for k, v in result.items()),
+    )
+    assert result["with_massign"] <= result["without_massign"] * 1.25
+
+
+def test_ablation_getdest(benchmark, print_section):
+    """GetDest set cover should store the composite more compactly than
+    independent per-algorithm destinations."""
+    graph = load_dataset("twitter_like")
+    models = trained_cost_models()
+    initial = get_partitioner("fennel").partition(graph, 8)
+
+    def run():
+        shared = ME2H(models, use_getdest=True).refine(initial)
+        independent = ME2H(models, use_getdest=False).refine(initial)
+        return {
+            "getdest_fc": shared.composite_replication_ratio(),
+            "independent_fc": independent.composite_replication_ratio(),
+        }
+
+    result = run_once(benchmark, run)
+    print_section(
+        "Ablation 3: GetDest set-cover vs independent placement (f_c)",
+        "\n".join(f"{k}: {v:.3f}" for k, v in result.items()),
+    )
+    assert result["getdest_fc"] <= result["independent_fc"] + 1e-9
+
+
+def test_ablation_cost_model(benchmark, print_section):
+    """The paper's central claim isolated: a learned, algorithm-specific
+    cost model beats a static edge-balance objective for CN."""
+    graph = load_dataset("twitter_like")
+    learned = trained_cost_model("cn")
+    # Static objective: every local edge endpoint costs 1 — refining with
+    # it balances edges, the one-size-fits-all metric of Section 1.
+    static = CostModel(
+        "edges",
+        PolynomialCostFunction([Monomial(1.0, {"d_L": 1})], "h_static"),
+        PolynomialCostFunction([Monomial(0.0, {})], "g_static"),
+    )
+    initial = get_partitioner("xtrapulp").partition(graph, 8)
+
+    def run():
+        with_learned, _p1 = ParE2H(learned).refine(initial)
+        with_static, _p2 = ParE2H(static).refine(initial)
+        return {
+            "baseline": run_algorithm(initial, "cn", "twitter_like") * 1e3,
+            "static_balance": run_algorithm(with_static, "cn", "twitter_like") * 1e3,
+            "learned_model": run_algorithm(with_learned, "cn", "twitter_like") * 1e3,
+        }
+
+    result = run_once(benchmark, run)
+    print_section(
+        "Ablation 4: learned cost model vs static edge balance (CN, xtraPuLP)",
+        "\n".join(f"{k}: {v:.2f} ms" for k, v in result.items()),
+    )
+    assert result["learned_model"] < result["baseline"]
+    assert result["learned_model"] <= result["static_balance"]

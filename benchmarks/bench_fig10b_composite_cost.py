@@ -1,0 +1,25 @@
+"""Fig. 10(b) + Exp-4 — composite partitioner time and space efficiency.
+
+One composite ParMHP run versus five per-algorithm ParHP runs, plus the
+storage accounting of the composite representation.  Paper shape: ParMHP
+faster than 5× ParHP; composite storage well below five separate
+partitions (51-67% saved) at modest extra space over the initial
+partition.
+"""
+
+from repro.eval.experiments import exp4
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10b(benchmark, print_section):
+    data = run_once(benchmark, exp4.figure10b, "twitter_like", 8)
+    print_section(
+        "Fig 10(b) / Exp-4: composite partitioning time and space (twitter_like, n=8)",
+        format_table(exp4.HEADERS, exp4.rows(data)),
+    )
+    for baseline, cell in data.items():
+        assert cell["parmhp_s"] < cell["parhp_s"], baseline
+        assert cell["composite_ratio"] <= cell["separate_ratio"] + 1e-9
+        assert cell["space_saving"] > 0.0

@@ -1,0 +1,39 @@
+"""Fig. 11 (appendix) — phase decomposition of ParE2H and ParV2H.
+
+Runs the refiners with phase prefixes (ParE2H_1/2/3, ParV2H_1/2/3) and
+prints each phase's marginal share of the total speedup.  Paper shape:
+the migrate phase dominates (67-97%), ESplit matters most for CN/TC,
+MAssign adds a consistent smaller share.
+"""
+
+import pytest
+
+from repro.eval.experiments import appendix
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+CASES = [
+    ("ParE2H", "xtrapulp"),
+    ("ParV2H", "grid"),
+]
+
+
+@pytest.mark.parametrize("refiner,baseline", CASES)
+def test_fig11(benchmark, print_section, refiner, baseline):
+    data = run_once(
+        benchmark,
+        appendix.phase_speedups,
+        "twitter_like",
+        baseline,
+        ("cn", "tc", "wcc", "pr", "sssp"),
+        8,
+    )
+    print_section(
+        f"Fig 11: {refiner} phase decomposition ({baseline}, twitter_like, n=8)",
+        format_table(appendix.HEADERS, appendix.contribution_rows(data)),
+    )
+    assert set(data) == {"cn", "tc", "wcc", "pr", "sssp"}
+    # Cumulative speedups are per-prefix; the full refiner should help CN.
+    if refiner == "ParE2H":
+        assert data["cn"][-1] > 1.5

@@ -1,0 +1,57 @@
+"""Fig. 9(a-j) — Exp-1: effectiveness of ParE2H / ParV2H.
+
+One bench per figure panel: execution time of the algorithm while varying
+the fragment count n, under every baseline partitioner and its
+application-driven refinement.  Paper shape to check in the printed rows:
+H-variants beat their baselines; gains largest for CN over edge-cuts,
+smallest for SSSP.
+"""
+
+import pytest
+
+from repro.eval.experiments import exp1
+from repro.eval.reporting import series_block
+
+from benchmarks.conftest import run_once
+
+FRAGMENTS = (2, 4, 8)
+
+PANELS = [
+    ("a", "cn", "livejournal_like"),
+    ("b", "cn", "twitter_like"),
+    ("c", "tc", "livejournal_like"),
+    ("d", "tc", "twitter_like"),
+    ("e", "wcc", "twitter_like"),
+    ("f", "wcc", "ukweb_like"),
+    ("g", "pr", "twitter_like"),
+    ("h", "pr", "ukweb_like"),
+    ("i", "sssp", "twitter_like"),
+    ("j", "sssp", "ukweb_like"),
+    ("j-traffic", "sssp", "traffic_like"),
+]
+
+
+@pytest.mark.parametrize("panel,algorithm,dataset", PANELS)
+def test_fig9_panel(benchmark, print_section, panel, algorithm, dataset):
+    series = run_once(
+        benchmark, exp1.figure9_series, algorithm, dataset, FRAGMENTS
+    )
+    pretty = {
+        label: [(n, round(seconds * 1e3, 2)) for n, seconds in points]
+        for label, points in series.items()
+    }
+    speedups = {k: round(v, 2) for k, v in exp1.speedups(series).items()}
+    print_section(
+        f"Fig 9({panel}): {algorithm.upper()} on {dataset} (simulated ms)",
+        series_block("", "n", pretty) + f"\navg speedups over baselines: {speedups}",
+    )
+    # Shape assertions: at least one refined variant beats its baseline.
+    # Exception, straight from the paper: on the high-diameter road
+    # network SSSP barely improves (the paper measures 13.4% at n=96; at
+    # our scale the diameter fully dominates), so near-1.0x is the
+    # expected shape there rather than a win.
+    assert speedups, "no refined variants measured"
+    if dataset == "traffic_like":
+        assert max(speedups.values()) > 0.95
+    else:
+        assert max(speedups.values()) > 1.0

@@ -1,0 +1,25 @@
+"""Fig. 9(k) — Exp-3: efficiency of the refiners.
+
+Time ParE2H/ParV2H add on top of each baseline partitioner while varying
+n.  Paper shape: the refinement is a small fraction of total partitioning
+time (11.5% / 11.1% average on the paper's cluster), shrinking as n grows.
+"""
+
+from repro.eval.experiments import exp3
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9k(benchmark, print_section):
+    data = run_once(
+        benchmark, exp3.figure9k, "twitter_like", "tc", (2, 4, 8)
+    )
+    print_section(
+        "Fig 9(k): refinement time share of total partitioning (twitter_like, TC)",
+        format_table(exp3.HEADERS, exp3.rows(data)),
+    )
+    for _label, points in data.items():
+        for _n, part_s, refine_s, share in points:
+            assert 0.0 <= share < 1.0
+            assert refine_s > 0

@@ -1,0 +1,38 @@
+"""Fig. 9(l) — Exp-5: scalability of the refiners in |G|.
+
+Refinement time for the CN cost model as the synthetic graph grows from
+1× to 5×.  Paper shape: near-linear growth; the worst-balanced input
+costs the most to refine.
+"""
+
+from repro.eval.experiments import exp5
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9l(benchmark, print_section):
+    data = run_once(benchmark, exp5.figure9l, "cn", (1, 2, 3, 4, 5), 8)
+    print_section(
+        "Fig 9(l): refinement time vs graph size (CN model, n=8)",
+        format_table(exp5.headers(data), exp5.rows(data)),
+    )
+    for label, points in data.items():
+        times = dict(points)
+        # Refinement of the 5x graph must cost more than the 1x graph but
+        # stay within ~3x-per-size-doubling of linear growth.
+        assert times[5] > times[1]
+        assert times[5] < 40 * times[1] + 1.0
+
+
+def test_fig9l_composite(benchmark, print_section):
+    data = run_once(
+        benchmark, exp5.figure9l, "cn", (1, 2, 3), 8, ("xtrapulp", "grid"), True
+    )
+    print_section(
+        "Fig 9(l) companion: composite refinement time vs graph size (batch of 5)",
+        format_table(exp5.headers(data), exp5.rows(data)),
+    )
+    for _label, points in data.items():
+        times = dict(points)
+        assert times[3] > times[1] * 0.8

@@ -1,0 +1,56 @@
+"""Extension bench: multi-core clock profile (paper's future work #2).
+
+The paper's conclusion proposes adapting application-driven partitioning
+to multi-core parallelism, "a setting in which the communication cost has
+different characteristics".  This bench re-measures the Exp-1 comparison
+under :meth:`CostClock.multicore` — near-free communication, cheap
+barriers — and contrasts the speedups with the network profile.
+
+Expected shape: computation-bound algorithms (CN) keep most of their
+gains because workload balance still decides the makespan, while
+communication-bound gains shrink.
+"""
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.parallel import ParE2H
+from repro.costmodel.trained import trained_cost_model
+from repro.eval.datasets import load_dataset
+from repro.eval.harness import algorithm_params
+from repro.partitioners.base import get_partitioner
+from repro.runtime.costclock import CostClock
+
+from benchmarks.conftest import run_once
+
+
+def test_multicore_profile(benchmark, print_section):
+    graph = load_dataset("twitter_like")
+    initial = get_partitioner("xtrapulp").partition(graph, 8)
+    network = CostClock()
+    multicore = CostClock.multicore()
+
+    def run():
+        out = {}
+        for algorithm in ("cn", "wcc", "pr"):
+            model = trained_cost_model(algorithm)
+            refined, _profile = ParE2H(model).refine(initial)
+            params = algorithm_params(algorithm, "twitter_like")
+            algo = get_algorithm(algorithm)
+            row = {}
+            for label, clock in (("network", network), ("multicore", multicore)):
+                base = algo.run(initial, clock=clock, **params).makespan
+                tuned = algo.run(refined, clock=clock, **params).makespan
+                row[label] = base / tuned if tuned else 0.0
+            out[algorithm] = row
+        return out
+
+    result = run_once(benchmark, run)
+    print_section(
+        "Extension: speedups under network vs multicore clock (xtraPuLP, n=8)",
+        "\n".join(
+            f"{alg.upper():<4} network {row['network']:.2f}x   "
+            f"multicore {row['multicore']:.2f}x"
+            for alg, row in result.items()
+        ),
+    )
+    # Computation balance must still pay off with free communication.
+    assert result["cn"]["multicore"] > 1.2

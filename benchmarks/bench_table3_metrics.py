@@ -1,0 +1,23 @@
+"""Table 3 — partition metrics of the twitter-like graph.
+
+f_v, f_e, λ_e, λ_v and λ_CN for every baseline partitioner and its
+refined variant.  Paper shape: the refined variants trade slightly higher
+replication for dramatically lower λ_CN (xtraPuLP 7.2 → 1.4 in the paper).
+"""
+
+from repro.eval.experiments import exp1
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table3(benchmark, print_section):
+    rows = run_once(benchmark, exp1.table3_rows, "twitter_like", 8, "cn")
+    print_section(
+        "Table 3: partition metrics (twitter_like, n=8, cost model: CN)",
+        format_table(exp1.table3_headers(), rows),
+    )
+    metrics = {row[0]: row for row in rows}
+    # Refinement must reduce the CN cost-balance factor of the edge-cuts.
+    for base, refined in (("xtrapulp", "HxtraPuLP"), ("fennel", "HFennel")):
+        assert metrics[refined][5] < metrics[base][5]

@@ -1,0 +1,40 @@
+"""Table 5 — Exp-6: cost-model learning accuracy and efficiency.
+
+Trains h_A and g_A for all five algorithms from instrumented simulator
+runs and prints the learned polynomials, their test MSRE and the training
+time — plus the single-machine reference timings standing in for the
+paper's Gunrock comparison.  Paper shape: low MSRE everywhere (paper:
+≤ 0.11), with TC's h the least accurate; training cost is small.
+"""
+
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import exp6
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table5(benchmark, print_section):
+    rows = run_once(benchmark, exp6.table5)
+    print_section(
+        "Table 5: learned cost models",
+        format_table(exp6.HEADERS, [r.as_row() for r in rows]),
+    )
+    by_alg = {r.algorithm: r for r in rows}
+    # CN/PR/WCC/SSSP computational models must be tight fits (paper: ≤0.11).
+    for name in ("cn", "pr", "wcc", "sssp"):
+        assert by_alg[name].h_report.test_msre < 0.5
+    # TC is the paper's hardest h (degree ordering); allow a looser fit.
+    assert by_alg["tc"].h_report.test_msre < 5.0
+    for row in rows:
+        assert row.h_report.training_time < 60.0
+
+
+def test_gunrock_substitute(benchmark, print_section):
+    graph = load_dataset("livejournal_like")
+    times = run_once(benchmark, exp6.gunrock_substitute_times, graph)
+    print_section(
+        "Exp-6 remark: single-machine reference times (Gunrock substitute)",
+        "\n".join(f"{k}: {v * 1e3:.1f} ms wall" for k, v in times.items()),
+    )
+    assert all(v > 0 for v in times.values())

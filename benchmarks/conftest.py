@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(Section 7) at the scaled-down setting documented in DESIGN.md §3.
+``pytest benchmarks/ --benchmark-only`` runs all of them; each bench
+prints the paper-style rows it measured in addition to the
+pytest-benchmark timing table.
+
+Benches run each measurement once (``rounds=1``): the quantities of
+interest are the *simulated* parallel runtimes and partition metrics the
+functions return, not microbenchmark statistics of the harness itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def print_section(request):
+    """Print a titled block that survives pytest's output capture."""
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _print(title: str, body: str) -> None:
+        with capmanager.global_and_fixture_disabled():
+            print()
+            print(f"### {title}")
+            print(body)
+
+    return _print

@@ -1,0 +1,66 @@
+"""Mixed workloads on one graph: composite partitioning (Section 6).
+
+A production graph typically serves several analytics at once — the paper
+motivates {PageRank, CN, TC} for influence, communities and link
+prediction.  Storing one tailored partition per algorithm multiplies
+storage and breaks coherence under updates; the composite partitioner
+ME2H produces all of them at once, sharing the overlapping "core" storage.
+
+This example builds a composite partition for the paper's full batch,
+compares storage against separate partitions, runs every algorithm on its
+tailored view, and demonstrates a coherent edge deletion.
+
+Run:  python examples/mixed_workload.py
+"""
+
+from repro.algorithms import get_algorithm
+from repro.core import ME2H
+from repro.costmodel import builtin_cost_models
+from repro.graph import chung_lu_power_law
+from repro.partitioners import get_partitioner
+
+BATCH = ("cn", "tc", "wcc", "pr", "sssp")
+
+
+def main() -> None:
+    graph = chung_lu_power_law(1500, avg_degree=8, exponent=2.1, seed=21)
+    print(f"graph: {graph}")
+
+    models = builtin_cost_models(BATCH)
+    initial = get_partitioner("fennel").partition(graph, num_fragments=4)
+
+    print(f"building a composite partition for {len(BATCH)} algorithms ...")
+    composite = ME2H(models).refine(initial)
+    print(
+        f"  composite replication f_c = "
+        f"{composite.composite_replication_ratio():.2f} "
+        f"(separate storage would be "
+        f"{composite.separate_storage_ratio():.2f})"
+    )
+    print(
+        f"  space saved vs separate partitions: {composite.space_saving():.0%}, "
+        f"core share of storage: {composite.core_fraction():.0%}"
+    )
+
+    print("running the batch, one tailored partition each:")
+    params = {"cn": {"theta": 300}, "pr": {"iterations": 10}}
+    for name in BATCH:
+        partition = composite.partition_for(name)
+        result = get_algorithm(name).run(partition, **params.get(name, {}))
+        print(f"  {name.upper():<4} {result.makespan * 1e3:8.2f} ms simulated")
+
+    # Coherent update: one index lookup finds every stored copy.
+    edge = next(iter(graph.edges()))
+    removed = composite.delete_edge(edge)
+    print(f"deleted edge {edge} coherently: {removed} stored copies removed")
+    inserted = composite.insert_edge(
+        edge, {name: 0 for name in BATCH}
+    )
+    print(
+        f"re-inserted with agreeing targets: stored {inserted} time(s) "
+        "(core insertion, applied once for all partitions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Shortest paths on a road network: the high-diameter regime.
+
+The paper's Exp-1 notes SSSP gains the least from application-driven
+partitioning and stays consistent on high-diameter road networks (the
+``traffic`` dataset remark).  This example reproduces that regime on a
+synthetic road grid: refine a vertex-cut with V2H under SSSP's cost
+model, observe a modest-but-real improvement, and verify distances
+against the single-machine reference.
+
+Run:  python examples/road_network_sssp.py
+"""
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.reference import reference_sssp
+from repro.core import V2H
+from repro.costmodel import builtin_cost_model
+from repro.graph import road_grid
+from repro.partition.quality import vertex_replication_ratio
+from repro.partitioners import get_partitioner
+
+
+def main() -> None:
+    # A 60x60 road grid with a few diagonal shortcuts: ~120-hop diameter.
+    graph = road_grid(60, 60, diagonal_prob=0.05, seed=4)
+    print(f"road network: {graph}")
+    source = 0  # top-left corner
+
+    initial = get_partitioner("grid").partition(graph, num_fragments=4)
+    model = builtin_cost_model("sssp")
+    refiner = V2H(model)
+    refined = refiner.refine(initial)
+    print(
+        f"refinement: merged {refiner.last_stats.vmerged} v-cut nodes into "
+        f"e-cut nodes, f_v {vertex_replication_ratio(initial):.2f} -> "
+        f"{vertex_replication_ratio(refined):.2f}"
+    )
+
+    sssp = get_algorithm("sssp")
+    before = sssp.run(initial, source=source)
+    after = sssp.run(refined, source=source)
+
+    expected = reference_sssp(graph, source)
+    assert before.values == expected
+    assert after.values == expected
+    far_corner = graph.num_vertices - 1
+    print(f"distance from corner to corner: {expected[far_corner]:.0f} hops")
+    print(
+        f"simulated runtime: {before.makespan * 1e3:.2f} ms -> "
+        f"{after.makespan * 1e3:.2f} ms "
+        f"({before.makespan / after.makespan:.2f}x) — "
+        "modest, as the paper reports for SSSP"
+    )
+    print(
+        f"supersteps: {before.profile.num_supersteps} "
+        "(graph diameter dominates; partitioning cannot shrink it)"
+    )
+
+
+if __name__ == "__main__":
+    main()

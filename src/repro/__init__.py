@@ -1,0 +1,25 @@
+"""repro — application-driven graph partitioning.
+
+A from-scratch reproduction of *Application Driven Graph Partitioning*
+(Fan, Xu, Yin, Yu, Zhou; SIGMOD 2020 / journal extension): learned
+polynomial cost models for graph algorithms, hybrid partition refiners
+E2H / V2H driven by those models, composite partitioners ME2H / MV2H for
+mixed workloads, the baseline partitioners the paper compares against,
+and a simulated BSP substrate with the five evaluation algorithms.
+
+Quickstart::
+
+    from repro.graph import chung_lu_power_law
+    from repro.partitioners import get_partitioner
+    from repro.costmodel import builtin_cost_model
+    from repro.core import E2H
+    from repro.algorithms import get_algorithm
+
+    graph = chung_lu_power_law(2000, avg_degree=8, seed=7)
+    edge_cut = get_partitioner("fennel").partition(graph, 4)
+    hybrid = E2H(builtin_cost_model("cn")).refine(edge_cut)
+    result = get_algorithm("cn").run(hybrid)
+    print(result.makespan)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,34 @@
+"""Partition-transparent graph algorithms on the BSP runtime.
+
+The five evaluation algorithms of the paper (Section 7, "Graph
+algorithms"): CN (common neighbors), TC (triangle counting), WCC (weakly
+connected components), PR (PageRank) and SSSP (single-source shortest
+paths).  Each implementation is *partition-transparent* in the sense of
+[20, 21]: it computes the correct global answer under edge-cut,
+vertex-cut and hybrid partitions alike, synchronizing replicated vertices
+through their masters.
+
+:mod:`repro.algorithms.reference` holds single-machine oracle
+implementations used by the correctness tests, and as the stand-in for
+the Gunrock single-device comparison of Exp-6.
+"""
+
+from repro.algorithms.base import Algorithm, AlgorithmResult
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.algorithms.common_neighbors import CommonNeighbors
+from repro.algorithms.triangles import TriangleCounting
+from repro.algorithms.wcc import WeaklyConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SingleSourceShortestPath
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmResult",
+    "ALGORITHM_NAMES",
+    "get_algorithm",
+    "CommonNeighbors",
+    "TriangleCounting",
+    "WeaklyConnectedComponents",
+    "PageRank",
+    "SingleSourceShortestPath",
+]

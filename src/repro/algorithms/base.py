@@ -1,0 +1,116 @@
+"""Algorithm protocol and shared helpers for partition transparency.
+
+Hybrid partitions may *replicate* edges (Section 2), so algorithms that
+aggregate over edges must not double count.  Two helpers address this:
+
+* :func:`compute_edge_owners` designates one owning fragment per edge
+  (lowest fragment id) for edge-parallel aggregation such as PageRank's
+  scatter phase;
+* bearing-copy iteration (via ``partition.cost_bearing``) designates the
+  vertex copies at which vertex-centric computation happens, matching the
+  cost attribution of Eq. 2.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.partition.fragment import Edge
+from repro.partition.hybrid import HybridPartition
+from repro.runtime.bsp import Cluster
+from repro.runtime.costclock import CostClock
+from repro.runtime.instrumentation import RunProfile
+
+
+@dataclass
+class AlgorithmResult:
+    """Output of one partition-transparent run."""
+
+    values: Any
+    profile: RunProfile
+
+    @property
+    def makespan(self) -> float:
+        """Simulated parallel runtime in seconds."""
+        return self.profile.makespan
+
+
+class Algorithm(abc.ABC):
+    """A graph algorithm runnable over any hybrid partition."""
+
+    #: short registry name, e.g. ``"pr"``
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        partition: HybridPartition,
+        clock: Optional[CostClock] = None,
+        **params: Any,
+    ) -> AlgorithmResult:
+        """Execute over ``partition`` on a fresh simulated cluster."""
+
+    def _cluster(
+        self, partition: HybridPartition, clock: Optional[CostClock]
+    ) -> Cluster:
+        return Cluster(partition, clock=clock)
+
+
+def compute_edge_owners(
+    partition: HybridPartition, target_aware: bool = False
+) -> Dict[Edge, int]:
+    """Designate one owning fragment per edge.
+
+    Replicated edges are processed only by their owner in edge-parallel
+    phases, which keeps sums (e.g. PageRank contributions) exact.
+
+    With ``target_aware`` (used by PageRank on directed graphs) the owner
+    prefers fragments where the edge's *target* copy is cost-bearing —
+    ideally the target's designated home — so that the work an edge
+    generates lands on the copy the cost model charges it to (``h_PR ∝
+    d⁺_L`` of the bearing copy).  Without it, ties break to the lowest
+    hosting fragment.
+    """
+    holders: Dict[Edge, list] = {}
+    for fragment in partition.fragments:
+        fid = fragment.fid
+        for edge in fragment.edges():
+            holders.setdefault(edge, []).append(fid)
+    owners: Dict[Edge, int] = {}
+    for edge, fids in holders.items():
+        if not target_aware or len(fids) == 1:
+            owners[edge] = min(fids)
+            continue
+        target = edge[1]
+        home = partition.designated_home(target)
+        if home is not None and home in fids:
+            owners[edge] = home
+            continue
+        bearing = [f for f in fids if partition.cost_bearing(target, f)]
+        owners[edge] = min(bearing) if bearing else min(fids)
+    return owners
+
+
+def bearing_copies(partition: HybridPartition) -> Iterator[Tuple[int, int]]:
+    """Iterate ``(fid, v)`` over all cost-bearing (non-dummy) copies."""
+    for fragment in partition.fragments:
+        for v in fragment.vertices():
+            if partition.cost_bearing(v, fragment.fid):
+                yield fragment.fid, v
+
+
+def global_or(cluster: Cluster, flags: Dict[int, bool]) -> bool:
+    """Reduce per-worker booleans to a global OR (two supersteps).
+
+    Worker 0 coordinates; used for convergence detection in WCC/SSSP.
+    """
+    for fid, flag in flags.items():
+        cluster.send(fid, 0, ("flag", flag), nbytes=1.0)
+    inboxes = cluster.deliver()
+    result = any(flag for _tag, flag in inboxes[0])
+    for fid in range(cluster.num_workers):
+        cluster.send(0, fid, ("or", result), nbytes=1.0)
+    cluster.deliver()
+    return result

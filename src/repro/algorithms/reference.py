@@ -1,0 +1,122 @@
+"""Single-machine reference implementations (correctness oracles).
+
+These compute the same quantities as the partition-transparent algorithms
+but directly on the :class:`~repro.graph.digraph.Graph`, with no
+partition, no runtime and no cost accounting.  The test-suite checks the
+distributed implementations against them under arbitrary hybrid
+partitions; the evaluation uses them as the single-device comparison
+point (the role Gunrock plays in the paper's Exp-6 remark).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+from repro.graph.digraph import Graph
+
+
+def reference_pagerank(
+    graph: Graph, iterations: int = 10, damping: float = 0.85
+) -> Dict[int, float]:
+    """Power iteration matching :class:`~repro.algorithms.pagerank.PageRank`."""
+    n = max(1, graph.num_vertices)
+    base = (1.0 - damping) / n
+    ranks = {v: 1.0 / n for v in graph.vertices}
+    for _ in range(iterations):
+        sums = {v: 0.0 for v in graph.vertices}
+        for u, w in graph.edges():
+            if graph.directed:
+                pairs = ((u, w),)
+            else:
+                pairs = ((u, w), (w, u)) if u != w else ((u, w),)
+            for src, dst in pairs:
+                deg = graph.out_degree(src) if graph.directed else graph.degree(src)
+                if deg:
+                    sums[dst] += ranks[src] / deg
+        ranks = {v: base + damping * sums[v] for v in graph.vertices}
+    return ranks
+
+
+def reference_wcc(graph: Graph) -> Dict[int, int]:
+    """Weakly connected components; label = smallest vertex id in component."""
+    label = {v: None for v in graph.vertices}
+    for start in graph.vertices:
+        if label[start] is not None:
+            continue
+        queue = deque([start])
+        members = [start]
+        label[start] = start
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v).tolist():
+                if label[u] is None:
+                    label[u] = start
+                    members.append(u)
+                    queue.append(u)
+        smallest = min(members)
+        for v in members:
+            label[v] = smallest
+    return label
+
+
+def reference_sssp(graph: Graph, source: int = 0) -> Dict[int, float]:
+    """Unit-weight shortest path distances (BFS) from ``source``."""
+    dist = {v: math.inf for v in graph.vertices}
+    if graph.num_vertices == 0:
+        return dist
+    dist[source] = 0.0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        nbrs = graph.out_neighbors(v) if graph.directed else graph.neighbors(v)
+        for u in nbrs.tolist():
+            if dist[u] == math.inf:
+                dist[u] = dist[v] + 1.0
+                queue.append(u)
+    return dist
+
+
+def reference_common_neighbors(
+    graph: Graph, theta: Optional[float] = None, return_pairs: bool = False
+):
+    """Common out-neighbor pair counts (Example 1's aggregation)."""
+    if theta is None:
+        theta = math.inf
+    pair_counts: Dict[Tuple[int, int], int] = {}
+    total = 0
+    for v in graph.vertices:
+        if graph.in_degree(v) > theta:
+            continue
+        incoming = sorted(set(graph.in_neighbors(v).tolist()))
+        k = len(incoming)
+        total += k * (k - 1) // 2
+        if return_pairs:
+            for i in range(k):
+                for j in range(i + 1, k):
+                    key = (incoming[i], incoming[j])
+                    pair_counts[key] = pair_counts.get(key, 0) + 1
+    return pair_counts if return_pairs else total
+
+
+def reference_triangle_count(graph: Graph) -> int:
+    """Exact triangle count on the undirected view of the graph."""
+    adjacency = {}
+    for v in graph.vertices:
+        nbrs = set(graph.neighbors(v).tolist())
+        nbrs.discard(v)
+        adjacency[v] = nbrs
+
+    def order(v: int) -> Tuple[int, int]:
+        return (graph.degree(v), v)
+
+    count = 0
+    for v in graph.vertices:
+        higher = [w for w in adjacency[v] if order(w) > order(v)]
+        higher.sort(key=order)
+        for i in range(len(higher)):
+            for j in range(i + 1, len(higher)):
+                if higher[j] in adjacency[higher[i]]:
+                    count += 1
+    return count

@@ -1,0 +1,41 @@
+"""Algorithm registry: name → partition-transparent implementation.
+
+The names match the paper's batch {CN, TC, WCC, PR, SSSP} (Section 7) and
+the cost-model library keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.algorithms.base import Algorithm
+from repro.algorithms.common_neighbors import CommonNeighbors
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SingleSourceShortestPath
+from repro.algorithms.triangles import TriangleCounting
+from repro.algorithms.wcc import WeaklyConnectedComponents
+
+_REGISTRY: Dict[str, Type[Algorithm]] = {
+    "cn": CommonNeighbors,
+    "tc": TriangleCounting,
+    "wcc": WeaklyConnectedComponents,
+    "pr": PageRank,
+    "sssp": SingleSourceShortestPath,
+}
+
+ALGORITHM_NAMES = tuple(_REGISTRY)
+
+
+def get_algorithm(name: str, **kwargs) -> Algorithm:
+    """Instantiate the algorithm registered under ``name``.
+
+    Keyword arguments are forwarded to the implementation's constructor
+    (e.g. ``theta`` for CN, ``iterations`` for PR, ``source`` for SSSP).
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}"
+        ) from None
+    return cls(**kwargs)

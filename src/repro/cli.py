@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Four subcommands cover the library's pipeline without writing Python::
+
+    python -m repro.cli generate  --kind powerlaw --vertices 2000 \\
+        --degree 8 --out graph.txt
+    python -m repro.cli partition --graph graph.txt --partitioner fennel \\
+        --fragments 4 --refine pr --out part.json
+    python -m repro.cli evaluate  --graph graph.txt --partition part.json \\
+        --algorithms pr,wcc
+    python -m repro.cli metrics   --graph graph.txt --partition part.json
+
+``partition --refine ALG`` runs the application-driven refiner for that
+algorithm's cost model after the baseline; ``evaluate`` reports each
+algorithm's simulated parallel runtime on the stored partition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.costmodel.trained import trained_cost_model
+from repro.eval.reporting import format_table
+from repro.graph import generators
+from repro.graph.io import read_edge_list, read_metis, write_edge_list
+from repro.partition.quality import (
+    cost_balance_factor,
+    edge_balance_factor,
+    edge_replication_ratio,
+    vertex_balance_factor,
+    vertex_replication_ratio,
+)
+from repro.partition.serialize import load_partition, save_partition
+from repro.partition.validation import check_partition
+from repro.partitioners.base import PARTITIONER_NAMES, get_partitioner
+
+
+def _load_graph(path: str):
+    if path.endswith(".metis") or path.endswith(".graph"):
+        return read_metis(path)
+    return read_edge_list(path)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: write a synthetic graph to an edge-list file."""
+    kind = args.kind
+    if kind == "powerlaw":
+        graph = generators.chung_lu_power_law(
+            args.vertices, args.degree, exponent=args.exponent,
+            directed=not args.undirected, seed=args.seed,
+        )
+    elif kind == "er":
+        graph = generators.erdos_renyi(
+            args.vertices, int(args.vertices * args.degree),
+            directed=not args.undirected, seed=args.seed,
+        )
+    elif kind == "rmat":
+        scale = max(1, (args.vertices - 1).bit_length())
+        graph = generators.rmat(
+            scale, args.degree, directed=not args.undirected, seed=args.seed
+        )
+    elif kind == "grid":
+        side = int(args.vertices ** 0.5)
+        graph = generators.road_grid(side, side, seed=args.seed)
+    elif kind == "smallworld":
+        k = max(2, int(args.degree) // 2 * 2)
+        graph = generators.small_world(args.vertices, k=k, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(kind)
+    write_edge_list(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    """``partition``: cut a graph, optionally refine, save as JSON."""
+    graph = _load_graph(args.graph)
+    partitioner = get_partitioner(args.partitioner)
+    partition = partitioner.partition(graph, args.fragments)
+    label = args.partitioner
+    if args.refine:
+        model = trained_cost_model(args.refine)
+        if partitioner.cut_type == "edge":
+            from repro.core.e2h import E2H
+
+            partition = E2H(model).refine(partition, in_place=True)
+        elif partitioner.cut_type == "vertex":
+            from repro.core.v2h import V2H
+
+            partition = V2H(model).refine(partition, in_place=True)
+        else:
+            print(
+                f"error: cannot refine hybrid baseline {args.partitioner!r}",
+                file=sys.stderr,
+            )
+            return 2
+        label += f" + {args.refine}-driven refinement"
+    check_partition(partition)
+    save_partition(partition, args.out)
+    print(
+        f"wrote {args.fragments}-way partition ({label}) of {graph} to {args.out}"
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``evaluate``: simulated runtimes of algorithms on a stored partition."""
+    graph = _load_graph(args.graph)
+    partition = load_partition(args.partition, graph)
+    names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
+    rows = []
+    for name in names:
+        result = get_algorithm(name).run(partition)
+        rows.append(
+            [
+                name.upper(),
+                round(result.makespan * 1e3, 3),
+                result.profile.num_supersteps,
+                round(result.profile.total_ops),
+                round(result.profile.total_bytes),
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "simulated ms", "supersteps", "ops", "bytes"], rows
+        )
+    )
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics``: replication ratios and balance factors of a partition."""
+    graph = _load_graph(args.graph)
+    partition = load_partition(args.partition, graph)
+    rows = [
+        ["f_v", round(vertex_replication_ratio(partition), 3)],
+        ["f_e", round(edge_replication_ratio(partition), 3)],
+        ["lambda_v", round(vertex_balance_factor(partition), 3)],
+        ["lambda_e", round(edge_balance_factor(partition), 3)],
+    ]
+    if args.cost_model:
+        model = trained_cost_model(args.cost_model)
+        rows.append(
+            [f"lambda_{args.cost_model}", round(cost_balance_factor(partition, model), 3)]
+        )
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="application-driven graph partitioning"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument(
+        "--kind",
+        choices=["powerlaw", "er", "rmat", "grid", "smallworld"],
+        default="powerlaw",
+    )
+    gen.add_argument("--vertices", type=int, default=1000)
+    gen.add_argument("--degree", type=float, default=8.0)
+    gen.add_argument("--exponent", type=float, default=2.1)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--undirected", action="store_true")
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=cmd_generate)
+
+    part = sub.add_parser("partition", help="partition (and refine) a graph")
+    part.add_argument("--graph", required=True)
+    part.add_argument(
+        "--partitioner", default="fennel", choices=sorted(PARTITIONER_NAMES)
+    )
+    part.add_argument("--fragments", type=int, default=4)
+    part.add_argument(
+        "--refine",
+        choices=sorted(ALGORITHM_NAMES),
+        help="refine for this algorithm's cost model",
+    )
+    part.add_argument("--out", required=True)
+    part.set_defaults(func=cmd_partition)
+
+    ev = sub.add_parser("evaluate", help="run algorithms on a stored partition")
+    ev.add_argument("--graph", required=True)
+    ev.add_argument("--partition", required=True)
+    ev.add_argument("--algorithms", default="pr,wcc,sssp")
+    ev.set_defaults(func=cmd_evaluate)
+
+    met = sub.add_parser("metrics", help="partition quality metrics")
+    met.add_argument("--graph", required=True)
+    met.add_argument("--partition", required=True)
+    met.add_argument(
+        "--cost-model",
+        choices=sorted(ALGORITHM_NAMES),
+        help="also report the cost balance factor for this algorithm",
+    )
+    met.set_defaults(func=cmd_metrics)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

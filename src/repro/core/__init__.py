@@ -1,0 +1,53 @@
+"""The paper's contribution: application-driven partition refiners.
+
+Given a learned cost model ``(h_A, g_A)`` and an initial edge-cut or
+vertex-cut partition from any baseline partitioner, the refiners produce
+a hybrid partition tailored to algorithm ``A``:
+
+* :class:`~repro.core.e2h.E2H` — edge-cut → hybrid (Section 5.1):
+  EMigrate, ESplit, MAssign;
+* :class:`~repro.core.v2h.V2H` — vertex-cut → hybrid (Section 5.2):
+  VMigrate, VMerge, MAssign;
+* :class:`~repro.core.me2h.ME2H` / :class:`~repro.core.mv2h.MV2H` —
+  composite refiners for a batch of algorithms (Section 6), emitting a
+  :class:`~repro.partition.composite.CompositePartition`;
+* :mod:`~repro.core.parallel` — ParE2H / ParV2H / ParME2H / ParMV2H, the
+  BSP-parallelized variants with per-phase time profiles (Section 5.3);
+* :mod:`~repro.core.adp` — the ADP decision problem and the Theorem 1
+  reduction from set partition.
+"""
+
+from repro.core.tracker import CostTracker
+from repro.core.budget import compute_budget, classify_fragments
+from repro.core.candidates import get_candidates
+from repro.core.massign import massign
+from repro.core.e2h import E2H
+from repro.core.v2h import V2H
+from repro.core.getdest import get_dest
+from repro.core.me2h import ME2H
+from repro.core.mv2h import MV2H
+from repro.core.parallel import ParE2H, ParV2H, ParME2H, ParMV2H, RefinementProfile
+from repro.core.adp import ADPInstance, adp_decision, reduction_from_set_partition
+from repro.core.incremental import IncrementalRefiner, apply_graph_delta
+
+__all__ = [
+    "CostTracker",
+    "compute_budget",
+    "classify_fragments",
+    "get_candidates",
+    "massign",
+    "E2H",
+    "V2H",
+    "ME2H",
+    "MV2H",
+    "ParE2H",
+    "ParV2H",
+    "ParME2H",
+    "ParMV2H",
+    "RefinementProfile",
+    "ADPInstance",
+    "adp_decision",
+    "reduction_from_set_partition",
+    "IncrementalRefiner",
+    "apply_graph_delta",
+]

@@ -1,0 +1,135 @@
+"""The ADP decision problem and the Theorem 1 reduction.
+
+ADP (Section 3.2): given a graph G, fragment count n, budget B and cost
+functions (h_A, g_A), does a hybrid partition HP(n) exist with
+``max_i C_A(F_i) ≤ B``?  Theorem 1 shows ADP is NP-complete by reduction
+from SET PARTITION: a set S = {s_1..s_m} maps to the disjoint union of
+cliques K_{s_1}..K_{s_m}, n = 2, B = ΣS / 2, h_A(v) = 1 and
+g_A(v) = r(v) − 1.
+
+This module materializes the reduction and provides two deciders used by
+the tests that verify it:
+
+* :func:`set_partition_exists` — pseudo-polynomial subset-sum DP on S;
+* :func:`adp_decision` — exhaustive search over replication-free
+  partitions of small instances (replication never helps when g charges
+  r(v) − 1 > 0 per replica and h is constant, so the restriction is
+  lossless for reduction instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.costmodel.model import CostModel
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+from repro.graph.digraph import Graph
+from repro.graph.generators import clique_collection
+from repro.partition.hybrid import HybridPartition
+
+
+@dataclass(frozen=True)
+class ADPInstance:
+    """One ADP decision instance (G, n, B, h_A, g_A)."""
+
+    graph: Graph
+    num_fragments: int
+    budget: float
+    cost_model: CostModel
+
+    def partition_cost(self, partition: HybridPartition) -> float:
+        """``max_i C_A(F_i)`` of a concrete partition."""
+        return self.cost_model.parallel_cost(partition)
+
+    def accepts(self, partition: HybridPartition) -> bool:
+        """Whether the partition certifies a *yes* answer."""
+        return self.partition_cost(partition) <= self.budget + 1e-9
+
+
+def reduction_cost_model() -> CostModel:
+    """The Theorem 1 cost model: h(v) = 1, g(v) = r(v) − 1."""
+    h = PolynomialCostFunction([Monomial(1.0, {})], name="h_adp")
+    g = PolynomialCostFunction(
+        [Monomial(1.0, {"r": 1}), Monomial(-1.0, {})], name="g_adp"
+    )
+    return CostModel("adp", h, g)
+
+
+def reduction_from_set_partition(values: Sequence[int]) -> ADPInstance:
+    """Construct the ADP instance of the Theorem 1 reduction from S."""
+    if any(v <= 0 for v in values):
+        raise ValueError("set partition instances contain positive integers")
+    graph = clique_collection(list(values))
+    budget = sum(values) / 2.0
+    return ADPInstance(
+        graph=graph,
+        num_fragments=2,
+        budget=budget,
+        cost_model=reduction_cost_model(),
+    )
+
+
+def set_partition_exists(values: Sequence[int]) -> bool:
+    """Subset-sum DP: can S be split into two halves of equal sum?"""
+    total = sum(values)
+    if total % 2:
+        return False
+    target = total // 2
+    reachable = 1  # bitset: bit s set iff sum s is reachable
+    for v in values:
+        reachable |= reachable << v
+    return bool((reachable >> target) & 1)
+
+
+def _edge_cut_partitions(graph: Graph, n: int):
+    """Enumerate all replication-free vertex assignments (small graphs)."""
+    for assignment in itertools.product(range(n), repeat=graph.num_vertices):
+        yield assignment
+
+
+def adp_decision(instance: ADPInstance, max_vertices: int = 14) -> bool:
+    """Exhaustively decide a *small* ADP instance.
+
+    Searches replication-free partitions (every vertex with all its edges
+    in exactly one fragment).  For reduction instances this restriction
+    is without loss: replicating any vertex adds g = r − 1 ≥ 1 to some
+    fragment while h stays 1 per copy, so an optimal certificate never
+    replicates.  Guarded by ``max_vertices`` because the search is
+    ``n^|V|``.
+    """
+    graph = instance.graph
+    if graph.num_vertices > max_vertices:
+        raise ValueError(
+            f"exhaustive ADP decision limited to {max_vertices} vertices"
+        )
+    for assignment in _edge_cut_partitions(graph, instance.num_fragments):
+        partition = HybridPartition.from_vertex_assignment(
+            graph, assignment, instance.num_fragments
+        )
+        if instance.accepts(partition):
+            return True
+    return False
+
+
+def certificate_from_set_partition(
+    instance: ADPInstance, sizes: Sequence[int], side_a: List[int]
+) -> HybridPartition:
+    """Build the forward-direction certificate partition (⇒ of Theorem 1).
+
+    ``side_a`` lists the indices of cliques assigned to fragment 0.
+    """
+    graph = instance.graph
+    assignment = []
+    offset = 0
+    chosen = set(side_a)
+    for index, size in enumerate(sizes):
+        fid = 0 if index in chosen else 1
+        assignment.extend([fid] * size)
+        offset += size
+    if offset != graph.num_vertices:
+        raise ValueError("sizes do not match the instance graph")
+    return HybridPartition.from_vertex_assignment(
+        graph, assignment, instance.num_fragments
+    )

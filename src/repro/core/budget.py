@@ -1,0 +1,33 @@
+"""Budget estimation and fragment classification (Fig. 3 / Fig. 4, line 1).
+
+The refiners estimate a computational budget ``B`` — the average C_h over
+fragments — and classify each fragment as *overloaded* (C_h > B) or
+*underloaded* (C_h ≤ B).  A small slack keeps the greedy phases from
+thrashing on fragments sitting exactly at the average.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.tracker import CostTracker
+
+
+def compute_budget(tracker: CostTracker, slack: float = 1.0) -> float:
+    """``B = slack · Σ_i C_h(F_i) / n`` (Fig. 3 line 1; slack = 1 there)."""
+    costs = tracker.comp_costs()
+    return slack * sum(costs) / max(1, len(costs))
+
+
+def classify_fragments(
+    tracker: CostTracker, budget: float
+) -> Tuple[List[int], List[int]]:
+    """Split fragment ids into ``(overloaded, underloaded)`` w.r.t. C_h."""
+    overloaded: List[int] = []
+    underloaded: List[int] = []
+    for fid, cost in enumerate(tracker.comp_costs()):
+        if cost > budget:
+            overloaded.append(fid)
+        else:
+            underloaded.append(fid)
+    return overloaded, underloaded

@@ -1,0 +1,75 @@
+"""Procedure GetCandidates (Fig. 3, lines 17-22).
+
+Given an overloaded fragment and the budget ``B``, GetCandidates keeps a
+*coherent* sub-fragment within budget — it walks the fragment's local
+structure in BFS order and greedily retains vertices whose cumulative
+cost fits — and returns the remaining cost-bearing nodes, with their
+local incident edges, as migration candidates.  The BFS order is what
+preserves locality: the kept sub-fragment is a union of connected
+regions, not a random vertex subset (ablated in
+``benchmarks/bench_ablation_candidates.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+from repro.core.tracker import CostTracker
+from repro.partition.fragment import Edge
+from repro.partition.hybrid import NodeRole
+
+Candidate = Tuple[int, Tuple[Edge, ...]]
+
+
+def bfs_order(partition, fid: int) -> List[int]:
+    """BFS traversal order of fragment ``fid``'s local subgraph."""
+    fragment = partition.fragments[fid]
+    order: List[int] = []
+    visited = set()
+    for seed in fragment.vertices():
+        if seed in visited:
+            continue
+        queue = deque([seed])
+        visited.add(seed)
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for edge in fragment.incident(v):
+                u = edge[0] if edge[1] == v else edge[1]
+                if u not in visited:
+                    visited.add(u)
+                    queue.append(u)
+    return order
+
+
+def get_candidates(
+    tracker: CostTracker,
+    fid: int,
+    budget: float,
+    role: NodeRole = NodeRole.ECUT,
+    order: List[int] = None,
+) -> List[Candidate]:
+    """Select migration candidates from fragment ``fid``.
+
+    ``role`` filters which copies are candidate units: e-cut nodes for
+    E2H (EMigrate moves whole vertices), v-cut nodes for V2H.  ``order``
+    overrides the BFS traversal (used by the random-order ablation).
+
+    Returns ``(v, local incident edges)`` pairs, in traversal order.
+    """
+    partition = tracker.partition
+    fragment = partition.fragments[fid]
+    if order is None:
+        order = bfs_order(partition, fid)
+    kept_cost = 0.0
+    candidates: List[Candidate] = []
+    for v in order:
+        if partition.role(v, fid) is not role:
+            continue
+        contribution = tracker.copy_comp_cost(v, fid)
+        if kept_cost + contribution <= budget:
+            kept_cost += contribution
+        else:
+            candidates.append((v, tuple(fragment.incident(v))))
+    return candidates

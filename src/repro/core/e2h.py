@@ -1,0 +1,197 @@
+"""Algorithm E2H: edge-cut → hybrid refinement (Section 5.1, Fig. 3).
+
+Given an edge-cut partition and the cost model of an algorithm ``A``,
+E2H reduces the parallel cost ``max_i C_A(F_i)`` in two stages:
+
+1. **Balance computational cost** guided by ``h_A``:
+
+   * *EMigrate* moves whole e-cut nodes (with all incident edges) from
+     overloaded to underloaded fragments, keeping each destination under
+     the budget ``B = Σ C_h / n``;
+   * *ESplit* cuts the leftover candidates — typically super-nodes whose
+     own cost exceeds any destination's headroom — into v-cut nodes,
+     migrating their edges one by one to the currently cheapest fragment.
+
+2. **Redistribute communication cost** guided by ``g_A`` via *MAssign*.
+
+Phases can be individually disabled to reproduce the appendix ablation
+(ParE2H₁/₂/₃, Fig. 11(a)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.budget import classify_fragments, compute_budget
+from repro.core.candidates import get_candidates
+from repro.core.massign import massign
+from repro.core.operations import emigrate, split_migrate_edge
+from repro.core.tracker import CostTracker
+from repro.costmodel.model import CostModel
+from repro.partition.hybrid import HybridPartition, NodeRole
+
+
+@dataclass
+class RefineStats:
+    """Bookkeeping of one refinement run (feeds Exp-3 and Fig. 11)."""
+
+    budget: float = 0.0
+    overloaded: int = 0
+    candidates: int = 0
+    emigrated: int = 0
+    split_vertices: int = 0
+    split_edges: int = 0
+    vmigrated: int = 0
+    vmerged: int = 0
+    master_moves: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+
+
+class E2H:
+    """Edge-cut → hybrid refiner driven by a cost model.
+
+    Parameters
+    ----------
+    cost_model:
+        The algorithm's learned (or built-in) cost model.
+    enable_emigrate / enable_esplit / enable_massign:
+        Phase switches for the appendix ablation.
+    budget_slack:
+        Multiplier on the average-cost budget (1.0 = the paper's B).
+    """
+
+    phases = ("emigrate", "esplit", "massign")
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        enable_emigrate: bool = True,
+        enable_esplit: bool = True,
+        enable_massign: bool = True,
+        budget_slack: float = 1.0,
+        candidate_order: str = "bfs",
+    ) -> None:
+        if candidate_order not in ("bfs", "arbitrary"):
+            raise ValueError("candidate_order must be 'bfs' or 'arbitrary'")
+        self.cost_model = cost_model
+        self.enable_emigrate = enable_emigrate
+        self.enable_esplit = enable_esplit
+        self.enable_massign = enable_massign
+        self.budget_slack = budget_slack
+        self.candidate_order = candidate_order
+        self.last_stats: Optional[RefineStats] = None
+
+    # ------------------------------------------------------------------
+    def refine(
+        self, partition: HybridPartition, in_place: bool = False
+    ) -> HybridPartition:
+        """Refine an edge-cut partition into a hybrid one.
+
+        Returns a new partition unless ``in_place`` is set.  Statistics
+        of the run are kept in :attr:`last_stats`.
+        """
+        if not in_place:
+            partition = partition.copy()
+        tracker = CostTracker(partition, self.cost_model)
+        stats = RefineStats()
+        stats.cost_before = tracker.parallel_cost()
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+        for fid in overloaded:
+            order = None
+            if self.candidate_order == "arbitrary":
+                # Ablation: fragment-internal order instead of the
+                # locality-preserving BFS traversal (GetCandidates).
+                order = sorted(partition.fragments[fid].vertices())
+            candidates[fid] = get_candidates(
+                tracker, fid, budget, NodeRole.ECUT, order=order
+            )
+            stats.candidates += len(candidates[fid])
+
+        if self.enable_emigrate:
+            start = time.perf_counter()
+            self._phase_emigrate(tracker, budget, underloaded, candidates, stats)
+            stats.phase_seconds["emigrate"] = time.perf_counter() - start
+        if self.enable_esplit:
+            start = time.perf_counter()
+            self._phase_esplit(tracker, candidates, stats)
+            stats.phase_seconds["esplit"] = time.perf_counter() - start
+        if self.enable_massign:
+            start = time.perf_counter()
+            stats.master_moves = massign(tracker)
+            stats.phase_seconds["massign"] = time.perf_counter() - start
+
+        stats.cost_after = tracker.parallel_cost()
+        tracker.detach()
+        self.last_stats = stats
+        return partition
+
+    # ------------------------------------------------------------------
+    def _phase_emigrate(
+        self,
+        tracker: CostTracker,
+        budget: float,
+        underloaded: List[int],
+        candidates: Dict[int, List],
+        stats: RefineStats,
+    ) -> None:
+        """Fig. 3 lines 6-10: ship whole candidates to underloaded fragments."""
+        partition = tracker.partition
+        for src, cand_list in candidates.items():
+            remaining = []
+            for v, _edges in cand_list:
+                # The candidate may have been restructured by earlier
+                # moves; only still-local e-cut copies are movable whole.
+                if (
+                    not partition.fragments[src].has_vertex(v)
+                    or partition.role(v, src) is not NodeRole.ECUT
+                ):
+                    remaining.append((v, _edges))
+                    continue
+                price = tracker.price_as_ecut(v)
+                placed = False
+                for dst in sorted(underloaded, key=tracker.comp_cost):
+                    if dst == src:
+                        continue
+                    if tracker.comp_cost(dst) + price <= budget:
+                        emigrate(partition, v, src, dst)
+                        stats.emigrated += 1
+                        placed = True
+                        break
+                if not placed:
+                    remaining.append((v, _edges))
+            candidates[src] = remaining
+
+    def _phase_esplit(
+        self,
+        tracker: CostTracker,
+        candidates: Dict[int, List],
+        stats: RefineStats,
+    ) -> None:
+        """Fig. 3 lines 11-14: split leftovers edge by edge to argmin C_h."""
+        partition = tracker.partition
+        n = partition.num_fragments
+        for src, cand_list in candidates.items():
+            for v, _snapshot in cand_list:
+                fragment = partition.fragments[src]
+                if not fragment.has_vertex(v):
+                    continue
+                edges = list(fragment.incident(v))
+                if edges:
+                    stats.split_vertices += 1
+                for edge in edges:
+                    target = min(range(n), key=tracker.comp_cost)
+                    if target == src:
+                        continue
+                    split_migrate_edge(partition, v, edge, src, target)
+                    stats.split_edges += 1
+            candidates[src] = []

@@ -1,0 +1,66 @@
+"""Phase MAssign: one-pass master (re)assignment (Section 5.1, Eq. 5).
+
+All border nodes start unassigned with fresh per-fragment communication
+accumulators; processing them one pass in vertex order, each vertex's
+master goes to the hosting fragment minimizing
+
+    C_h(F_j) + C_g(F_j) + g_A^j(v)            (Eq. 5)
+
+— current computation load, communication already assigned this pass,
+plus the communication the vertex itself would incur there.  MAssign
+never moves edges, so it cannot worsen the computational balance the
+earlier phases achieved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.tracker import CostTracker
+
+
+def massign(
+    tracker: CostTracker,
+    vertices: Optional[Iterable[int]] = None,
+) -> int:
+    """Reassign masters of border vertices by Eq. 5; return moves made.
+
+    ``vertices`` restricts the pass (used by the batched parallel
+    variant); default is every border vertex in ascending id order.
+    """
+    partition = tracker.partition
+    model = tracker.cost_model
+    avg = tracker.avg_degree
+    if vertices is None:
+        vertices = sorted(
+            v for v, hosts in partition.vertex_fragments() if len(hosts) > 1
+        )
+    comp = tracker.comp_costs()
+    comm = [0.0] * partition.num_fragments
+    moves = 0
+    for v in vertices:
+        hosts = sorted(partition.placement(v))
+        if len(hosts) < 2:
+            continue
+        current = partition.master(v)
+        best_fid = hosts[0]
+        best_score = float("inf")
+        best_gain = 0.0
+        best_delta = 0.0
+        for fid in hosts:
+            g_here = model.comm_cost_if_master_at(partition, v, fid, avg)
+            h_delta = model.comp_master_delta(partition, v, fid, avg)
+            score = comp[fid] + comm[fid] + g_here + h_delta
+            if score < best_score:
+                best_score = score
+                best_fid = fid
+                best_gain = g_here
+                best_delta = h_delta
+        if current != best_fid:
+            # Master-dependent computation moves with the master.
+            comp[current] -= model.comp_master_delta(partition, v, current, avg)
+            partition.set_master(v, best_fid)
+            moves += 1
+        comp[best_fid] += best_delta if current != best_fid else 0.0
+        comm[best_fid] += best_gain
+    return moves

@@ -1,0 +1,246 @@
+"""Algorithm ME2H: composite edge-cut → hybrid refinement (Section 6.2, Fig. 6).
+
+Given one edge-cut partition and the cost models of ``k`` algorithms,
+ME2H produces ``k`` hybrid partitions at once — represented compactly as
+a :class:`~repro.partition.composite.CompositePartition` — while keeping
+the composite replication ratio ``f_c`` low:
+
+* **Init** (Fig. 7) walks each input fragment in BFS order and keeps the
+  longest affordable prefix *simultaneously* for every algorithm — those
+  shared prefixes become the cores ``C_i``, stored once;
+* **VAssign** routes each leftover candidate through
+  :func:`~repro.core.getdest.get_dest`, covering as many algorithms per
+  placed copy as possible (greedy set cover);
+* **EAssign** splits candidates that fit nowhere whole — the super-nodes
+  — edge by edge onto the cheapest fragments of each algorithm's
+  partition;
+* **MAssign** finishes each partition's master mapping as in E2H.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.candidates import bfs_order
+from repro.core.getdest import get_dest
+from repro.core.massign import massign
+from repro.core.tracker import CostTracker
+from repro.costmodel.model import CostModel
+from repro.partition.composite import CompositePartition
+from repro.partition.fragment import Edge
+from repro.partition.hybrid import HybridPartition
+
+Unit = Tuple[int, Tuple[Edge, ...]]  # (vertex, incident edges) candidate
+
+
+@dataclass
+class CompositeStats:
+    """Bookkeeping of one composite refinement run (feeds Exp-4)."""
+
+    budgets: Dict[str, float] = field(default_factory=dict)
+    core_units: int = 0
+    vassign_units: int = 0
+    eassign_units: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class ME2H:
+    """Composite edge-cut refiner for a batch of algorithms."""
+
+    def __init__(
+        self,
+        cost_models: Dict[str, CostModel],
+        budget_slack: float = 1.2,
+        use_getdest: bool = True,
+    ) -> None:
+        if not cost_models:
+            raise ValueError("ME2H needs at least one cost model")
+        self.cost_models = dict(cost_models)
+        self.budget_slack = budget_slack
+        # Ablation switch: with GetDest disabled, VAssign places each
+        # algorithm's leftover independently (first feasible fragment),
+        # forfeiting the set-cover sharing that keeps f_c low.
+        self.use_getdest = use_getdest
+        self.last_stats: Optional[CompositeStats] = None
+
+    # ------------------------------------------------------------------
+    def refine(self, partition: HybridPartition) -> CompositePartition:
+        """Produce a composite partition from an edge-cut input."""
+        graph = partition.graph
+        n = partition.num_fragments
+        names = list(self.cost_models)
+        stats = CompositeStats()
+
+        # Budgets from the *input* partition's per-model costs (Fig. 6 l.1).
+        for name, model in self.cost_models.items():
+            input_tracker = CostTracker(partition, model)
+            stats.budgets[name] = (
+                self.budget_slack * sum(input_tracker.comp_costs()) / n
+            )
+            input_tracker.detach()
+
+        # Fresh output partitions and trackers, one per algorithm.
+        outputs: Dict[str, HybridPartition] = {
+            name: HybridPartition(graph, n) for name in names
+        }
+        trackers: Dict[str, CostTracker] = {
+            name: CostTracker(outputs[name], self.cost_models[name])
+            for name in names
+        }
+
+        units_by_fragment = self._units(partition)
+
+        start = time.perf_counter()
+        leftovers = self._phase_init(units_by_fragment, trackers, stats)
+        stats.phase_seconds["init"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        residue = self._phase_vassign(leftovers, trackers, stats)
+        stats.phase_seconds["vassign"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self._phase_eassign(residue, trackers, stats)
+        stats.phase_seconds["eassign"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for name in names:
+            massign(trackers[name])
+        stats.phase_seconds["massign"] = time.perf_counter() - start
+
+        for tracker in trackers.values():
+            tracker.detach()
+        self.last_stats = stats
+        return CompositePartition(outputs)
+
+    # ------------------------------------------------------------------
+    def _units(self, partition: HybridPartition) -> List[List[Unit]]:
+        """Candidate units per input fragment: e-cut homes + full edges."""
+        graph = partition.graph
+        per_fragment: List[List[Unit]] = [[] for _ in range(partition.num_fragments)]
+        for v in graph.vertices:
+            home = partition.designated_home(v)
+            if home is None:
+                home = partition.master(v)
+            per_fragment[home].append((v, tuple(graph.incident_edges(v))))
+        # BFS order within each fragment preserves locality (procedure Init).
+        ordered: List[List[Unit]] = []
+        for fid, units in enumerate(per_fragment):
+            rank = {v: pos for pos, v in enumerate(bfs_order(partition, fid))}
+            units.sort(key=lambda unit: rank.get(unit[0], len(rank)))
+            ordered.append(units)
+        return ordered
+
+    @staticmethod
+    def _assign_unit(
+        output: HybridPartition, unit: Unit, fid: int
+    ) -> None:
+        v, edges = unit
+        if edges:
+            for edge in edges:
+                output.add_edge_to(fid, edge)
+        else:
+            output.add_vertex_to(fid, v)
+        output.set_master(v, fid)
+
+    def _price(self, trackers, name: str, unit: Unit) -> float:
+        return trackers[name].price_as_ecut(unit[0])
+
+    def _phase_init(
+        self,
+        units_by_fragment: List[List[Unit]],
+        trackers: Dict[str, CostTracker],
+        stats: CompositeStats,
+    ) -> List[Tuple[int, Unit, Set[str]]]:
+        """Procedure Init: shared BFS prefixes become the cores C_i.
+
+        Returns leftovers as ``(origin fragment, unit, algorithms still
+        needing a destination)``.
+        """
+        leftovers: List[Tuple[int, Unit, Set[str]]] = []
+        for fid, units in enumerate(units_by_fragment):
+            for unit in units:
+                pending: Set[str] = set()
+                accepted_all = True
+                for name, tracker in trackers.items():
+                    price = self._price(trackers, name, unit)
+                    if tracker.comp_cost(fid) + price <= stats.budgets[name]:
+                        self._assign_unit(tracker.partition, unit, fid)
+                    else:
+                        pending.add(name)
+                        accepted_all = False
+                if accepted_all:
+                    stats.core_units += 1
+                if pending:
+                    leftovers.append((fid, unit, pending))
+        return leftovers
+
+    def _phase_vassign(
+        self,
+        leftovers: List[Tuple[int, Unit, Set[str]]],
+        trackers: Dict[str, CostTracker],
+        stats: CompositeStats,
+    ) -> List[Tuple[Unit, Set[str]]]:
+        """VAssign (Fig. 6 lines 8-13): set-cover destinations for leftovers."""
+        n = next(iter(trackers.values())).partition.num_fragments
+        underloaded: Dict[str, Set[int]] = {
+            name: {
+                fid
+                for fid in range(n)
+                if tracker.comp_cost(fid) < stats.budgets[name]
+            }
+            for name, tracker in trackers.items()
+        }
+        residue: List[Tuple[Unit, Set[str]]] = []
+        for _origin, unit, pending in leftovers:
+            prices = {
+                name: self._price(trackers, name, unit) for name in pending
+            }
+
+            def fits(name: str, fid: int) -> bool:
+                return (
+                    trackers[name].comp_cost(fid) + prices[name]
+                    <= stats.budgets[name]
+                )
+
+            if self.use_getdest:
+                destinations = get_dest(pending, underloaded, fits)
+            else:
+                destinations = {}
+                for name in pending:
+                    for fid in sorted(underloaded.get(name, ())):
+                        if fits(name, fid):
+                            destinations[name] = fid
+                            break
+            for name, fid in destinations.items():
+                self._assign_unit(trackers[name].partition, unit, fid)
+                stats.vassign_units += 1
+                if trackers[name].comp_cost(fid) >= stats.budgets[name]:
+                    underloaded[name].discard(fid)
+            unplaced = pending - set(destinations)
+            if unplaced:
+                residue.append((unit, unplaced))
+        return residue
+
+    def _phase_eassign(
+        self,
+        residue: List[Tuple[Unit, Set[str]]],
+        trackers: Dict[str, CostTracker],
+        stats: CompositeStats,
+    ) -> None:
+        """EAssign (Fig. 6 lines 14-18): split leftover units edge by edge."""
+        for unit, names in residue:
+            v, edges = unit
+            for name in names:
+                tracker = trackers[name]
+                output = tracker.partition
+                n = output.num_fragments
+                stats.eassign_units += 1
+                if not edges:
+                    target = min(range(n), key=tracker.comp_cost)
+                    output.add_vertex_to(target, v)
+                    continue
+                for edge in edges:
+                    target = min(range(n), key=tracker.comp_cost)
+                    output.add_edge_to(target, edge)

@@ -1,0 +1,228 @@
+"""Algorithm MV2H: composite vertex-cut → hybrid refinement (Section 6.3).
+
+The vertex-cut counterpart of ME2H: candidate units are the input's
+v-cut node copies ``(v, E^v_i)`` (each input edge belongs to exactly one
+unit, so every output partition keeps the vertex-cut's disjoint edge
+sets); Init builds large shared cores, VAssign routes the leftovers
+through the set-cover heuristic, then a VMerge pass per output partition
+promotes v-cut nodes to e-cut nodes where budget allows (reducing the
+communication cost exactly as V2H does), and MAssign finishes the master
+mappings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.candidates import bfs_order
+from repro.core.getdest import get_dest
+from repro.core.massign import massign
+from repro.core.me2h import CompositeStats, Unit
+from repro.core.tracker import CostTracker
+from repro.core.v2h import V2H
+from repro.costmodel.features import vertex_features
+from repro.costmodel.model import CostModel
+from repro.partition.composite import CompositePartition
+from repro.partition.hybrid import HybridPartition
+
+
+class MV2H:
+    """Composite vertex-cut refiner for a batch of algorithms."""
+
+    def __init__(
+        self,
+        cost_models: Dict[str, CostModel],
+        budget_slack: float = 1.2,
+        vmerge_passes: int = 1,
+    ) -> None:
+        if not cost_models:
+            raise ValueError("MV2H needs at least one cost model")
+        self.cost_models = dict(cost_models)
+        self.budget_slack = budget_slack
+        self.vmerge_passes = vmerge_passes
+        self.last_stats: Optional[CompositeStats] = None
+
+    # ------------------------------------------------------------------
+    def refine(self, partition: HybridPartition) -> CompositePartition:
+        """Produce a composite partition from a vertex-cut input."""
+        graph = partition.graph
+        n = partition.num_fragments
+        names = list(self.cost_models)
+        stats = CompositeStats()
+
+        for name, model in self.cost_models.items():
+            input_tracker = CostTracker(partition, model)
+            stats.budgets[name] = (
+                self.budget_slack * sum(input_tracker.comp_costs()) / n
+            )
+            input_tracker.detach()
+
+        outputs: Dict[str, HybridPartition] = {
+            name: HybridPartition(graph, n) for name in names
+        }
+        trackers: Dict[str, CostTracker] = {
+            name: CostTracker(outputs[name], self.cost_models[name])
+            for name in names
+        }
+
+        units_by_fragment = self._units(partition)
+
+        start = time.perf_counter()
+        leftovers = self._phase_init(units_by_fragment, trackers, stats)
+        stats.phase_seconds["init"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self._phase_vassign(leftovers, trackers, stats)
+        stats.phase_seconds["vassign"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for name in names:
+            merger = V2H(
+                self.cost_models[name],
+                enable_vmigrate=False,
+                enable_vmerge=True,
+                enable_massign=False,
+                vmerge_passes=self.vmerge_passes,
+            )
+            merger.refine(outputs[name], in_place=True)
+        stats.phase_seconds["vmerge"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for name in names:
+            massign(trackers[name])
+        stats.phase_seconds["massign"] = time.perf_counter() - start
+
+        for tracker in trackers.values():
+            tracker.detach()
+        self.last_stats = stats
+        return CompositePartition(outputs)
+
+    # ------------------------------------------------------------------
+    def _units(self, partition: HybridPartition) -> List[List[Tuple[int, Unit]]]:
+        """Per input fragment: disjoint ``(v, edges)`` units in BFS order.
+
+        Each input edge is claimed by the unit of its first endpoint in
+        BFS order, so units partition the fragment's edge set and the
+        output partitions inherit the vertex-cut's disjointness.
+        """
+        per_fragment: List[List[Tuple[int, Unit]]] = []
+        for fragment in partition.fragments:
+            fid = fragment.fid
+            order = bfs_order(partition, fid)
+            claimed = set()
+            units: List[Tuple[int, Unit]] = []
+            for v in order:
+                edges = tuple(
+                    e for e in fragment.incident(v) if e not in claimed
+                )
+                claimed.update(edges)
+                if edges or fragment.incident_count(v) == 0:
+                    units.append((fid, (v, edges)))
+            per_fragment.append(units)
+        return per_fragment
+
+    def _price(self, tracker: CostTracker, output: HybridPartition, unit: Unit, fid: int) -> float:
+        """h_A of the unit's copy if placed at ``fid`` of the output."""
+        v, edges = unit
+        graph = output.graph
+        d_in = sum(1 for e in edges if e[1] == v or not graph.directed)
+        d_out = sum(1 for e in edges if e[0] == v or not graph.directed)
+        if output.fragments[fid].has_vertex(v):
+            base = vertex_features(output, v, fid, tracker.avg_degree)
+        else:
+            base = {
+                "d_in_L": 0.0,
+                "d_out_L": 0.0,
+                "d_in_G": float(graph.in_degree(v)),
+                "d_out_G": float(graph.out_degree(v)),
+                "r": float(output.mirrors(v)),
+                "D": float(tracker.avg_degree),
+                "I": 1.0,
+                "d_L": 0.0,
+                "d_G": float(output.global_incident_count(v)),
+                "M": 0.0,
+            }
+        features = dict(base)
+        features["d_in_L"] += d_in
+        features["d_out_L"] += d_out
+        features["d_L"] += len(edges)
+        features["I"] = 0.0 if features["d_L"] >= features["d_G"] else 1.0
+        return tracker.cost_model.h_value(features)
+
+    @staticmethod
+    def _assign_unit(output: HybridPartition, unit: Unit, fid: int) -> None:
+        v, edges = unit
+        if edges:
+            for edge in edges:
+                output.add_edge_to(fid, edge)
+        else:
+            output.add_vertex_to(fid, v)
+
+    def _phase_init(
+        self,
+        units_by_fragment: List[List[Tuple[int, Unit]]],
+        trackers: Dict[str, CostTracker],
+        stats: CompositeStats,
+    ) -> List[Tuple[int, Unit, Set[str]]]:
+        """Shared BFS prefixes become the cores (Section 6.3 VAssign init)."""
+        leftovers: List[Tuple[int, Unit, Set[str]]] = []
+        for units in units_by_fragment:
+            for fid, unit in units:
+                pending: Set[str] = set()
+                accepted_all = True
+                for name, tracker in trackers.items():
+                    price = self._price(tracker, tracker.partition, unit, fid)
+                    old = tracker.copy_comp_cost(unit[0], fid)
+                    if tracker.comp_cost(fid) - old + price <= stats.budgets[name]:
+                        self._assign_unit(tracker.partition, unit, fid)
+                    else:
+                        pending.add(name)
+                        accepted_all = False
+                if accepted_all:
+                    stats.core_units += 1
+                if pending:
+                    leftovers.append((fid, unit, pending))
+        return leftovers
+
+    def _phase_vassign(
+        self,
+        leftovers: List[Tuple[int, Unit, Set[str]]],
+        trackers: Dict[str, CostTracker],
+        stats: CompositeStats,
+    ) -> None:
+        """Route leftover units through GetDest; split-free fallback.
+
+        Unlike ME2H, a vertex-cut unit can always be absorbed somewhere
+        (its edges are private to the unit), so units that fit nowhere
+        under budget go to the currently cheapest fragment directly —
+        there is no separate EAssign stage in Section 6.3.
+        """
+        n = next(iter(trackers.values())).partition.num_fragments
+        underloaded: Dict[str, Set[int]] = {
+            name: {
+                fid
+                for fid in range(n)
+                if tracker.comp_cost(fid) < stats.budgets[name]
+            }
+            for name, tracker in trackers.items()
+        }
+        for _origin, unit, pending in leftovers:
+            def fits(name: str, fid: int) -> bool:
+                tracker = trackers[name]
+                price = self._price(tracker, tracker.partition, unit, fid)
+                old = tracker.copy_comp_cost(unit[0], fid)
+                return tracker.comp_cost(fid) - old + price <= stats.budgets[name]
+
+            destinations = get_dest(pending, underloaded, fits)
+            for name in pending:
+                tracker = trackers[name]
+                fid = destinations.get(name)
+                if fid is None:
+                    fid = min(range(n), key=tracker.comp_cost)
+                    stats.eassign_units += 1
+                else:
+                    stats.vassign_units += 1
+                self._assign_unit(tracker.partition, unit, fid)
+                if tracker.comp_cost(fid) >= stats.budgets[name]:
+                    underloaded[name].discard(fid)

@@ -1,0 +1,137 @@
+"""Structural move operations used by the refiners.
+
+Each operation follows the semantics spelled out by the paper's examples:
+
+* :func:`emigrate` (Example 9) — move an e-cut node and all its incident
+  edges to another fragment; boundary edges whose far endpoint still
+  computes at the source are *retained* there (leaving a dummy copy of
+  the moved vertex), preserving the source's locality;
+* :func:`split_migrate_edge` (Example 10) — ESplit's unit move: one edge
+  of a candidate vertex migrates (no duplication), turning the vertex
+  into a v-cut node;
+* :func:`vmigrate` (Section 5.2) — merge a v-cut copy into an existing
+  copy at the destination, reducing replication by one;
+* :func:`vmerge` (Example 12) — turn a v-cut node into an e-cut node by
+  pulling its missing edges into one fragment, migrating each edge or
+  replicating it depending on whether its source copy still needs it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.partition.fragment import Edge
+from repro.partition.hybrid import HybridPartition
+
+
+def emigrate(partition: HybridPartition, v: int, src: int, dst: int) -> None:
+    """EMigrate ``(v, E^v_src)`` from fragment ``src`` to ``dst``.
+
+    After the move the destination copy holds every edge the source copy
+    held; edges shared with cost-bearing source vertices are duplicated
+    (kept at ``src``), others are removed.  The master moves to ``dst``
+    so the destination copy becomes the cost-bearing e-cut node even when
+    the source retains a full (now dummy) copy.
+    """
+    if src == dst:
+        raise ValueError("EMigrate source and destination must differ")
+    src_fragment = partition.fragments[src]
+    edges = list(src_fragment.incident(v))
+    for edge in edges:
+        partition.add_edge_to(dst, edge)
+        u = edge[0] if edge[1] == v else edge[1]
+        keep = (
+            u != v
+            and src_fragment.has_vertex(u)
+            and partition.cost_bearing(u, src)
+        )
+        if not keep:
+            partition.remove_edge_from(src, edge)
+    if not edges:
+        # Isolated candidate: move the bare copy.
+        partition.add_vertex_to(dst, v)
+        if src_fragment.has_vertex(v):
+            partition.remove_vertex_from(src, v)
+    partition.set_master(v, dst)
+
+
+def split_migrate_edge(
+    partition: HybridPartition, v: int, edge: Edge, src: int, dst: int
+) -> None:
+    """ESplit's unit move: migrate one incident edge of ``v`` to ``dst``.
+
+    The edge leaves ``src`` (ESplit migrates, it does not replicate —
+    Fig. 2(b)); endpoint copies left edge-less at the source are pruned
+    by the partition primitives.
+    """
+    if src == dst:
+        return
+    partition.add_edge_to(dst, edge)
+    partition.remove_edge_from(src, edge)
+
+
+def vmigrate(partition: HybridPartition, v: int, src: int, dst: int) -> None:
+    """VMigrate ``(v, E^v_src)`` into the existing copy of ``v`` at ``dst``.
+
+    Requires a copy of ``v`` at ``dst`` (the locality condition of
+    Section 5.2).  Reduces the replication of ``v`` by one.
+    """
+    if src == dst:
+        raise ValueError("VMigrate source and destination must differ")
+    if not partition.fragments[dst].has_vertex(v):
+        raise ValueError(f"VMigrate destination {dst} holds no copy of vertex {v}")
+    src_fragment = partition.fragments[src]
+    for edge in list(src_fragment.incident(v)):
+        partition.add_edge_to(dst, edge)
+        partition.remove_edge_from(src, edge)
+    if src_fragment.has_vertex(v) and src_fragment.incident_count(v) == 0:
+        partition.remove_vertex_from(src, v)
+
+
+def vmerge(
+    partition: HybridPartition,
+    v: int,
+    dst: int,
+    missing: Optional[Iterable[Edge]] = None,
+) -> None:
+    """VMerge: make ``v`` an e-cut node at ``dst`` (Fig. 4, lines 11-14).
+
+    Every edge of ``Ē^v_dst = E_v \\ E^v_dst`` is brought to ``dst``.  At
+    each source fragment the edge is *migrated* (removed) unless its far
+    endpoint's copy there is cost-bearing, in which case it is
+    *replicated* — the "migrate or replicate based on the respective
+    costs" rule.  Other copies of ``v`` become dummies (the master moves
+    to ``dst``, making it the designated e-cut node).
+    """
+    graph = partition.graph
+    dst_fragment = partition.fragments[dst]
+    if missing is None:
+        missing = [
+            edge
+            for edge in graph.incident_edges(v)
+            if not dst_fragment.has_edge(edge)
+        ]
+    for edge in missing:
+        holders = [
+            fid
+            for fid in partition.placement(v)
+            if fid != dst and partition.fragments[fid].has_edge(edge)
+        ]
+        if not holders:
+            u = edge[0] if edge[1] == v else edge[1]
+            holders = [
+                fid
+                for fid in partition.placement(u)
+                if fid != dst and partition.fragments[fid].has_edge(edge)
+            ]
+        partition.add_edge_to(dst, edge)
+        for fid in holders:
+            u = edge[0] if edge[1] == v else edge[1]
+            far_bearing = (
+                u != v
+                and partition.fragments[fid].has_vertex(u)
+                and partition.cost_bearing(u, fid)
+            )
+            if not far_bearing:
+                partition.remove_edge_from(fid, edge)
+    partition.set_master(v, dst)

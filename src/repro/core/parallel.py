@@ -1,0 +1,619 @@
+"""Parallel refiners ParE2H / ParV2H / ParME2H / ParMV2H (Section 5.3, 6.4).
+
+The parallel refiners execute the same phases as their sequential
+counterparts, restructured into BSP supersteps on the runtime simulator:
+
+* **parallel EMigrate** — each overloaded worker ships a small batch of
+  migration candidates to the underloaded workers round-robin; receivers
+  accept within budget or bounce the candidate to the next worker;
+* **parallel ESplit / VMerge** — overloaded (resp. underloaded) workers
+  process batches of edges (resp. v-cut promotions) per superstep against
+  the shared cost state, synchronized at each barrier;
+* **parallel MAssign** — each worker assigns batches of the border
+  vertices it masters by Eq. 5 against shared accumulators.
+
+Because the simulator executes supersteps on one machine, intra-superstep
+updates are serialized (the shared state a worker sees is at most one
+batch stale, never a full superstep stale); the cost clock still charges
+genuine per-superstep maxima, which is what the Exp-3/4/5 timing figures
+measure.  Charges: ``c1``/``c2`` abstract ops per h/g evaluation and the
+per-candidate message sizes of the Section 5.3 analysis.
+
+``ParME2H`` / ``ParMV2H`` run the composite logic of ME2H / MV2H (whose
+Init/GetDest procedures are fragment-local, Section 6.4) and charge the
+cluster from each phase's per-worker unit counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.budget import classify_fragments, compute_budget
+from repro.core.candidates import get_candidates
+from repro.core.e2h import RefineStats
+from repro.core.me2h import ME2H, CompositeStats
+from repro.core.mv2h import MV2H
+from repro.core.operations import emigrate, split_migrate_edge, vmerge, vmigrate
+from repro.core.tracker import CostTracker
+from repro.core.v2h import V2H
+from repro.costmodel.model import CostModel
+from repro.partition.composite import CompositePartition
+from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.runtime.bsp import Cluster
+from repro.runtime.costclock import CostClock
+
+C1_OPS = 4.0  # abstract ops per h_A evaluation (Section 5.3's c1)
+C2_OPS = 4.0  # abstract ops per g_A evaluation (c2)
+STATE_SYNC_BYTES = 8.0  # shared-state delta per worker per superstep (c3)
+
+
+@dataclass
+class RefinementProfile:
+    """Per-phase simulated timing of one parallel refinement."""
+
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    phase_supersteps: Dict[str, int] = field(default_factory=dict)
+    total_time: float = 0.0
+    wall_seconds: float = 0.0
+    stats: Optional[RefineStats] = None
+    composite_stats: Optional[CompositeStats] = None
+
+
+class _PhaseMeter:
+    """Tracks makespan/superstep deltas per named phase of a cluster."""
+
+    def __init__(self, cluster: Cluster, profile: RefinementProfile) -> None:
+        self.cluster = cluster
+        self.profile = profile
+
+    def _snapshot(self) -> Tuple[float, int]:
+        return self.cluster.profile.makespan, self.cluster.profile.num_supersteps
+
+    def run(self, name: str, body) -> None:
+        """Execute ``body`` and record its makespan/superstep deltas."""
+        before = self._snapshot()
+        body()
+        after = self._snapshot()
+        self.profile.phase_times[name] = after[0] - before[0]
+        self.profile.phase_supersteps[name] = after[1] - before[1]
+
+
+def _sync_state(cluster: Cluster) -> None:
+    """Charge the shared-state synchronization of one superstep barrier."""
+    n = cluster.num_workers
+    for src in range(n):
+        for dst in range(n):
+            if src != dst:
+                cluster.send(src, dst, None, nbytes=STATE_SYNC_BYTES)
+    cluster.deliver()
+
+
+class ParE2H:
+    """Parallel E2H on the BSP simulator."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        batch_size: int = 32,
+        clock: Optional[CostClock] = None,
+        enable_emigrate: bool = True,
+        enable_esplit: bool = True,
+        enable_massign: bool = True,
+        budget_slack: float = 1.0,
+    ) -> None:
+        self.cost_model = cost_model
+        self.batch_size = batch_size
+        self.clock = clock or CostClock()
+        self.enable_emigrate = enable_emigrate
+        self.enable_esplit = enable_esplit
+        self.enable_massign = enable_massign
+        self.budget_slack = budget_slack
+
+    # ------------------------------------------------------------------
+    def refine(
+        self, partition: HybridPartition, in_place: bool = False
+    ) -> Tuple[HybridPartition, RefinementProfile]:
+        """Refine; returns ``(hybrid partition, timing profile)``."""
+        wall_start = time.perf_counter()
+        if not in_place:
+            partition = partition.copy()
+        tracker = CostTracker(partition, self.cost_model)
+        cluster = Cluster(partition, clock=self.clock)
+        profile = RefinementProfile()
+        meter = _PhaseMeter(cluster, profile)
+        stats = RefineStats()
+        stats.cost_before = tracker.parallel_cost()
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+
+        def setup() -> None:
+            for fid in overloaded:
+                cands = get_candidates(tracker, fid, budget, NodeRole.ECUT)
+                candidates[fid] = cands
+                stats.candidates += len(cands)
+                cluster.charge(fid, partition.fragments[fid].num_vertices)
+            _sync_state(cluster)
+
+        meter.run("setup", setup)
+        if self.enable_emigrate:
+            meter.run(
+                "emigrate",
+                lambda: self._parallel_emigrate(
+                    cluster, tracker, budget, underloaded, candidates, stats
+                ),
+            )
+        if self.enable_esplit:
+            meter.run(
+                "esplit",
+                lambda: self._parallel_esplit(cluster, tracker, candidates, stats),
+            )
+        if self.enable_massign:
+            meter.run(
+                "massign",
+                lambda: self._parallel_massign(cluster, tracker, stats),
+            )
+
+        stats.cost_after = tracker.parallel_cost()
+        tracker.detach()
+        profile.total_time = cluster.profile.makespan
+        profile.wall_seconds = time.perf_counter() - wall_start
+        profile.stats = stats
+        return partition, profile
+
+    # ------------------------------------------------------------------
+    def _parallel_emigrate(
+        self,
+        cluster: Cluster,
+        tracker: CostTracker,
+        budget: float,
+        underloaded: List[int],
+        candidates: Dict[int, List],
+        stats: RefineStats,
+    ) -> None:
+        """Round-robin batched candidate shipping (Section 5.3)."""
+        partition = tracker.partition
+        if not underloaded:
+            return
+        # Per-source queues of (vertex, edges, attempts).
+        queues: Dict[int, List] = {
+            src: [(v, edges, 0) for v, edges in cand_list]
+            for src, cand_list in candidates.items()
+        }
+        leftovers: Dict[int, List] = {src: [] for src in candidates}
+        k = len(underloaded)
+        while any(queues.values()):
+            for src, queue in queues.items():
+                batch, queues[src] = queue[: self.batch_size], queue[self.batch_size :]
+                for v, edges, attempts in batch:
+                    if (
+                        not partition.fragments[src].has_vertex(v)
+                        or partition.role(v, src) is not NodeRole.ECUT
+                    ):
+                        continue
+                    dst = underloaded[attempts % k]
+                    if dst == src:
+                        attempts += 1
+                        dst = underloaded[attempts % k]
+                        if dst == src:
+                            leftovers[src].append((v, edges))
+                            continue
+                    cluster.send(src, dst, None, nbytes=16.0 + 8.0 * len(edges))
+                    cluster.charge(dst, C1_OPS)
+                    price = tracker.price_as_ecut(v)
+                    if tracker.comp_cost(dst) + price <= budget:
+                        emigrate(partition, v, src, dst)
+                        stats.emigrated += 1
+                    elif attempts + 1 < k:
+                        queues[src].append((v, edges, attempts + 1))
+                    else:
+                        leftovers[src].append((v, edges))
+            _sync_state(cluster)
+        for src in candidates:
+            candidates[src] = leftovers.get(src, [])
+
+    def _parallel_esplit(
+        self,
+        cluster: Cluster,
+        tracker: CostTracker,
+        candidates: Dict[int, List],
+        stats: RefineStats,
+    ) -> None:
+        """Batched greedy edge splitting against shared cost state."""
+        partition = tracker.partition
+        n = partition.num_fragments
+        pending: Dict[int, List] = {}
+        for src, cand_list in candidates.items():
+            edges = []
+            for v, _snapshot in cand_list:
+                fragment = partition.fragments[src]
+                if fragment.has_vertex(v):
+                    local = list(fragment.incident(v))
+                    if local:
+                        stats.split_vertices += 1
+                    edges.extend((v, e) for e in local)
+            pending[src] = edges
+            candidates[src] = []
+        while any(pending.values()):
+            for src, edges in pending.items():
+                batch, pending[src] = (
+                    edges[: self.batch_size],
+                    edges[self.batch_size :],
+                )
+                for v, edge in batch:
+                    cluster.charge(src, C1_OPS)
+                    target = min(range(n), key=tracker.comp_cost)
+                    if target == src:
+                        continue
+                    if not partition.fragments[src].has_edge(edge):
+                        continue
+                    cluster.send(src, target, None, nbytes=24.0)
+                    split_migrate_edge(partition, v, edge, src, target)
+                    stats.split_edges += 1
+            _sync_state(cluster)
+
+    def _parallel_massign(
+        self, cluster: Cluster, tracker: CostTracker, stats: RefineStats
+    ) -> None:
+        """Batched Eq. 5 master assignment with shared accumulators."""
+        _parallel_massign_impl(cluster, tracker, stats, self.batch_size)
+
+
+def _parallel_massign_impl(
+    cluster: Cluster,
+    tracker: CostTracker,
+    stats: RefineStats,
+    batch_size: int,
+) -> None:
+    partition = tracker.partition
+    model = tracker.cost_model
+    avg = tracker.avg_degree
+    # Each worker is responsible for the border vertices it currently
+    # masters; comp snapshot is shared, comm accumulators persist.
+    work: Dict[int, List[int]] = {fid: [] for fid in range(partition.num_fragments)}
+    for v, hosts in partition.vertex_fragments():
+        if len(hosts) > 1:
+            work[partition.master(v)].append(v)
+    for fid in work:
+        work[fid].sort()
+    comp = tracker.comp_costs()
+    comm = [0.0] * partition.num_fragments
+    while any(work.values()):
+        for fid in range(partition.num_fragments):
+            batch, work[fid] = work[fid][:batch_size], work[fid][batch_size:]
+            for v in batch:
+                hosts = sorted(partition.placement(v))
+                cluster.charge(fid, (C1_OPS + C2_OPS) * len(hosts))
+                current = partition.master(v)
+                best_fid, best_score = hosts[0], float("inf")
+                best_gain, best_delta = 0.0, 0.0
+                for host in hosts:
+                    g_here = model.comm_cost_if_master_at(partition, v, host, avg)
+                    h_delta = model.comp_master_delta(partition, v, host, avg)
+                    score = comp[host] + comm[host] + g_here + h_delta
+                    if score < best_score:
+                        best_score, best_fid = score, host
+                        best_gain, best_delta = g_here, h_delta
+                if current != best_fid:
+                    comp[current] -= model.comp_master_delta(
+                        partition, v, current, avg
+                    )
+                    comp[best_fid] += best_delta
+                    cluster.send(fid, best_fid, None, nbytes=12.0)
+                    partition.set_master(v, best_fid)
+                    stats.master_moves += 1
+                comm[best_fid] += best_gain
+        _sync_state(cluster)
+
+
+class ParV2H:
+    """Parallel V2H on the BSP simulator."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        batch_size: int = 32,
+        clock: Optional[CostClock] = None,
+        enable_vmigrate: bool = True,
+        enable_vmerge: bool = True,
+        enable_massign: bool = True,
+        budget_slack: float = 1.0,
+        vmerge_passes: int = 2,
+    ) -> None:
+        self.cost_model = cost_model
+        self.batch_size = batch_size
+        self.clock = clock or CostClock()
+        self.enable_vmigrate = enable_vmigrate
+        self.enable_vmerge = enable_vmerge
+        self.enable_massign = enable_massign
+        self.budget_slack = budget_slack
+        self.vmerge_passes = vmerge_passes
+
+    def refine(
+        self, partition: HybridPartition, in_place: bool = False
+    ) -> Tuple[HybridPartition, RefinementProfile]:
+        """Refine; returns ``(hybrid partition, timing profile)``."""
+        wall_start = time.perf_counter()
+        if not in_place:
+            partition = partition.copy()
+        tracker = CostTracker(partition, self.cost_model)
+        cluster = Cluster(partition, clock=self.clock)
+        profile = RefinementProfile()
+        meter = _PhaseMeter(cluster, profile)
+        stats = RefineStats()
+        stats.cost_before = tracker.parallel_cost()
+        helper = V2H(
+            self.cost_model,
+            budget_slack=self.budget_slack,
+            vmerge_passes=self.vmerge_passes,
+        )
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+
+        def setup() -> None:
+            for fid in overloaded:
+                cands = get_candidates(tracker, fid, budget, NodeRole.VCUT)
+                candidates[fid] = cands
+                stats.candidates += len(cands)
+                cluster.charge(fid, partition.fragments[fid].num_vertices)
+            _sync_state(cluster)
+
+        meter.run("setup", setup)
+        if self.enable_vmigrate:
+            meter.run(
+                "vmigrate",
+                lambda: self._parallel_vmigrate(
+                    cluster, tracker, helper, budget, underloaded, candidates, stats
+                ),
+            )
+        if self.enable_vmerge:
+            meter.run(
+                "vmerge",
+                lambda: self._parallel_vmerge(
+                    cluster, tracker, helper, budget, stats
+                ),
+            )
+        if self.enable_massign:
+            meter.run(
+                "massign",
+                lambda: _parallel_massign_impl(
+                    cluster, tracker, stats, self.batch_size
+                ),
+            )
+
+        stats.cost_after = tracker.parallel_cost()
+        tracker.detach()
+        profile.total_time = cluster.profile.makespan
+        profile.wall_seconds = time.perf_counter() - wall_start
+        profile.stats = stats
+        return partition, profile
+
+    # ------------------------------------------------------------------
+    def _parallel_vmigrate(
+        self,
+        cluster: Cluster,
+        tracker: CostTracker,
+        helper: V2H,
+        budget: float,
+        underloaded: List[int],
+        candidates: Dict[int, List],
+        stats: RefineStats,
+    ) -> None:
+        partition = tracker.partition
+        queues: Dict[int, List] = {
+            src: [(v, edges, 0) for v, edges in cand_list]
+            for src, cand_list in candidates.items()
+        }
+        while any(queues.values()):
+            for src, queue in queues.items():
+                batch, queues[src] = queue[: self.batch_size], queue[self.batch_size :]
+                for v, edges, attempts in batch:
+                    if (
+                        not partition.fragments[src].has_vertex(v)
+                        or partition.role(v, src) is not NodeRole.VCUT
+                    ):
+                        continue
+                    # Destinations must be underloaded AND co-host v.
+                    hosts = [
+                        fid
+                        for fid in underloaded
+                        if fid != src and partition.fragments[fid].has_vertex(v)
+                    ]
+                    if attempts >= len(hosts):
+                        continue
+                    dst = hosts[attempts]
+                    cluster.send(src, dst, None, nbytes=16.0 + 8.0 * len(edges))
+                    cluster.charge(dst, C1_OPS)
+                    new_price = helper._merged_price(tracker, v, src, dst)
+                    old_price = tracker.copy_comp_cost(v, dst)
+                    if tracker.comp_cost(dst) - old_price + new_price <= budget:
+                        vmigrate(partition, v, src, dst)
+                        stats.vmigrated += 1
+                    else:
+                        queues[src].append((v, edges, attempts + 1))
+            _sync_state(cluster)
+
+    def _parallel_vmerge(
+        self,
+        cluster: Cluster,
+        tracker: CostTracker,
+        helper: V2H,
+        budget: float,
+        stats: RefineStats,
+    ) -> None:
+        partition = tracker.partition
+        graph = partition.graph
+        for _pass in range(self.vmerge_passes):
+            merged_any = False
+            # Each underloaded worker scans its own v-cut nodes in batches.
+            work: Dict[int, List[int]] = {}
+            for fid in range(partition.num_fragments):
+                if tracker.comp_cost(fid) > budget:
+                    continue
+                fragment = partition.fragments[fid]
+                vcuts = [
+                    v
+                    for v in fragment.vertices()
+                    if partition.role(v, fid) is NodeRole.VCUT
+                ]
+                vcuts.sort(
+                    key=lambda v: partition.global_incident_count(v)
+                    - fragment.incident_count(v)
+                )
+                work[fid] = vcuts
+            while any(work.values()):
+                for fid in list(work):
+                    batch, work[fid] = (
+                        work[fid][: self.batch_size],
+                        work[fid][self.batch_size :],
+                    )
+                    fragment = partition.fragments[fid]
+                    for v in batch:
+                        # Earlier merges may have pruned or promoted this
+                        # copy; only still-present v-cut copies qualify.
+                        if (
+                            not fragment.has_vertex(v)
+                            or partition.role(v, fid) is not NodeRole.VCUT
+                        ):
+                            continue
+                        missing = [
+                            edge
+                            for edge in graph.incident_edges(v)
+                            if not fragment.has_edge(edge)
+                        ]
+                        cluster.charge(fid, C1_OPS)
+                        new_price = tracker.price_as_ecut(v)
+                        old_price = tracker.copy_comp_cost(v, fid)
+                        if (
+                            tracker.comp_cost(fid) - old_price + new_price
+                            > budget
+                        ):
+                            continue
+                        for edge in missing:
+                            cluster.send(
+                                partition.master(v), fid, None, nbytes=16.0
+                            )
+                        vmerge(partition, v, fid, missing)
+                        stats.vmerged += 1
+                        merged_any = True
+                _sync_state(cluster)
+            if not merged_any:
+                break
+
+
+class _CompositeParallelMixin:
+    """Shared timing synthesis for the composite parallel refiners.
+
+    ME2H/MV2H's extra procedures (Init, GetDest) are fragment-local
+    (Section 6.4), so the parallel variants run the composite logic and
+    charge the cluster per phase from its per-worker unit counts.
+    """
+
+    batch_size: int
+    clock: CostClock
+
+    def _charge_phases(
+        self,
+        composite: CompositePartition,
+        stats: CompositeStats,
+        profile: RefinementProfile,
+    ) -> None:
+        cluster = Cluster(
+            next(iter(composite.partitions.values())), clock=self.clock
+        )
+        meter = _PhaseMeter(cluster, profile)
+        n = composite.num_fragments
+        k = composite.num_algorithms
+
+        def simulate(total_units: int, ops_per_unit: float, nbytes: float) -> None:
+            per_worker = (total_units + n - 1) // n
+            remaining = per_worker
+            while remaining > 0:
+                batch = min(self.batch_size, remaining)
+                for fid in range(n):
+                    cluster.charge(fid, ops_per_unit * batch)
+                    cluster.send(fid, (fid + 1) % n, None, nbytes=nbytes * batch)
+                _sync_state(cluster)
+                remaining -= batch
+
+        meter.run(
+            "init",
+            lambda: simulate(stats.core_units + stats.vassign_units, C1_OPS * k, 8.0),
+        )
+        meter.run("vassign", lambda: simulate(stats.vassign_units, C1_OPS * k, 24.0))
+        meter.run("eassign", lambda: simulate(stats.eassign_units, C1_OPS, 24.0))
+        borders = sum(
+            1
+            for part in composite.partitions.values()
+            for _v, hosts in part.vertex_fragments()
+            if len(hosts) > 1
+        )
+        meter.run("massign", lambda: simulate(borders, C1_OPS + C2_OPS, 12.0))
+        profile.total_time = cluster.profile.makespan
+        profile.composite_stats = stats
+
+
+class ParME2H(_CompositeParallelMixin):
+    """Parallel composite edge-cut refiner."""
+
+    def __init__(
+        self,
+        cost_models: Dict[str, CostModel],
+        batch_size: int = 32,
+        clock: Optional[CostClock] = None,
+        budget_slack: float = 1.2,
+    ) -> None:
+        self.inner = ME2H(cost_models, budget_slack=budget_slack)
+        self.batch_size = batch_size
+        self.clock = clock or CostClock()
+
+    def refine(
+        self, partition: HybridPartition
+    ) -> Tuple[CompositePartition, RefinementProfile]:
+        """Refine; returns ``(composite partition, timing profile)``."""
+        wall_start = time.perf_counter()
+        composite = self.inner.refine(partition)
+        profile = RefinementProfile()
+        self._charge_phases(composite, self.inner.last_stats, profile)
+        profile.wall_seconds = time.perf_counter() - wall_start
+        return composite, profile
+
+
+class ParMV2H(_CompositeParallelMixin):
+    """Parallel composite vertex-cut refiner."""
+
+    def __init__(
+        self,
+        cost_models: Dict[str, CostModel],
+        batch_size: int = 32,
+        clock: Optional[CostClock] = None,
+        budget_slack: float = 1.2,
+        vmerge_passes: int = 1,
+    ) -> None:
+        self.inner = MV2H(
+            cost_models, budget_slack=budget_slack, vmerge_passes=vmerge_passes
+        )
+        self.batch_size = batch_size
+        self.clock = clock or CostClock()
+
+    def refine(
+        self, partition: HybridPartition
+    ) -> Tuple[CompositePartition, RefinementProfile]:
+        """Refine; returns ``(composite partition, timing profile)``."""
+        wall_start = time.perf_counter()
+        composite = self.inner.refine(partition)
+        profile = RefinementProfile()
+        self._charge_phases(composite, self.inner.last_stats, profile)
+        profile.wall_seconds = time.perf_counter() - wall_start
+        return composite, profile

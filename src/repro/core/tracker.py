@@ -1,0 +1,144 @@
+"""Incremental fragment-cost tracking.
+
+The refiners evaluate ``C_h(F_i)`` / ``C_g(F_i)`` after every candidate
+move; recomputing them from scratch would make refinement quadratic.
+:class:`CostTracker` subscribes to the partition's mutation events and
+maintains, per fragment, running sums of
+
+* each cost-bearing copy's ``h_A(X(v))`` contribution (Eq. 2), and
+* each hosted master border copy's ``g_A(X(v))`` contribution (Eq. 3).
+
+A mutation (edge move, vertex move, master change) dirties the affected
+vertices; their few copies are lazily re-priced on the next cost query.
+This is exact — role flips (e-cut ↔ v-cut ↔ dummy) triggered by moves of
+*other* vertices are captured because every structural event dirties both
+endpoints of the touched edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.costmodel.features import vertex_features
+from repro.costmodel.model import CostModel
+from repro.graph.metrics import average_degree
+from repro.partition.hybrid import HybridPartition
+
+
+class CostTracker:
+    """Maintains per-fragment C_h and C_g under partition mutations."""
+
+    def __init__(self, partition: HybridPartition, cost_model: CostModel) -> None:
+        self.partition = partition
+        self.cost_model = cost_model
+        self.avg_degree = average_degree(partition.graph)
+        n = partition.num_fragments
+        self._comp = [0.0] * n
+        self._comm = [0.0] * n
+        # v -> {fid: h contribution}; v -> (master fid, g contribution)
+        self._copy_contrib: Dict[int, Dict[int, float]] = {}
+        self._comm_contrib: Dict[int, Tuple[int, float]] = {}
+        self._dirty: Set[int] = set()
+        partition.add_listener(self._mark_dirty)
+        self._rebuild()
+
+    def detach(self) -> None:
+        """Stop listening to partition mutations."""
+        self.partition.remove_listener(self._mark_dirty)
+
+    # ------------------------------------------------------------------
+    def _mark_dirty(self, v: int) -> None:
+        self._dirty.add(v)
+
+    def _rebuild(self) -> None:
+        self._comp = [0.0] * self.partition.num_fragments
+        self._comm = [0.0] * self.partition.num_fragments
+        self._copy_contrib.clear()
+        self._comm_contrib.clear()
+        self._dirty.clear()
+        for v, _hosts in list(self.partition.vertex_fragments()):
+            self._reprice(v)
+
+    def _reprice(self, v: int) -> None:
+        """Recompute all of v's contributions; apply deltas to the sums."""
+        partition = self.partition
+        old_copies = self._copy_contrib.pop(v, None)
+        if old_copies:
+            for fid, contrib in old_copies.items():
+                self._comp[fid] -= contrib
+        old_comm = self._comm_contrib.pop(v, None)
+        if old_comm is not None:
+            self._comm[old_comm[0]] -= old_comm[1]
+
+        hosts = partition.placement(v)
+        if not hosts:
+            return
+        new_copies: Dict[int, float] = {}
+        for fid in hosts:
+            if partition.cost_bearing(v, fid):
+                features = vertex_features(partition, v, fid, self.avg_degree)
+                contrib = self.cost_model.h_value(features)
+                if contrib:
+                    new_copies[fid] = contrib
+                    self._comp[fid] += contrib
+        if new_copies:
+            self._copy_contrib[v] = new_copies
+        if partition.is_border(v):
+            master = partition.master(v)
+            features = vertex_features(partition, v, master, self.avg_degree)
+            contrib = self.cost_model.g_value(features)
+            self._comm_contrib[v] = (master, contrib)
+            self._comm[master] += contrib
+
+    def _flush(self) -> None:
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, set()
+        for v in dirty:
+            self._reprice(v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def comp_cost(self, fid: int) -> float:
+        """``C_h(F_fid)`` under the tracked cost model."""
+        self._flush()
+        return self._comp[fid]
+
+    def comm_cost(self, fid: int) -> float:
+        """``C_g(F_fid)`` under the tracked cost model."""
+        self._flush()
+        return self._comm[fid]
+
+    def cost(self, fid: int) -> float:
+        """``C_A(F_fid) = C_h + C_g``."""
+        self._flush()
+        return self._comp[fid] + self._comm[fid]
+
+    def comp_costs(self) -> list:
+        """All fragments' C_h as a list."""
+        self._flush()
+        return list(self._comp)
+
+    def parallel_cost(self) -> float:
+        """``max_i C_A(F_i)``."""
+        self._flush()
+        return max(
+            self._comp[i] + self._comm[i]
+            for i in range(self.partition.num_fragments)
+        )
+
+    def copy_comp_cost(self, v: int, fid: int) -> float:
+        """Current h contribution of the copy of ``v`` at ``fid``."""
+        self._flush()
+        return self._copy_contrib.get(v, {}).get(fid, 0.0)
+
+    def price_as_ecut(self, v: int) -> float:
+        """``h_A`` of ``v`` if it were an e-cut node holding all its edges.
+
+        Used to pre-price EMigrate destinations without mutating state.
+        """
+        from repro.costmodel.features import hypothetical_ecut_features
+
+        features = hypothetical_ecut_features(self.partition, v, self.avg_degree)
+        return self.cost_model.h_value(features)

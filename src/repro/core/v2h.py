@@ -1,0 +1,199 @@
+"""Algorithm V2H: vertex-cut → hybrid refinement (Section 5.2, Fig. 4).
+
+Vertex-cuts balance edges well but scatter each vertex's edges across
+copies, hurting locality.  Guided by ``h_A``, V2H:
+
+* *VMigrate* — moves v-cut copies (with their local edges) from
+  overloaded fragments into an **existing copy** of the same vertex at an
+  underloaded fragment, simultaneously balancing cost and reducing the
+  replication r(v) by one;
+* *VMerge* — turns v-cut nodes of underloaded fragments into e-cut nodes
+  by pulling in their missing edges (migrating or replicating each based
+  on the far endpoint's needs), removing their synchronization cost
+  entirely (Example 12: this is what makes TC's verification local);
+* *MAssign* — redistributes the remaining communication as in E2H.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.budget import classify_fragments, compute_budget
+from repro.core.candidates import get_candidates
+from repro.core.e2h import RefineStats
+from repro.core.massign import massign
+from repro.core.operations import vmerge, vmigrate
+from repro.core.tracker import CostTracker
+from repro.costmodel.features import vertex_features
+from repro.costmodel.model import CostModel
+from repro.partition.hybrid import HybridPartition, NodeRole
+
+
+class V2H:
+    """Vertex-cut → hybrid refiner driven by a cost model."""
+
+    phases = ("vmigrate", "vmerge", "massign")
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        enable_vmigrate: bool = True,
+        enable_vmerge: bool = True,
+        enable_massign: bool = True,
+        budget_slack: float = 1.0,
+        vmerge_passes: int = 2,
+    ) -> None:
+        self.cost_model = cost_model
+        self.enable_vmigrate = enable_vmigrate
+        self.enable_vmerge = enable_vmerge
+        self.enable_massign = enable_massign
+        self.budget_slack = budget_slack
+        self.vmerge_passes = vmerge_passes
+        self.last_stats: Optional[RefineStats] = None
+
+    # ------------------------------------------------------------------
+    def refine(
+        self, partition: HybridPartition, in_place: bool = False
+    ) -> HybridPartition:
+        """Refine a vertex-cut partition into a hybrid one."""
+        if not in_place:
+            partition = partition.copy()
+        tracker = CostTracker(partition, self.cost_model)
+        stats = RefineStats()
+        stats.cost_before = tracker.parallel_cost()
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+        for fid in overloaded:
+            candidates[fid] = get_candidates(tracker, fid, budget, NodeRole.VCUT)
+            stats.candidates += len(candidates[fid])
+
+        if self.enable_vmigrate:
+            start = time.perf_counter()
+            self._phase_vmigrate(tracker, budget, underloaded, candidates, stats)
+            stats.phase_seconds["vmigrate"] = time.perf_counter() - start
+        if self.enable_vmerge:
+            start = time.perf_counter()
+            self._phase_vmerge(tracker, budget, stats)
+            stats.phase_seconds["vmerge"] = time.perf_counter() - start
+        if self.enable_massign:
+            start = time.perf_counter()
+            stats.master_moves = massign(tracker)
+            stats.phase_seconds["massign"] = time.perf_counter() - start
+
+        stats.cost_after = tracker.parallel_cost()
+        tracker.detach()
+        self.last_stats = stats
+        return partition
+
+    # ------------------------------------------------------------------
+    def _merged_price(
+        self, tracker: CostTracker, v: int, src: int, dst: int
+    ) -> float:
+        """h_A of the merged copy at ``dst`` after absorbing the src copy."""
+        partition = tracker.partition
+        src_frag = partition.fragments[src]
+        features = vertex_features(partition, v, dst, tracker.avg_degree)
+        extra = src_frag.incident(v) - partition.fragments[dst].incident(v)
+        added_in = 0
+        added_out = 0
+        for edge in extra:
+            if partition.graph.directed:
+                if edge[1] == v:
+                    added_in += 1
+                if edge[0] == v:
+                    added_out += 1
+            else:
+                added_in += 1
+                added_out += 1
+        features = dict(features)
+        features["d_in_L"] += added_in
+        features["d_out_L"] += added_out
+        features["d_L"] += len(extra)
+        return self.cost_model.h_value(features)
+
+    def _phase_vmigrate(
+        self,
+        tracker: CostTracker,
+        budget: float,
+        underloaded: List[int],
+        candidates: Dict[int, List],
+        stats: RefineStats,
+    ) -> None:
+        """Fig. 4 lines 6-10: merge v-cut copies into co-located copies."""
+        partition = tracker.partition
+        for src, cand_list in candidates.items():
+            remaining = []
+            for v, _edges in cand_list:
+                fragment = partition.fragments[src]
+                if (
+                    not fragment.has_vertex(v)
+                    or partition.role(v, src) is not NodeRole.VCUT
+                ):
+                    continue
+                placed = False
+                for dst in sorted(underloaded, key=tracker.comp_cost):
+                    if dst == src or not partition.fragments[dst].has_vertex(v):
+                        continue
+                    new_price = self._merged_price(tracker, v, src, dst)
+                    old_price = tracker.copy_comp_cost(v, dst)
+                    if tracker.comp_cost(dst) - old_price + new_price <= budget:
+                        vmigrate(partition, v, src, dst)
+                        stats.vmigrated += 1
+                        placed = True
+                        break
+                if not placed:
+                    remaining.append((v, _edges))
+            candidates[src] = remaining
+
+    def _phase_vmerge(
+        self, tracker: CostTracker, budget: float, stats: RefineStats
+    ) -> None:
+        """Fig. 4 lines 11-14: promote v-cut nodes to e-cut nodes."""
+        partition = tracker.partition
+        graph = partition.graph
+        for _pass in range(self.vmerge_passes):
+            merged_any = False
+            order = sorted(
+                range(partition.num_fragments), key=tracker.comp_cost
+            )
+            for fid in order:
+                if tracker.comp_cost(fid) > budget:
+                    continue
+                fragment = partition.fragments[fid]
+                vcut_here = [
+                    v
+                    for v in fragment.vertices()
+                    if partition.role(v, fid) is NodeRole.VCUT
+                ]
+                # Cheapest promotions first: fewest missing edges.
+                vcut_here.sort(
+                    key=lambda v: partition.global_incident_count(v)
+                    - fragment.incident_count(v)
+                )
+                for v in vcut_here:
+                    # Earlier merges may have pruned or promoted this copy.
+                    if (
+                        not fragment.has_vertex(v)
+                        or partition.role(v, fid) is not NodeRole.VCUT
+                    ):
+                        continue
+                    missing = [
+                        edge
+                        for edge in graph.incident_edges(v)
+                        if not fragment.has_edge(edge)
+                    ]
+                    new_price = tracker.price_as_ecut(v)
+                    old_price = tracker.copy_comp_cost(v, fid)
+                    if tracker.comp_cost(fid) - old_price + new_price > budget:
+                        continue
+                    vmerge(partition, v, fid, missing)
+                    stats.vmerged += 1
+                    merged_any = True
+            if not merged_any:
+                break

@@ -1,0 +1,135 @@
+"""Training data collection (Section 4, "Model training").
+
+To learn ``h_A`` we run algorithm ``A`` on a roster of graphs, each under
+randomly chosen edge-cut *and* vertex-cut partitions (the paper imposes no
+restriction on training graphs or how they are partitioned), and harvest
+one sample ``[X(v), t]`` per vertex copy that actually participated in
+computation.  For ``g_A`` we harvest samples only from master copies of
+replicated vertices, since other copies incur little communication.
+
+Costs come from the instrumented BSP runtime: per-copy computation
+operation counts and per-master communication byte counts, scaled by the
+simulator's per-op / per-byte charge so units read as (synthetic)
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.features import vertex_features
+from repro.graph.digraph import Graph
+from repro.graph.metrics import average_degree
+from repro.partition.hybrid import HybridPartition
+
+# Scale from abstract operation counts to synthetic milliseconds; only the
+# relative magnitudes matter anywhere in the library.
+OP_MILLISECONDS = 1e-4
+BYTE_MILLISECONDS = 1e-5
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One ``[X(v), t]`` training sample."""
+
+    features: Mapping[str, float]
+    cost: float
+
+    def as_tuple(self) -> Tuple[Mapping[str, float], float]:
+        """``(features, cost)`` pair for the trainer."""
+        return (self.features, self.cost)
+
+
+def _random_edge_cut(
+    graph: Graph, num_fragments: int, rng: np.random.Generator
+) -> HybridPartition:
+    assignment = rng.integers(0, num_fragments, size=graph.num_vertices)
+    return HybridPartition.from_vertex_assignment(graph, assignment.tolist(), num_fragments)
+
+
+def _random_vertex_cut(
+    graph: Graph, num_fragments: int, rng: np.random.Generator
+) -> HybridPartition:
+    assignment = {
+        edge: int(rng.integers(0, num_fragments)) for edge in graph.edges()
+    }
+    return HybridPartition.from_edge_assignment(graph, assignment, num_fragments)
+
+
+def collect_training_data(
+    algorithm_name: str,
+    graphs: Sequence[Graph],
+    num_fragments: int = 4,
+    seed: int = 0,
+    algorithm_params: Optional[Dict] = None,
+) -> Tuple[List[Tuple[Mapping[str, float], float]], List[Tuple[Mapping[str, float], float]]]:
+    """Run ``algorithm_name`` over ``graphs`` and harvest training samples.
+
+    Each graph is run twice: once under a random edge-cut and once under a
+    random vertex-cut, mirroring the paper's mixed training partitions.
+
+    Returns ``(comp_samples, comm_samples)`` as ``(features, cost)``
+    tuples ready for :func:`repro.costmodel.training.fit_cost_function`.
+    """
+    from repro.algorithms.registry import get_algorithm
+
+    algorithm = get_algorithm(algorithm_name)
+    params = algorithm_params or {}
+    rng = np.random.default_rng(seed)
+    comp_samples: List[Tuple[Mapping[str, float], float]] = []
+    comm_samples: List[Tuple[Mapping[str, float], float]] = []
+
+    for graph in graphs:
+        partitions = (
+            _random_edge_cut(graph, num_fragments, rng),
+            _random_vertex_cut(graph, num_fragments, rng),
+        )
+        for partition in partitions:
+            result = algorithm.run(partition, **params)
+            profile = result.profile
+            avg = average_degree(graph)
+            for (fid, v), ops in profile.comp_ops_by_copy.items():
+                if ops <= 0:
+                    continue
+                features = vertex_features(partition, v, fid, avg)
+                comp_samples.append((features, ops * OP_MILLISECONDS))
+            for v, nbytes in profile.comm_bytes_by_master.items():
+                if nbytes <= 0 or not partition.is_border(v):
+                    continue
+                fid = partition.master(v)
+                features = vertex_features(partition, v, fid, avg)
+                comm_samples.append((features, nbytes * BYTE_MILLISECONDS))
+    return comp_samples, comm_samples
+
+
+def default_training_graphs(seed: int = 0, scale: int = 1) -> List[Graph]:
+    """The 10-graph training roster (Section 4 trains on 10 graphs).
+
+    A mix of power-law, uniform, small-world and grid topologies at
+    ``scale``× the base size, directed and undirected — diverse enough
+    that the learner cannot overfit a single degree distribution.
+    """
+    from repro.graph.generators import (
+        chung_lu_power_law,
+        erdos_renyi,
+        rmat,
+        road_grid,
+        small_world,
+    )
+
+    base = 300 * scale
+    return [
+        chung_lu_power_law(base, 8.0, exponent=2.1, directed=True, seed=seed + 1),
+        chung_lu_power_law(base, 6.0, exponent=2.5, directed=True, seed=seed + 2),
+        chung_lu_power_law(base, 8.0, exponent=2.2, directed=False, seed=seed + 3),
+        rmat(max(6, (base // 64).bit_length() + 6), 8.0, directed=True, seed=seed + 4),
+        erdos_renyi(base, base * 6, directed=True, seed=seed + 5),
+        erdos_renyi(base, base * 4, directed=False, seed=seed + 6),
+        small_world(base, k=6, rewire_prob=0.2, seed=seed + 7),
+        road_grid(int(base ** 0.5) + 2, int(base ** 0.5) + 2, seed=seed + 8),
+        chung_lu_power_law(base // 2, 12.0, exponent=2.0, directed=True, seed=seed + 9),
+        erdos_renyi(base // 2, base * 3, directed=True, seed=seed + 10),
+    ]

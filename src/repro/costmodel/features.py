@@ -1,0 +1,108 @@
+"""Metric variables X of the cost model (Section 3.1, Eq. 4).
+
+For a copy of vertex ``v`` in fragment ``F_i`` of a hybrid partition the
+feature vector contains:
+
+========  ===========================================================
+name      meaning
+========  ===========================================================
+d_in_L    ``d⁺_L(v)`` — in-degree of the copy within F_i
+d_out_L   ``d⁻_L(v)`` — out-degree of the copy within F_i
+d_in_G    ``d⁺_G(v)`` — in-degree of v in the whole graph
+d_out_G   ``d⁻_G(v)`` — out-degree of v in the whole graph
+r         number of mirror copies of v across fragments
+D         average degree of the graph (constant metric)
+I         e-cut indicator: 0 if this copy is the e-cut node, else 1
+d_L       local incident-edge count (undirected degree convenience)
+d_G       global incident-edge count (undirected degree convenience)
+M         master indicator: 1 if this copy is the vertex's master
+========  ===========================================================
+
+``d_L`` / ``d_G`` are the paper's ``d_L(v)`` / ``d_G(v)`` used in the TC
+cost functions for undirected graphs; ``I`` is the indicator of g_TC
+(Example 6).  ``M`` is an extension in the spirit of the paper's remark
+that X may be extended per algorithm: CN/TC masters of split vertices do
+the cross-copy merge work, which no degree variable can express.  The
+constant 1 needed by polynomial intercepts is handled by the monomial
+representation, not by a feature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.metrics import average_degree
+from repro.partition.hybrid import HybridPartition, NodeRole
+
+FEATURE_NAMES = (
+    "d_in_L",
+    "d_out_L",
+    "d_in_G",
+    "d_out_G",
+    "r",
+    "D",
+    "I",
+    "d_L",
+    "d_G",
+    "M",
+)
+
+Features = Dict[str, float]
+
+
+def vertex_features(
+    partition: HybridPartition,
+    v: int,
+    fid: int,
+    avg_degree: float = None,
+) -> Features:
+    """Extract the metric variables of ``v``'s copy in fragment ``fid``.
+
+    ``avg_degree`` may be passed to avoid recomputing the constant ``D``
+    in tight loops; it defaults to the graph's average degree.
+    """
+    graph = partition.graph
+    fragment = partition.fragments[fid]
+    if avg_degree is None:
+        avg_degree = average_degree(graph)
+    role = partition.role(v, fid)
+    return {
+        "d_in_L": float(fragment.local_in_degree(v)),
+        "d_out_L": float(fragment.local_out_degree(v)),
+        "d_in_G": float(graph.in_degree(v)),
+        "d_out_G": float(graph.out_degree(v)),
+        "r": float(partition.mirrors(v)),
+        "D": float(avg_degree),
+        "I": 0.0 if role is NodeRole.ECUT else 1.0,
+        "d_L": float(fragment.incident_count(v)),
+        "d_G": float(partition.global_incident_count(v)),
+        "M": 1.0 if partition.master(v) == fid else 0.0,
+    }
+
+
+def hypothetical_ecut_features(
+    partition: HybridPartition, v: int, avg_degree: float = None
+) -> Features:
+    """Features ``v`` would have as a freshly migrated e-cut node.
+
+    Used by the refiners to price a candidate move *before* performing it:
+    after EMigrate the copy holds all of ``E_v`` locally, so local degrees
+    equal global degrees, the copy is an e-cut node (I = 0), and the
+    mirror count is whatever the partition currently records.
+    """
+    graph = partition.graph
+    if avg_degree is None:
+        avg_degree = average_degree(graph)
+    return {
+        "d_in_L": float(graph.in_degree(v)),
+        "d_out_L": float(graph.out_degree(v)),
+        "d_in_G": float(graph.in_degree(v)),
+        "d_out_G": float(graph.out_degree(v)),
+        "r": float(partition.mirrors(v)),
+        "D": float(avg_degree),
+        "I": 0.0,
+        "d_L": float(partition.global_incident_count(v)),
+        "d_G": float(partition.global_incident_count(v)),
+        # EMigrate/VMerge move the master with the migrated copy.
+        "M": 1.0,
+    }

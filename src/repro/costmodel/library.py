@@ -1,0 +1,91 @@
+"""Built-in cost models: the paper's learned functions (Table 5).
+
+These are the exact polynomials and coefficients the paper reports from
+its training runs (Exp-6).  They serve two purposes:
+
+* as ready-made defaults so the partitioners can run without a training
+  pass (the coefficients' *units* are milliseconds on the paper's cluster;
+  only relative magnitudes matter to the refiners);
+* as the ground-truth functional forms that the training tests check the
+  SGD learner recovers from instrumented runs.
+
+Units note: coefficients encode the paper's hardware (inter-process
+latency, bandwidth).  The refiners only compare costs of the same model
+against each other, so any positive rescaling yields identical partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.costmodel.model import CostModel
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+
+ALGORITHMS = ("cn", "tc", "wcc", "pr", "sssp")
+
+
+def _poly(name: str, *terms: Tuple[float, Dict[str, int]]) -> PolynomialCostFunction:
+    return PolynomialCostFunction(
+        [Monomial(c, p) for c, p in terms], name=name
+    )
+
+
+def builtin_cost_model(algorithm: str) -> CostModel:
+    """Return the Table 5 cost model for ``algorithm``.
+
+    Supported names: ``cn``, ``tc``, ``wcc``, ``pr``, ``sssp`` (case
+    insensitive).
+    """
+    key = algorithm.lower()
+    if key == "cn":
+        # h_CN = 9.23e-5 d+L d+G + 1.04e-6 d+L + 1.02e-6
+        h = _poly(
+            "h_cn",
+            (9.23e-5, {"d_in_L": 1, "d_in_G": 1}),
+            (1.04e-6, {"d_in_L": 1}),
+            (1.02e-6, {}),
+        )
+        # g_CN = 5.57e-5 D d-G
+        g = _poly("g_cn", (5.57e-5, {"D": 1, "d_out_G": 1}))
+    elif key == "tc":
+        # h_TC = 1.8e-3 dL + 1.7e-7 dL dG
+        h = _poly(
+            "h_tc",
+            (1.8e-3, {"d_L": 1}),
+            (1.7e-7, {"d_L": 1, "d_G": 1}),
+        )
+        # g_TC = 8.42e-5 dG r I
+        g = _poly("g_tc", (8.42e-5, {"d_G": 1, "r": 1, "I": 1}))
+    elif key == "wcc":
+        # h_WCC = 6.53e-6 dL + 3.46e-5
+        h = _poly("h_wcc", (6.53e-6, {"d_L": 1}), (3.46e-5, {}))
+        # g_WCC = 7.51e-5 (1.98 r - 0.97)
+        g = _poly(
+            "g_wcc",
+            (7.51e-5 * 1.98, {"r": 1}),
+            (-7.51e-5 * 0.97, {}),
+        )
+    elif key == "pr":
+        # h_PR = 4.88e-5 d+L + 4e-4
+        h = _poly("h_pr", (4.88e-5, {"d_in_L": 1}), (4.0e-4, {}))
+        # g_PR = 6.60e-4 r + 1.1e-4
+        g = _poly("g_pr", (6.60e-4, {"r": 1}), (1.1e-4, {}))
+    elif key == "sssp":
+        # h_SSSP = 6.74e-4 d-L + 1.66e-4
+        h = _poly("h_sssp", (6.74e-4, {"d_out_L": 1}), (1.66e-4, {}))
+        # g_SSSP = 1.30e-4 r + 4.6e-5
+        g = _poly("g_sssp", (1.30e-4, {"r": 1}), (4.6e-5, {}))
+    else:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    return CostModel(key, h, g)
+
+
+def builtin_cost_models(algorithms=ALGORITHMS) -> Dict[str, CostModel]:
+    """Cost models for a batch of algorithms, keyed by name.
+
+    The default batch is the paper's fixed mixed workload
+    {CN, TC, WCC, PR, SSSP} (Section 7, "Graph algorithms").
+    """
+    return {name: builtin_cost_model(name) for name in algorithms}

@@ -1,0 +1,164 @@
+"""Polynomial cost functions (Section 4).
+
+A cost function is a weighted sum of monomials over the metric variables,
+``h_A(X(v)) = Σ_j ω_j γ_j(v)``, where the term set Γ is the expansion of
+``(1 + Σ x_i)^p``.  Polynomials are chosen over black-box models because
+they closely approximate continuous functions (Stone–Weierstrass) and are
+explainable — Table 5 of the paper prints them directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A single term ``coefficient * Π var^power``.
+
+    ``powers`` maps variable names to positive integer exponents; an empty
+    mapping denotes the constant term.
+    """
+
+    coefficient: float
+    powers: Mapping[str, int] = field(default_factory=dict)
+
+    def evaluate(self, features: Mapping[str, float]) -> float:
+        """Value of the term at the given feature assignment."""
+        value = self.coefficient
+        for var, power in self.powers.items():
+            x = features[var]
+            value *= x if power == 1 else x ** power
+        return value
+
+    def basis(self, features: Mapping[str, float]) -> float:
+        """Value of the basis function γ (coefficient ignored)."""
+        value = 1.0
+        for var, power in self.powers.items():
+            x = features[var]
+            value *= x if power == 1 else x ** power
+        return value
+
+    def degree(self) -> int:
+        """Total degree of the monomial."""
+        return sum(self.powers.values())
+
+    def key(self) -> Tuple[Tuple[str, int], ...]:
+        """Canonical hashable identity of the basis function."""
+        return tuple(sorted(self.powers.items()))
+
+    def __str__(self) -> str:
+        if not self.powers:
+            return f"{self.coefficient:.3g}"
+        parts = []
+        for var, power in sorted(self.powers.items()):
+            parts.append(var if power == 1 else f"{var}^{power}")
+        return f"{self.coefficient:.3g}*" + "*".join(parts)
+
+
+class PolynomialCostFunction:
+    """A polynomial over the metric variables X.
+
+    Instances are immutable for practical purposes: the term list should
+    not be mutated after construction.  Use :meth:`with_coefficients` to
+    derive a retrained copy.
+    """
+
+    def __init__(self, terms: Iterable[Monomial], name: str = "cost") -> None:
+        self.terms: List[Monomial] = list(terms)
+        self.name = name
+
+    @classmethod
+    def expansion(
+        cls,
+        variables: Sequence[str],
+        degree: int,
+        name: str = "cost",
+        include_constant: bool = True,
+    ) -> "PolynomialCostFunction":
+        """All monomials of total degree ≤ ``degree`` over ``variables``.
+
+        This is the term set Γ of the expansion ``(1 + Σ x_i)^p`` with
+        ``p = degree`` (Section 4), with unit coefficients ready for
+        training.
+        """
+        terms: List[Monomial] = []
+        seen = set()
+        if include_constant:
+            terms.append(Monomial(1.0, {}))
+            seen.add(())
+        for total in range(1, degree + 1):
+            for combo in itertools.combinations_with_replacement(variables, total):
+                powers: Dict[str, int] = {}
+                for var in combo:
+                    powers[var] = powers.get(var, 0) + 1
+                key = tuple(sorted(powers.items()))
+                if key not in seen:
+                    seen.add(key)
+                    terms.append(Monomial(1.0, powers))
+        return cls(terms, name=name)
+
+    def evaluate(self, features: Mapping[str, float]) -> float:
+        """``Σ_j ω_j γ_j`` at the given feature assignment."""
+        return sum(term.evaluate(features) for term in self.terms)
+
+    def __call__(self, features: Mapping[str, float]) -> float:
+        return self.evaluate(features)
+
+    def coefficients(self) -> List[float]:
+        """Current coefficient vector (order matches :attr:`terms`)."""
+        return [term.coefficient for term in self.terms]
+
+    def with_coefficients(self, weights: Sequence[float]) -> "PolynomialCostFunction":
+        """Copy of this polynomial with new coefficients."""
+        if len(weights) != len(self.terms):
+            raise ValueError("coefficient count mismatch")
+        terms = [
+            Monomial(float(w), dict(term.powers))
+            for w, term in zip(weights, self.terms)
+        ]
+        return PolynomialCostFunction(terms, name=self.name)
+
+    def pruned(self, threshold: float = 0.0) -> "PolynomialCostFunction":
+        """Drop terms with ``|coefficient| <= threshold`` (L1 sparsity)."""
+        kept = [t for t in self.terms if abs(t.coefficient) > threshold]
+        if not kept:
+            kept = [Monomial(0.0, {})]
+        return PolynomialCostFunction(kept, name=self.name)
+
+    def variables(self) -> List[str]:
+        """Sorted list of variables appearing with nonzero coefficient."""
+        seen = set()
+        for term in self.terms:
+            if term.coefficient != 0:
+                seen.update(term.powers)
+        return sorted(seen)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "terms": [
+                {"coefficient": t.coefficient, "powers": dict(t.powers)}
+                for t in self.terms
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PolynomialCostFunction":
+        """Inverse of :meth:`to_dict`."""
+        terms = [
+            Monomial(float(t["coefficient"]), {k: int(v) for k, v in t["powers"].items()})
+            for t in data["terms"]
+        ]
+        return cls(terms, name=data.get("name", "cost"))
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        return " + ".join(str(t) for t in self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PolynomialCostFunction({self.name}: {self})"

@@ -1,0 +1,273 @@
+"""Learning cost functions from training samples (Section 4).
+
+The learner fits a :class:`~repro.costmodel.polynomial.
+PolynomialCostFunction` to samples ``[X(v_k), t_k]`` by minimizing the
+paper's objective
+
+    (1/|D|) Σ ((h(X(v_k)) - t_k) / t_k)² + λ Σ |ω_i|
+
+— mean squared *relative* error (MSRE) with an L1 penalty against
+over-fitting — using minibatch stochastic gradient descent.  Basis columns
+are max-scaled before optimization, which is what makes plain SGD behave
+on features spanning several orders of magnitude; coefficients are
+unscaled afterwards so the printed polynomial is in natural units.
+
+For convenience the trainer warm-starts from the closed-form solution of
+the relative-error least-squares problem (a weighted ridge regression with
+weights ``1/t²``), which the SGD phase then refines under the L1 penalty.
+Setting ``sgd_epochs=0`` turns the trainer into that pure closed-form
+solver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+
+Sample = Tuple[Mapping[str, float], float]
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of one training run (the Table 5 row for an algorithm)."""
+
+    function: PolynomialCostFunction
+    train_msre: float
+    test_msre: float
+    training_time: float
+    num_train: int
+    num_test: int
+    epochs_run: int
+    history: List[float] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.function.name}: {self.function}  "
+            f"(MSRE train={self.train_msre:.4f} test={self.test_msre:.4f}, "
+            f"{self.training_time:.2f}s)"
+        )
+
+
+def msre(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared relative error ``mean(((p - t)/t)²)``."""
+    rel = (predictions - targets) / targets
+    return float(np.mean(rel * rel))
+
+
+class SGDTrainer:
+    """Minibatch SGD for polynomial cost functions under MSRE + L1.
+
+    Parameters
+    ----------
+    epochs:
+        SGD epochs to run after the warm start (0 = closed form only).
+    batch_size:
+        Minibatch size.
+    learning_rate:
+        Step size on the scaled problem.
+    l1:
+        L1 penalty weight λ.
+    nonnegative:
+        Project coefficients to ≥ 0 each step.  Costs are inherently
+        non-negative and the paper's learned functions all have positive
+        weights; projection also stabilizes the relative-error objective.
+    seed:
+        RNG seed for shuffling and minibatching.
+    """
+
+    def __init__(
+        self,
+        epochs: int = 60,
+        batch_size: int = 256,
+        learning_rate: float = 0.05,
+        l1: float = 1e-4,
+        nonnegative: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l1 = l1
+        self.nonnegative = nonnegative
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _design_matrix(
+        self, template: PolynomialCostFunction, samples: Sequence[Sample]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        rows = np.empty((len(samples), len(template.terms)), dtype=np.float64)
+        targets = np.empty(len(samples), dtype=np.float64)
+        for i, (features, target) in enumerate(samples):
+            for j, term in enumerate(template.terms):
+                rows[i, j] = term.basis(features)
+            targets[i] = target
+        return rows, targets
+
+    def _warm_start(
+        self, phi: np.ndarray, t: np.ndarray, ridge: float = 1e-8
+    ) -> np.ndarray:
+        # Relative-error least squares = ordinary LS on rows scaled by 1/t.
+        w = 1.0 / t
+        a = phi * w[:, None]
+        b = np.ones_like(t)
+        gram = a.T @ a + ridge * np.eye(phi.shape[1])
+        weights = np.linalg.solve(gram, a.T @ b)
+        if self.nonnegative:
+            weights = np.maximum(weights, 0.0)
+        return weights
+
+    def fit(
+        self,
+        template: PolynomialCostFunction,
+        train: Sequence[Sample],
+        test: Optional[Sequence[Sample]] = None,
+    ) -> TrainingReport:
+        """Fit ``template``'s coefficients to ``train``; evaluate on ``test``."""
+        if not train:
+            raise ValueError("no training samples")
+        start = time.perf_counter()
+        phi, targets = self._design_matrix(template, train)
+        targets = np.maximum(targets, 1e-12)
+
+        # Condition the problem: max-scale basis columns and mean-scale
+        # targets (relative error is invariant to target scaling), so SGD
+        # steps are O(1) regardless of the cost units.
+        scale = np.abs(phi).max(axis=0)
+        scale[scale == 0] = 1.0
+        phi_scaled = phi / scale
+        t_scale = float(targets.mean())
+        targets_n = targets / t_scale
+
+        weights = self._warm_start(phi_scaled, targets_n)
+
+        def objective(w: np.ndarray) -> float:
+            return msre(phi_scaled @ w, targets_n) + self.l1 * float(
+                np.abs(w).sum()
+            )
+
+        best_weights = weights.copy()
+        best_objective = objective(weights)
+        rng = np.random.default_rng(self.seed)
+        n = len(train)
+        history: List[float] = []
+        epochs_run = 0
+        for epoch in range(self.epochs):
+            # Decaying step size stabilizes the heavy-tailed relative loss.
+            step = self.learning_rate / (1.0 + 0.2 * epoch)
+            order = rng.permutation(n)
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                batch_phi = phi_scaled[idx]
+                batch_t = targets_n[idx]
+                pred = batch_phi @ weights
+                rel = (pred - batch_t) / batch_t
+                grad = (2.0 / len(idx)) * (batch_phi.T @ (rel / batch_t))
+                grad += self.l1 * np.sign(weights)
+                norm = float(np.linalg.norm(grad))
+                if norm > 1.0:  # clip heavy-tailed minibatch gradients
+                    grad /= norm
+                weights -= step * grad
+                if self.nonnegative:
+                    np.maximum(weights, 0.0, out=weights)
+            epochs_run = epoch + 1
+            current = objective(weights)
+            history.append(current)
+            if current < best_objective:
+                best_objective = current
+                best_weights = weights.copy()
+            if len(history) >= 2 and abs(history[-2] - history[-1]) < 1e-9:
+                break
+
+        # SGD refines the warm start under L1; it must never leave us
+        # worse than the best iterate seen.
+        final = best_weights * t_scale / scale
+        fitted = template.with_coefficients(final.tolist())
+        train_msre = msre(phi @ final, targets)
+        if test:
+            phi_test, t_test = self._design_matrix(fitted, test)
+            t_test = np.maximum(t_test, 1e-12)
+            test_msre = msre(phi_test @ final, t_test)
+            num_test = len(test)
+        else:
+            test_msre = train_msre
+            num_test = 0
+        elapsed = time.perf_counter() - start
+        return TrainingReport(
+            function=fitted,
+            train_msre=train_msre,
+            test_msre=test_msre,
+            training_time=elapsed,
+            num_train=len(train),
+            num_test=num_test,
+            epochs_run=epochs_run,
+            history=history,
+        )
+
+
+def train_test_split(
+    samples: Sequence[Sample], test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[List[Sample], List[Sample]]:
+    """Shuffle and split samples (the paper uses an 80/20 split)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(samples))
+    cut = int(len(samples) * (1.0 - test_fraction))
+    train = [samples[i] for i in order[:cut]]
+    test = [samples[i] for i in order[cut:]]
+    return train, test
+
+
+def select_features(
+    samples: Sequence[Sample],
+    candidates: Sequence[str],
+    top_k: int = 4,
+) -> List[str]:
+    """Pick the ``top_k`` variables most correlated with the target.
+
+    A lightweight stand-in for the feature-selection step of Section 4
+    ("Training cost reduction"): absolute Pearson correlation between each
+    variable and the cost, constants excluded.
+    """
+    if not samples:
+        return list(candidates)[:top_k]
+    targets = np.array([t for _, t in samples], dtype=np.float64)
+    scores = []
+    for var in candidates:
+        column = np.array([f[var] for f, _ in samples], dtype=np.float64)
+        if column.std() == 0 or targets.std() == 0:
+            scores.append((0.0, var))
+            continue
+        corr = np.corrcoef(column, targets)[0, 1]
+        scores.append((abs(float(corr)), var))
+    scores.sort(reverse=True)
+    return [var for _, var in scores[:top_k]]
+
+
+def fit_cost_function(
+    samples: Sequence[Sample],
+    variables: Sequence[str],
+    degree: int = 2,
+    name: str = "cost",
+    test_fraction: float = 0.2,
+    trainer: Optional[SGDTrainer] = None,
+    prune_below: float = 1e-12,
+    seed: int = 0,
+) -> TrainingReport:
+    """End-to-end fit: expansion template → split → SGD → pruned polynomial.
+
+    This is the entry point Exp-6 uses per algorithm: build the
+    ``(1 + Σx)^degree`` term set over ``variables``, split 80/20, train,
+    and prune terms whose learned weight is negligible.
+    """
+    template = PolynomialCostFunction.expansion(variables, degree, name=name)
+    train, test = train_test_split(samples, test_fraction, seed=seed)
+    trainer = trainer or SGDTrainer(seed=seed)
+    report = trainer.fit(template, train, test or None)
+    report.function = report.function.pruned(prune_below)
+    if not report.function.terms:
+        report.function = PolynomialCostFunction([Monomial(0.0, {})], name=name)
+    return report

@@ -1,0 +1,105 @@
+"""Exp-2: effectiveness of the composite partitioners (Table 4, Fig. 10(a)).
+
+Fixes the batch {CN, TC, WCC, PR, SSSP} and compares, per baseline:
+
+* running each algorithm on the **initial** static partition;
+* on partitions refined **per algorithm** by ParE2H/ParV2H (``ParHP``);
+* on the **composite** partition of ParME2H/ParMV2H (``ParMHP``).
+
+The paper's shape: ParMHP's per-algorithm times are within single-digit
+percent of ParHP's (≤ 8.2%), and both beat the initial partitions —
+including the Ginger/TopoX hybrids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.datasets import load_dataset
+from repro.eval.harness import (
+    BASELINES,
+    BATCH,
+    composite_refine,
+    partition_and_refine,
+    run_algorithm,
+)
+from repro.partitioners.base import get_partitioner
+
+
+def table4(
+    dataset: str = "twitter_like",
+    num_fragments: int = 8,
+    baselines: Sequence[str] = ("xtrapulp", "fennel", "grid", "ne"),
+    batch: Tuple[str, ...] = BATCH,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Table 4 data: per baseline, per algorithm, seconds under each scheme.
+
+    Returns ``{baseline: {algorithm: {"initial": s, "parhp": s,
+    "parmhp": s}}}`` plus a ``"batch"`` pseudo-algorithm with totals.
+    """
+    graph = load_dataset(dataset)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for baseline in baselines:
+        rows: Dict[str, Dict[str, float]] = {}
+        composite, _profile, _base_s = composite_refine(
+            graph, baseline, num_fragments, batch
+        )
+        initial = get_partitioner(baseline).partition(graph, num_fragments)
+        for algorithm in batch:
+            bundle = partition_and_refine(
+                graph, baseline, algorithm, num_fragments, dataset
+            )
+            rows[algorithm] = {
+                "initial": run_algorithm(initial, algorithm, dataset),
+                "parhp": run_algorithm(bundle.refined, algorithm, dataset),
+                "parmhp": run_algorithm(
+                    composite.partition_for(algorithm), algorithm, dataset
+                ),
+            }
+        rows["batch"] = {
+            scheme: sum(rows[a][scheme] for a in batch)
+            for scheme in ("initial", "parhp", "parmhp")
+        }
+        out[baseline] = rows
+    return out
+
+
+def table4_rows(data: Dict[str, Dict[str, Dict[str, float]]]) -> List[List]:
+    """Flatten :func:`table4` output into printable rows."""
+    rows: List[List] = []
+    baselines = list(data)
+    algorithms = [a for a in next(iter(data.values())) if a != "batch"] + ["batch"]
+    for algorithm in algorithms:
+        row: List = [algorithm.upper()]
+        for baseline in baselines:
+            cell = data[baseline][algorithm]
+            speedup = cell["initial"] / cell["parmhp"] if cell["parmhp"] else 0.0
+            row.extend(
+                [
+                    round(cell["parmhp"] * 1e3, 2),
+                    round(cell["initial"] * 1e3, 2),
+                    round(speedup, 1),
+                ]
+            )
+        rows.append(row)
+    return rows
+
+
+def table4_headers(baselines: Sequence[str]) -> List[str]:
+    """Column names for the flattened Table 4."""
+    headers = ["app"]
+    for baseline in baselines:
+        headers.extend([f"M{baseline} (ms)", f"{baseline} (ms)", "X"])
+    return headers
+
+
+def composite_overhead(
+    data: Dict[str, Dict[str, Dict[str, float]]]
+) -> Dict[str, float]:
+    """Fig. 10(a) claim: batch-time overhead of ParMHP over ParHP."""
+    out: Dict[str, float] = {}
+    for baseline, rows in data.items():
+        parhp = rows["batch"]["parhp"]
+        parmhp = rows["batch"]["parmhp"]
+        out[baseline] = (parmhp - parhp) / parhp if parhp else 0.0
+    return out

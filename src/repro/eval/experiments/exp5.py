@@ -1,0 +1,70 @@
+"""Exp-5: scalability of the refiners in |G| (Fig. 9(l)).
+
+Fixes n and grows the synthetic graph from 1× to 5×; reports the
+refinement time of ParE2H/ParV2H (and optionally the composite variants)
+for the CN cost model.  The paper's shape: near-linear growth, with the
+worst-balanced input (Fennel) costing the most to refine because more
+edges must move.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.datasets import load_dataset
+from repro.eval.harness import (
+    BASELINES,
+    BATCH,
+    composite_refine,
+    partition_and_refine,
+)
+
+
+def figure9l(
+    algorithm: str = "cn",
+    factors: Sequence[int] = (1, 2, 3, 4, 5),
+    num_fragments: int = 8,
+    baselines: Sequence[str] = ("xtrapulp", "fennel", "grid", "ne"),
+    composite: bool = False,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Per refined baseline: ``[(scale factor, refine wall seconds)]``.
+
+    With ``composite=True`` the ParME2H/ParMV2H times for the full batch
+    are measured instead (the Exp-5 finding (2) series).
+    """
+    out: Dict[str, List[Tuple[int, float]]] = {}
+    for factor in factors:
+        graph = load_dataset(f"scale_{factor}")
+        for baseline in baselines:
+            label = BASELINES[baseline][1] or baseline
+            if composite:
+                _comp, profile, _s = composite_refine(
+                    graph, baseline, num_fragments, BATCH
+                )
+                seconds = profile.wall_seconds
+                label = "Par M" + label[1:] if label.startswith("H") else label
+            else:
+                bundle = partition_and_refine(
+                    graph, baseline, algorithm, num_fragments, f"scale_{factor}"
+                )
+                seconds = bundle.refine_profile.wall_seconds
+            out.setdefault(label, []).append((factor, seconds))
+    return out
+
+
+def rows(data: Dict[str, List[Tuple[int, float]]]) -> List[List]:
+    """Fig. 9(l) series as one row per graph size."""
+    factors = sorted({f for pts in data.values() for f, _s in pts})
+    table: List[List] = []
+    for factor in factors:
+        row: List = [f"{factor}|G|"]
+        for label in data:
+            lookup = dict(data[label])
+            row.append(round(lookup.get(factor, float("nan")), 3))
+        table.append(row)
+    return table
+
+
+def headers(data: Dict[str, List[Tuple[int, float]]]) -> List[str]:
+    """Column names matching :func:`rows`."""
+    return ["size"] + [f"{label} (s)" for label in data]

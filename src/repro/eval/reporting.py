@@ -1,0 +1,61 @@
+"""Table/series rendering shared by the experiment modules and benches.
+
+Everything the experiments emit goes through two primitives: a
+fixed-width console table (what the bench output shows) and a markdown
+table (what ``run_all`` writes into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width console table."""
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """GitHub-flavored markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def series_block(title: str, x_label: str, series: dict) -> str:
+    """Render figure-style series: {label: [(x, y), ...]} as a table."""
+    xs = sorted({x for points in series.values() for x, _y in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for label in series:
+            lookup = dict(series[label])
+            row.append(lookup.get(x, ""))
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"

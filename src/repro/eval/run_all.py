@@ -1,0 +1,106 @@
+"""Run every experiment and print paper-style tables.
+
+Usage::
+
+    python -m repro.eval.run_all            # full sweep (several minutes)
+    python -m repro.eval.run_all --quick    # reduced sweep (~1 minute)
+
+The benchmarks under ``benchmarks/`` invoke the same experiment modules
+one table/figure at a time; this script is the one-shot reproduction of
+the whole evaluation section, and is what EXPERIMENTS.md's measured
+numbers come from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.datasets import load_dataset
+from repro.eval.experiments import appendix, exp1, exp2, exp3, exp4, exp5, exp6
+from repro.eval.reporting import format_table, series_block
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def main(argv=None) -> int:
+    """Run every experiment; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced sweep")
+    args = parser.parse_args(argv)
+
+    ns = (4,) if args.quick else (2, 4, 8)
+    datasets = {
+        "cn": ["twitter_like"] if args.quick else ["livejournal_like", "twitter_like"],
+        "tc": ["livejournal_like"] if args.quick else ["livejournal_like", "twitter_like"],
+        "wcc": ["twitter_like"] if args.quick else ["twitter_like", "ukweb_like"],
+        "pr": ["twitter_like"] if args.quick else ["twitter_like", "ukweb_like"],
+        "sssp": ["twitter_like"] if args.quick else ["twitter_like", "ukweb_like", "traffic_like"],
+    }
+    start = time.perf_counter()
+
+    _banner("Exp-1: effectiveness (Fig. 9(a-j))")
+    for algorithm, names in datasets.items():
+        for dataset in names:
+            series = exp1.figure9_series(algorithm, dataset, ns)
+            print()
+            print(
+                series_block(
+                    f"[{algorithm.upper()} on {dataset}] simulated seconds",
+                    "n",
+                    series,
+                )
+            )
+            print("avg speedups:", exp1.speedups(series))
+
+    _banner("Table 3: partition metrics (twitter_like, n=8)")
+    print(format_table(exp1.table3_headers(), exp1.table3_rows()))
+
+    _banner("Exp-2: composite effectiveness (Table 4 / Fig. 10(a))")
+    data = exp2.table4(num_fragments=4 if args.quick else 8)
+    baselines = list(data)
+    print(format_table(exp2.table4_headers(baselines), exp2.table4_rows(data)))
+    print("batch overhead of ParMHP vs ParHP:", {
+        k: f"{v:.1%}" for k, v in exp2.composite_overhead(data).items()
+    })
+
+    _banner("Exp-3: refiner efficiency (Fig. 9(k))")
+    eff = exp3.figure9k(fragment_counts=ns)
+    print(format_table(exp3.HEADERS, exp3.rows(eff)))
+
+    _banner("Exp-4: composite efficiency (Fig. 10(b) + space)")
+    comp = exp4.figure10b(num_fragments=4 if args.quick else 8)
+    print(format_table(exp4.HEADERS, exp4.rows(comp)))
+
+    _banner("Exp-5: scalability (Fig. 9(l))")
+    factors = (1, 2) if args.quick else (1, 2, 3, 4, 5)
+    scal = exp5.figure9l(factors=factors)
+    print(format_table(exp5.headers(scal), exp5.rows(scal)))
+
+    _banner("Exp-6: cost model learning (Table 5)")
+    rows = exp6.table5(num_graphs=3 if args.quick else 6)
+    print(format_table(exp6.HEADERS, [r.as_row() for r in rows]))
+    reference_times = exp6.gunrock_substitute_times(load_dataset("livejournal_like"))
+    print(
+        "single-machine reference times (Gunrock substitute):",
+        {k: f"{v:.2f}s" for k, v in reference_times.items()},
+    )
+
+    _banner("Appendix: phase decomposition (Fig. 11)")
+    for baseline in ("xtrapulp", "grid"):
+        decomposition = appendix.phase_speedups(baseline=baseline)
+        print(f"\n[{'ParE2H' if baseline == 'xtrapulp' else 'ParV2H'} on {baseline}]")
+        print(format_table(appendix.HEADERS, appendix.contribution_rows(decomposition)))
+
+    print(f"\nTotal: {time.perf_counter() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Graph substrate: core graph type, generators, I/O and degree metrics.
+
+This subpackage provides everything the partitioners and the runtime need
+to know about the input graph itself.  The central type is
+:class:`~repro.graph.digraph.Graph`, an immutable (un)directed graph with
+CSR-backed adjacency.  Synthetic workload graphs come from
+:mod:`repro.graph.generators`, and :mod:`repro.graph.metrics` exposes the
+degree statistics used by the cost model's metric variables.
+"""
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import (
+    chung_lu_power_law,
+    clique_collection,
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    rmat,
+    road_grid,
+    small_world,
+    star_graph,
+)
+from repro.graph.io import read_edge_list, read_metis, write_edge_list, write_metis
+from repro.graph.metrics import (
+    average_degree,
+    degree_histogram,
+    degree_skew,
+    power_law_exponent,
+)
+
+__all__ = [
+    "Graph",
+    "chung_lu_power_law",
+    "clique_collection",
+    "complete_graph",
+    "erdos_renyi",
+    "path_graph",
+    "rmat",
+    "road_grid",
+    "small_world",
+    "star_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "average_degree",
+    "degree_histogram",
+    "degree_skew",
+    "power_law_exponent",
+]

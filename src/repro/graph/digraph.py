@@ -1,0 +1,248 @@
+"""Core graph data structure.
+
+:class:`Graph` is the single graph type used throughout the library.  It is
+immutable once built, stores edges in NumPy arrays, and materializes CSR
+(compressed sparse row) indices for both out- and in-adjacency so that the
+degree metrics of the paper's cost model (Section 3.1) are O(1) lookups and
+neighbor scans are contiguous slices.
+
+Vertices are integers ``0 .. num_vertices - 1``.  Undirected graphs store
+each edge once in canonical ``(min, max)`` order; adjacency queries expose
+both directions.  Self-loops are permitted; parallel edges are removed at
+construction (the paper's partition model treats the edge set as a set).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """An immutable (un)directed graph with CSR adjacency.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0 .. num_vertices - 1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates are dropped.  For
+        undirected graphs, ``(u, v)`` and ``(v, u)`` are the same edge.
+    directed:
+        Whether edge direction is meaningful.  Default ``True``.
+    """
+
+    __slots__ = (
+        "_num_vertices",
+        "_directed",
+        "_src",
+        "_dst",
+        "_out_indptr",
+        "_out_indices",
+        "_in_indptr",
+        "_in_indices",
+        "_edge_set",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Edge],
+        directed: bool = True,
+    ) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._num_vertices = int(num_vertices)
+        self._directed = bool(directed)
+
+        pairs = self._canonical_pairs(edges)
+        if pairs:
+            arr = np.asarray(sorted(pairs), dtype=np.int64)
+            src, dst = arr[:, 0], arr[:, 1]
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        if len(src) and (src.min() < 0 or max(src.max(), dst.max()) >= num_vertices):
+            raise ValueError("edge endpoint out of range")
+        self._src = src
+        self._dst = dst
+        self._edge_set = pairs
+
+        out_src = np.concatenate([src, dst]) if not directed else src
+        out_dst = np.concatenate([dst, src]) if not directed else dst
+        self._out_indptr, self._out_indices = self._build_csr(out_src, out_dst)
+        if directed:
+            self._in_indptr, self._in_indices = self._build_csr(dst, src)
+        else:
+            self._in_indptr, self._in_indices = self._out_indptr, self._out_indices
+
+    def _canonical_pairs(self, edges: Iterable[Edge]) -> set:
+        pairs = set()
+        if self._directed:
+            for u, v in edges:
+                pairs.add((int(u), int(v)))
+        else:
+            for u, v in edges:
+                u, v = int(u), int(v)
+                pairs.add((u, v) if u <= v else (v, u))
+        return pairs
+
+    def _build_csr(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = self._num_vertices
+        counts = np.bincount(src, minlength=n) if len(src) else np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(src, kind="stable") if len(src) else np.empty(0, dtype=np.int64)
+        indices = dst[order] if len(src) else np.empty(0, dtype=np.int64)
+        return indptr, indices
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (distinct) edges in the graph."""
+        return len(self._src)
+
+    @property
+    def directed(self) -> bool:
+        """Whether this graph is directed."""
+        return self._directed
+
+    @property
+    def vertices(self) -> range:
+        """Range over all vertex ids."""
+        return range(self._num_vertices)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as ``(u, v)`` tuples (canonical order)."""
+        for u, v in zip(self._src.tolist(), self._dst.tolist()):
+            yield (u, v)
+
+    def edge_array(self) -> np.ndarray:
+        """Return an ``(m, 2)`` int64 array of edges (canonical order)."""
+        return np.stack([self._src, self._dst], axis=1) if len(self._src) else np.empty((0, 2), dtype=np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists (direction-insensitive if undirected)."""
+        if self._directed:
+            return (u, v) in self._edge_set
+        return ((u, v) if u <= v else (v, u)) in self._edge_set
+
+    def canonical_edge(self, u: int, v: int) -> Edge:
+        """Return the canonical key under which ``(u, v)`` is stored."""
+        if self._directed or u <= v:
+            return (u, v)
+        return (v, u)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` (all neighbors if undirected)."""
+        return self._out_indices[self._out_indptr[v] : self._out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbors of ``v`` (all neighbors if undirected)."""
+        return self._in_indices[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """All neighbors of ``v`` regardless of direction (deduplicated)."""
+        if not self._directed:
+            return self.out_neighbors(v)
+        return np.unique(np.concatenate([self.out_neighbors(v), self.in_neighbors(v)]))
+
+    def out_degree(self, v: int) -> int:
+        """``d⁻_G(v)``: out-degree of ``v`` in the full graph."""
+        return int(self._out_indptr[v + 1] - self._out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """``d⁺_G(v)``: in-degree of ``v`` in the full graph."""
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def degree(self, v: int) -> int:
+        """Total incident-edge count of ``v`` (in + out; undirected: degree)."""
+        if self._directed:
+            return self.out_degree(v) + self.in_degree(v)
+        return self.out_degree(v)
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees for all vertices."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees for all vertices."""
+        return np.diff(self._in_indptr)
+
+    def incident_edges(self, v: int) -> Iterator[Edge]:
+        """Iterate over all edges incident to ``v`` in canonical form.
+
+        This is the paper's ``E_v`` — the set of edges touching ``v`` in G.
+        """
+        seen = set()
+        for u in self.out_neighbors(v).tolist():
+            e = self.canonical_edge(v, u)
+            if e not in seen:
+                seen.add(e)
+                yield e
+        if self._directed:
+            for u in self.in_neighbors(v).tolist():
+                e = self.canonical_edge(u, v)
+                if e not in seen:
+                    seen.add(e)
+                    yield e
+
+    def incident_edge_count(self, v: int) -> int:
+        """``|E_v|``: number of distinct edges incident to ``v``."""
+        if self._directed:
+            extra = 1 if self.has_edge(v, v) else 0
+            return self.out_degree(v) + self.in_degree(v) - extra
+        return self.out_degree(v)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def as_undirected(self) -> "Graph":
+        """Return an undirected copy (edge directions dropped)."""
+        if not self._directed:
+            return self
+        return Graph(self._num_vertices, self._edge_set, directed=False)
+
+    def subgraph(self, vertices: Sequence[int]) -> "Graph":
+        """Induced subgraph on ``vertices``, relabeled to ``0..len-1``.
+
+        Vertex ``vertices[i]`` becomes vertex ``i`` in the result.
+        """
+        keep = {int(v): i for i, v in enumerate(vertices)}
+        edges = [
+            (keep[u], keep[v])
+            for u, v in self._edge_set
+            if u in keep and v in keep
+        ]
+        return Graph(len(keep), edges, directed=self._directed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self._directed else "undirected"
+        return f"Graph({kind}, |V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._num_vertices == other._num_vertices
+            and self._directed == other._directed
+            and self._edge_set == other._edge_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_vertices, self._directed, frozenset(self._edge_set)))

@@ -1,0 +1,118 @@
+"""Edge-list I/O.
+
+The on-disk format is a plain text edge list with an optional header line::
+
+    # directed=1 num_vertices=10
+    0 1
+    0 2
+    ...
+
+The header makes round-trips exact even for graphs with isolated trailing
+vertices.  Files without a header are read as directed graphs whose vertex
+count is ``max id + 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.graph.digraph import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in header + edge-list format."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(
+            f"# directed={int(graph.directed)} num_vertices={graph.num_vertices}\n"
+        )
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def write_metis(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` in METIS/Chaco format (1-indexed adjacency lines).
+
+    METIS format is undirected; directed graphs are written as their
+    undirected view.  Line 1: ``num_vertices num_edges``; line ``i + 1``:
+    the neighbors of vertex ``i`` (1-indexed).  Self-loops are dropped
+    (METIS disallows them).
+    """
+    view = graph.as_undirected()
+    edges = [(u, v) for u, v in view.edges() if u != v]
+    adjacency = [[] for _ in range(view.num_vertices)]
+    for u, v in edges:
+        adjacency[u].append(v + 1)
+        adjacency[v].append(u + 1)
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{view.num_vertices} {len(edges)}\n")
+        for neighbors in adjacency:
+            handle.write(" ".join(str(n) for n in sorted(neighbors)) + "\n")
+
+
+def read_metis(path: PathLike) -> Graph:
+    """Read a METIS/Chaco format graph (undirected)."""
+    with open(path, "r", encoding="ascii") as handle:
+        # Blank lines are *meaningful* (isolated vertices); only comments
+        # are dropped.
+        lines = [
+            line.strip()
+            for line in handle
+            if not line.lstrip().startswith("%")
+        ]
+    while lines and not lines[-1]:
+        lines.pop()  # trailing newline noise
+    if not lines or not lines[0]:
+        raise ValueError("empty METIS file")
+    header = lines[0].split()
+    num_vertices, num_edges = int(header[0]), int(header[1])
+    if len(lines) - 1 < num_vertices:
+        raise ValueError(
+            f"METIS file declares {num_vertices} vertices but has "
+            f"{len(lines) - 1} adjacency lines"
+        )
+    edges = set()
+    for v in range(num_vertices):
+        for token in lines[1 + v].split():
+            u = int(token) - 1
+            if not 0 <= u < num_vertices:
+                raise ValueError(f"neighbor {token} out of range on line {v + 2}")
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+    if len(edges) != num_edges:
+        raise ValueError(
+            f"METIS header declares {num_edges} edges, found {len(edges)}"
+        )
+    return Graph(num_vertices, edges, directed=False)
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list` (or a bare list)."""
+    directed = True
+    num_vertices = None
+    edges = []
+    max_id = -1
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    key, _, value = token.partition("=")
+                    if key == "directed":
+                        directed = bool(int(value))
+                    elif key == "num_vertices":
+                        num_vertices = int(value)
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            edges.append((u, v))
+            max_id = max(max_id, u, v)
+    if num_vertices is None:
+        num_vertices = max_id + 1
+    return Graph(num_vertices, edges, directed=directed)

@@ -1,0 +1,59 @@
+"""Partition substrate: hybrid partitions, fragments, quality and validity.
+
+The paper's hybrid partition HP(n) (Section 2) divides a graph into
+fragments that may replicate both vertices and edges.  This subpackage
+implements that model faithfully:
+
+* :class:`~repro.partition.fragment.Fragment` — one fragment's vertex
+  copies, local edges and local degrees.
+* :class:`~repro.partition.hybrid.HybridPartition` — HP(n) with vertex
+  role classification (e-cut node / v-cut node / dummy), border sets,
+  master mapping and the mutation primitives the refiners build on.
+* :mod:`~repro.partition.quality` — replication ratios f_v / f_e, balance
+  factors λ_v / λ_e and the cost-based λ_A of Section 3.1.
+* :mod:`~repro.partition.validation` — structural invariants used by the
+  property-based tests.
+* :class:`~repro.partition.composite.CompositePartition` — HP(n, k), the
+  compact multi-algorithm representation of Section 6.1.
+"""
+
+from repro.partition.fragment import Fragment
+from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.partition.composite import CompositePartition
+from repro.partition.quality import (
+    cost_balance_factor,
+    edge_balance_factor,
+    edge_replication_ratio,
+    vertex_balance_factor,
+    vertex_replication_ratio,
+)
+from repro.partition.validation import (
+    check_partition,
+    is_edge_cut,
+    is_vertex_cut,
+)
+from repro.partition.serialize import (
+    load_composite,
+    load_partition,
+    save_composite,
+    save_partition,
+)
+
+__all__ = [
+    "Fragment",
+    "HybridPartition",
+    "NodeRole",
+    "CompositePartition",
+    "cost_balance_factor",
+    "edge_balance_factor",
+    "edge_replication_ratio",
+    "vertex_balance_factor",
+    "vertex_replication_ratio",
+    "check_partition",
+    "is_edge_cut",
+    "is_vertex_cut",
+    "load_composite",
+    "load_partition",
+    "save_composite",
+    "save_partition",
+]

@@ -1,0 +1,357 @@
+"""The hybrid partition HP(n) of Section 2.
+
+A :class:`HybridPartition` holds ``n`` :class:`~repro.partition.fragment.
+Fragment` objects over one :class:`~repro.graph.digraph.Graph` and keeps
+three cross-fragment indexes in sync through every mutation:
+
+* the *placement* index — which fragments hold a copy of each vertex;
+* the *full-copy* index — which fragments hold **all** edges incident to a
+  vertex (the basis of the e-cut / v-cut / dummy role classification);
+* the *master* mapping — one designated master copy per replicated vertex
+  (communication in the cost model is charged to masters, Eq. 3).
+
+Role semantics (Section 2):
+
+* a vertex is **e-cut** if some fragment holds its complete incident edge
+  set ``E_v``; exactly one such full copy is the *e-cut node* (it bears
+  the computation cost), all other copies are *dummy nodes*;
+* a vertex is **v-cut** if no fragment holds all of ``E_v``; every copy
+  with at least one local edge is a *v-cut node* and bears the cost of its
+  local edges; zero-edge copies are dummies.
+
+Mutations go through the ``add_edge_to`` / ``remove_edge_from`` /
+``add_vertex_to`` / ``remove_vertex_from`` primitives so listeners (the
+refiners' incremental cost trackers) can be notified of every vertex whose
+features may have changed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.digraph import Graph
+from repro.partition.fragment import Edge, Fragment
+
+
+class NodeRole(enum.Enum):
+    """Role of one vertex *copy* within one fragment (Section 2)."""
+
+    ECUT = "e-cut"
+    VCUT = "v-cut"
+    DUMMY = "dummy"
+
+
+class HybridPartition:
+    """A hybrid n-way partition HP(n) = (F_1, ..., F_n) of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph.  Not copied; must not be mutated.
+    num_fragments:
+        ``n``, the number of fragments (= simulated workers).
+    """
+
+    def __init__(self, graph: Graph, num_fragments: int) -> None:
+        if num_fragments < 1:
+            raise ValueError("num_fragments must be >= 1")
+        self.graph = graph
+        self.num_fragments = num_fragments
+        self.fragments: List[Fragment] = [
+            Fragment(i, graph.directed) for i in range(num_fragments)
+        ]
+        self._placement: Dict[int, Set[int]] = {}
+        self._full: Dict[int, Set[int]] = {}
+        self._masters: Dict[int, int] = {}
+        self._global_incident: Dict[int, int] = {}
+        self._listeners: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vertex_assignment(
+        cls, graph: Graph, assignment: Sequence[int], num_fragments: int
+    ) -> "HybridPartition":
+        """Build an edge-cut partition from a vertex → fragment assignment.
+
+        Every vertex is placed with **all** its incident edges in its own
+        fragment (edge-cut locality); the far endpoint of each cut edge
+        appears as a dummy copy, exactly as in Fig. 1(b).
+        """
+        part = cls(graph, num_fragments)
+        for v in graph.vertices:
+            fid = int(assignment[v])
+            if not 0 <= fid < num_fragments:
+                raise ValueError(f"assignment for vertex {v} out of range")
+            part.add_vertex_to(fid, v)
+            for edge in graph.incident_edges(v):
+                part.add_edge_to(fid, edge)
+        for v in graph.vertices:
+            part._masters[v] = int(assignment[v])
+        return part
+
+    @classmethod
+    def from_edge_assignment(
+        cls,
+        graph: Graph,
+        assignment: Dict[Edge, int],
+        num_fragments: int,
+    ) -> "HybridPartition":
+        """Build a vertex-cut partition from an edge → fragment assignment.
+
+        Edge sets are disjoint across fragments; replicated vertices get a
+        master at their lowest-numbered hosting fragment (MAssign can
+        reassign it later).
+        """
+        part = cls(graph, num_fragments)
+        for edge, fid in assignment.items():
+            if not 0 <= int(fid) < num_fragments:
+                raise ValueError(f"assignment for edge {edge} out of range")
+            part.add_edge_to(int(fid), edge)
+        for v in graph.vertices:
+            if v not in part._placement:
+                # Isolated vertices still need a home.
+                part.add_vertex_to(v % num_fragments, v)
+        return part
+
+    # ------------------------------------------------------------------
+    # Listener registration (used by incremental cost trackers)
+    # ------------------------------------------------------------------
+    def add_listener(self, callback: Callable[[int], None]) -> None:
+        """Register ``callback(v)`` to fire when vertex ``v``'s copies change."""
+        self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[int], None]) -> None:
+        """Unregister a listener previously added with :meth:`add_listener`."""
+        self._listeners.remove(callback)
+
+    def _notify(self, v: int) -> None:
+        for callback in self._listeners:
+            callback(v)
+
+    # ------------------------------------------------------------------
+    # Global helpers
+    # ------------------------------------------------------------------
+    def global_incident_count(self, v: int) -> int:
+        """``|E_v|`` in the full graph (cached)."""
+        count = self._global_incident.get(v)
+        if count is None:
+            count = self.graph.incident_edge_count(v)
+            self._global_incident[v] = count
+        return count
+
+    # ------------------------------------------------------------------
+    # Placement / role queries
+    # ------------------------------------------------------------------
+    def placement(self, v: int) -> FrozenSet[int]:
+        """Fragments currently holding a copy of ``v``."""
+        return frozenset(self._placement.get(v, ()))
+
+    def mirrors(self, v: int) -> int:
+        """``r(v)``: number of copies of ``v`` beyond the first."""
+        return max(0, len(self._placement.get(v, ())) - 1)
+
+    def is_border(self, v: int) -> bool:
+        """Whether ``v`` is replicated (``v ∈ F.O``)."""
+        return len(self._placement.get(v, ())) > 1
+
+    def border_nodes(self, fid: int) -> Iterator[int]:
+        """``F_i.O``: replicated vertices present in fragment ``fid``."""
+        for v in self.fragments[fid].vertices():
+            if self.is_border(v):
+                yield v
+
+    def full_fragments(self, v: int) -> FrozenSet[int]:
+        """Fragments holding the complete incident edge set of ``v``."""
+        return frozenset(self._full.get(v, ()))
+
+    def is_ecut_vertex(self, v: int) -> bool:
+        """Whether ``v`` is e-cut (some fragment holds all of ``E_v``)."""
+        if self.global_incident_count(v) == 0:
+            return v in self._placement
+        return bool(self._full.get(v))
+
+    def is_vcut_vertex(self, v: int) -> bool:
+        """Whether ``v`` is v-cut (no fragment holds all of ``E_v``)."""
+        return v in self._placement and not self.is_ecut_vertex(v)
+
+    def designated_home(self, v: int) -> Optional[int]:
+        """The fragment whose copy of ``v`` is the cost-bearing e-cut node.
+
+        Prefers the master copy when it is full, so that MAssign's master
+        moves also decide which full copy carries the computation.
+        Returns ``None`` for v-cut or absent vertices.
+        """
+        if self.global_incident_count(v) == 0:
+            return self._masters.get(v)
+        full = self._full.get(v)
+        if not full:
+            return None
+        master = self._masters.get(v)
+        if master in full:
+            return master
+        return min(full)
+
+    def role(self, v: int, fid: int) -> NodeRole:
+        """Role of the copy of ``v`` in fragment ``fid`` (Section 2)."""
+        if not self.fragments[fid].has_vertex(v):
+            raise KeyError(f"vertex {v} not in fragment {fid}")
+        if self.global_incident_count(v) == 0:
+            home = self.designated_home(v)
+            return NodeRole.ECUT if fid == home else NodeRole.DUMMY
+        home = self.designated_home(v)
+        if home is not None:
+            return NodeRole.ECUT if fid == home else NodeRole.DUMMY
+        if self.fragments[fid].incident_count(v) > 0:
+            return NodeRole.VCUT
+        return NodeRole.DUMMY
+
+    def cost_bearing(self, v: int, fid: int) -> bool:
+        """Whether the copy of ``v`` at ``fid`` contributes to C_h (Eq. 2)."""
+        return self.role(v, fid) is not NodeRole.DUMMY
+
+    # ------------------------------------------------------------------
+    # Master mapping
+    # ------------------------------------------------------------------
+    def master(self, v: int) -> int:
+        """Fragment id of the master copy of ``v``."""
+        try:
+            return self._masters[v]
+        except KeyError:
+            raise KeyError(f"vertex {v} has no copies in the partition") from None
+
+    def set_master(self, v: int, fid: int) -> None:
+        """Reassign the master of ``v`` to fragment ``fid`` (MAssign)."""
+        if fid not in self._placement.get(v, ()):
+            raise ValueError(f"fragment {fid} holds no copy of vertex {v}")
+        if self._masters.get(v) != fid:
+            self._masters[v] = fid
+            self._notify(v)
+
+    # ------------------------------------------------------------------
+    # Mutation primitives
+    # ------------------------------------------------------------------
+    def add_vertex_to(self, fid: int, v: int) -> bool:
+        """Ensure a copy of ``v`` in fragment ``fid``; True if newly added."""
+        added = self.fragments[fid]._add_vertex(v)
+        if added:
+            hosts = self._placement.setdefault(v, set())
+            hosts.add(fid)
+            if v not in self._masters:
+                self._masters[v] = fid
+            if self.global_incident_count(v) == 0:
+                self._full.setdefault(v, set()).add(fid)
+            self._notify(v)
+        return added
+
+    def remove_vertex_from(self, fid: int, v: int) -> None:
+        """Remove the (edge-free) copy of ``v`` from fragment ``fid``."""
+        fragment = self.fragments[fid]
+        if not fragment.has_vertex(v):
+            return
+        fragment._remove_vertex(v)
+        hosts = self._placement.get(v)
+        hosts.discard(fid)
+        full = self._full.get(v)
+        if full is not None:
+            full.discard(fid)
+        if not hosts:
+            del self._placement[v]
+            self._masters.pop(v, None)
+            self._full.pop(v, None)
+        elif self._masters.get(v) == fid:
+            self._masters[v] = min(hosts)
+        self._notify(v)
+
+    def add_edge_to(self, fid: int, edge: Edge) -> bool:
+        """Add ``edge`` to fragment ``fid``; True if it was not there."""
+        u, v = edge
+        if not self.graph.has_edge(u, v):
+            raise ValueError(f"edge {edge} does not exist in the graph")
+        edge = self.graph.canonical_edge(u, v)
+        fragment = self.fragments[fid]
+        pre_u = fragment.has_vertex(edge[0])
+        pre_v = fragment.has_vertex(edge[1])
+        added = fragment._add_edge(edge)
+        if not added:
+            return False
+        for w, pre in ((edge[0], pre_u), (edge[1], pre_v)):
+            if not pre:
+                hosts = self._placement.setdefault(w, set())
+                hosts.add(fid)
+                if w not in self._masters:
+                    self._masters[w] = fid
+        for w in {edge[0], edge[1]}:
+            self._refresh_fullness(w, fid)
+            self._notify(w)
+        return True
+
+    def remove_edge_from(self, fid: int, edge: Edge, prune: bool = True) -> bool:
+        """Remove ``edge`` from fragment ``fid``; True if it was present.
+
+        With ``prune`` (default) endpoint copies left without local edges
+        are dropped from the fragment unless they are the last copy of the
+        vertex anywhere (a vertex must keep at least one copy so that
+        V = ∪V_i holds).
+        """
+        edge = self.graph.canonical_edge(*edge)
+        fragment = self.fragments[fid]
+        removed = fragment._remove_edge(edge)
+        if not removed:
+            return False
+        for w in {edge[0], edge[1]}:
+            self._refresh_fullness(w, fid)
+            if (
+                prune
+                and fragment.incident_count(w) == 0
+                and len(self._placement.get(w, ())) > 1
+            ):
+                self.remove_vertex_from(fid, w)
+            else:
+                self._notify(w)
+        return True
+
+    def _refresh_fullness(self, v: int, fid: int) -> None:
+        total = self.global_incident_count(v)
+        if total == 0:
+            return
+        full = self._full.setdefault(v, set())
+        if self.fragments[fid].incident_count(v) == total:
+            full.add(fid)
+        else:
+            full.discard(fid)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_vertex_copies(self) -> int:
+        """``Σ |V_i|`` over all fragments."""
+        return sum(f.num_vertices for f in self.fragments)
+
+    def total_edge_copies(self) -> int:
+        """``Σ |E_i|`` over all fragments."""
+        return sum(f.num_edges for f in self.fragments)
+
+    def vertex_fragments(self) -> Iterator[Tuple[int, FrozenSet[int]]]:
+        """Iterate ``(v, fragments holding v)`` pairs."""
+        for v, hosts in self._placement.items():
+            yield v, frozenset(hosts)
+
+    def copy(self) -> "HybridPartition":
+        """Deep copy (fragments, placement, masters); listeners not copied."""
+        clone = HybridPartition(self.graph, self.num_fragments)
+        for fid, fragment in enumerate(self.fragments):
+            for v in fragment.vertices():
+                clone.add_vertex_to(fid, v)
+            for edge in fragment.edges():
+                clone.add_edge_to(fid, edge)
+        clone._masters.update(self._masters)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(
+            f"F{f.fid}(|V|={f.num_vertices},|E|={f.num_edges})" for f in self.fragments
+        )
+        return f"HybridPartition[{sizes}]"

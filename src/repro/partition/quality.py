@@ -1,0 +1,72 @@
+"""Partition quality metrics (Section 2 "Quality" and Section 3.1).
+
+Replication ratios measure storage overhead; balance factors measure how
+far the largest fragment deviates from the average.  Following the formal
+definitions, a balance factor ``λ`` is the smallest value such that every
+fragment is within ``(1 + λ)`` of the average — i.e. ``max/avg - 1`` —
+so ``λ = 0`` means perfectly balanced.
+
+``cost_balance_factor`` is the paper's *revised* balance factor λ_A: the
+same deviation measure applied to the per-fragment cost C_A(F_i) of a
+specific algorithm, which Table 3 reports as λ_CN.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.partition.hybrid import HybridPartition
+
+
+def _deviation(sizes: Sequence[float]) -> float:
+    total = float(sum(sizes))
+    if total <= 0 or not sizes:
+        return 0.0
+    avg = total / len(sizes)
+    return max(0.0, max(sizes) / avg - 1.0)
+
+
+def vertex_replication_ratio(partition: HybridPartition) -> float:
+    """``f_v = Σ|V_i| / |V|`` — average copies per vertex."""
+    if partition.graph.num_vertices == 0:
+        return 1.0
+    return partition.total_vertex_copies() / partition.graph.num_vertices
+
+
+def edge_replication_ratio(partition: HybridPartition) -> float:
+    """``f_e = Σ|E_i| / |E|`` — average copies per edge."""
+    if partition.graph.num_edges == 0:
+        return 1.0
+    return partition.total_edge_copies() / partition.graph.num_edges
+
+
+def vertex_balance_factor(partition: HybridPartition) -> float:
+    """``λ_v``: deviation of the largest fragment's vertex count from average."""
+    return _deviation([f.num_vertices for f in partition.fragments])
+
+
+def edge_balance_factor(partition: HybridPartition) -> float:
+    """``λ_e``: deviation of the largest fragment's edge count from average."""
+    return _deviation([f.num_edges for f in partition.fragments])
+
+
+def cost_balance_factor(partition: HybridPartition, cost_model) -> float:
+    """``λ_A``: deviation of the costliest fragment from the average cost.
+
+    ``cost_model`` is any object exposing ``fragment_cost(partition, fid)``
+    (see :class:`repro.costmodel.model.CostModel`); this keeps the quality
+    module free of a dependency on the cost-model package.
+    """
+    costs = [
+        cost_model.fragment_cost(partition, fid)
+        for fid in range(partition.num_fragments)
+    ]
+    return _deviation(costs)
+
+
+def parallel_cost(partition: HybridPartition, cost_model) -> float:
+    """``max_i C_A(F_i)``: the parallel cost the ADP problem minimizes."""
+    return max(
+        cost_model.fragment_cost(partition, fid)
+        for fid in range(partition.num_fragments)
+    )

@@ -1,0 +1,108 @@
+"""Partition serialization.
+
+Partitioning big graphs is expensive; deployments partition once and
+reuse the result across runs.  This module saves/loads hybrid and
+composite partitions as JSON: fragment contents (vertex copies and local
+edges), the master mapping, and — for composites — the per-algorithm
+structure.  The graph itself is saved separately
+(:mod:`repro.graph.io`); loading validates that the partition matches
+the supplied graph.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Union
+
+from repro.graph.digraph import Graph
+from repro.partition.composite import CompositePartition
+from repro.partition.hybrid import HybridPartition
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+FORMAT_VERSION = 1
+
+
+def partition_to_dict(partition: HybridPartition) -> Dict:
+    """JSON-serializable representation of a hybrid partition."""
+    return {
+        "version": FORMAT_VERSION,
+        "num_fragments": partition.num_fragments,
+        "num_vertices": partition.graph.num_vertices,
+        "num_edges": partition.graph.num_edges,
+        "directed": partition.graph.directed,
+        "fragments": [
+            {
+                "vertices": sorted(fragment.vertices()),
+                "edges": sorted(fragment.edges()),
+            }
+            for fragment in partition.fragments
+        ],
+        "masters": {
+            str(v): partition.master(v) for v, _h in partition.vertex_fragments()
+        },
+    }
+
+
+def partition_from_dict(data: Dict, graph: Graph) -> HybridPartition:
+    """Rebuild a hybrid partition over ``graph`` from :func:`partition_to_dict`.
+
+    Raises ``ValueError`` when the payload does not match the graph.
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported partition format: {data.get('version')!r}")
+    if (
+        data["num_vertices"] != graph.num_vertices
+        or data["num_edges"] != graph.num_edges
+        or data["directed"] != graph.directed
+    ):
+        raise ValueError("partition payload does not match the supplied graph")
+    partition = HybridPartition(graph, int(data["num_fragments"]))
+    for fid, fragment in enumerate(data["fragments"]):
+        for edge in fragment["edges"]:
+            partition.add_edge_to(fid, tuple(edge))
+        for v in fragment["vertices"]:
+            partition.add_vertex_to(fid, int(v))
+    for v, fid in data["masters"].items():
+        partition.set_master(int(v), int(fid))
+    return partition
+
+
+def save_partition(partition: HybridPartition, path: PathLike) -> None:
+    """Write a hybrid partition to ``path`` as JSON."""
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(partition_to_dict(partition), handle)
+
+
+def load_partition(path: PathLike, graph: Graph) -> HybridPartition:
+    """Read a hybrid partition written by :func:`save_partition`."""
+    with open(path, "r", encoding="ascii") as handle:
+        return partition_from_dict(json.load(handle), graph)
+
+
+def save_composite(composite: CompositePartition, path: PathLike) -> None:
+    """Write a composite partition (all per-algorithm views) as JSON."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "names": composite.names,
+        "partitions": {
+            name: partition_to_dict(composite.partition_for(name))
+            for name in composite.names
+        },
+    }
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(payload, handle)
+
+
+def load_composite(path: PathLike, graph: Graph) -> CompositePartition:
+    """Read a composite partition written by :func:`save_composite`."""
+    with open(path, "r", encoding="ascii") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported composite format: {payload.get('version')!r}")
+    partitions = {
+        name: partition_from_dict(payload["partitions"][name], graph)
+        for name in payload["names"]
+    }
+    return CompositePartition(partitions)

@@ -1,0 +1,121 @@
+"""Structural invariants of hybrid partitions.
+
+These checks encode the definition of HP(n) from Section 2 and the
+edge-cut / vertex-cut special cases.  They are exercised directly in unit
+tests and as properties in the hypothesis test-suite: every partitioner
+and every refiner must leave the partition in a state where
+:func:`check_partition` passes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.partition.hybrid import HybridPartition, NodeRole
+
+
+class PartitionInvariantError(AssertionError):
+    """Raised when a hybrid partition violates a structural invariant."""
+
+
+def check_partition(partition: HybridPartition) -> None:
+    """Validate all structural invariants; raise on the first violation.
+
+    Invariants checked:
+
+    1. vertex coverage: ``V = ∪ V_i``;
+    2. edge coverage: ``E = ∪ E_i`` and every local edge exists in G;
+    3. endpoint presence: a fragment holding an edge holds both endpoints;
+    4. placement index agrees with fragment contents;
+    5. master mapping points at a hosting fragment for every placed vertex;
+    6. role consistency: an e-cut vertex has exactly one ECUT copy; a
+       v-cut vertex has no ECUT copy and at least two VCUT copies is not
+       required (one partial copy can coexist with pruned remainder), but
+       every non-empty copy of a v-cut vertex must be VCUT.
+    """
+    graph = partition.graph
+    seen_vertices = set()
+    seen_edges = set()
+    for fragment in partition.fragments:
+        for v in fragment.vertices():
+            seen_vertices.add(v)
+            hosts = partition.placement(v)
+            if fragment.fid not in hosts:
+                raise PartitionInvariantError(
+                    f"placement index missing fragment {fragment.fid} for vertex {v}"
+                )
+        for edge in fragment.edges():
+            u, v = edge
+            if not graph.has_edge(u, v):
+                raise PartitionInvariantError(f"edge {edge} not in graph")
+            if not fragment.has_vertex(u) or not fragment.has_vertex(v):
+                raise PartitionInvariantError(
+                    f"fragment {fragment.fid} holds edge {edge} without endpoints"
+                )
+            seen_edges.add(edge)
+
+    missing_vertices = set(graph.vertices) - seen_vertices
+    if missing_vertices:
+        raise PartitionInvariantError(
+            f"vertices not covered by any fragment: {sorted(missing_vertices)[:5]}..."
+            if len(missing_vertices) > 5
+            else f"vertices not covered by any fragment: {sorted(missing_vertices)}"
+        )
+    missing_edges = set(graph.edges()) - seen_edges
+    if missing_edges:
+        sample = sorted(missing_edges)[:5]
+        raise PartitionInvariantError(f"edges not covered by any fragment: {sample}")
+
+    for v, hosts in partition.vertex_fragments():
+        master = partition.master(v)
+        if master not in hosts:
+            raise PartitionInvariantError(
+                f"master of vertex {v} is fragment {master}, not a host"
+            )
+        roles = [partition.role(v, fid) for fid in sorted(hosts)]
+        ecut_copies = roles.count(NodeRole.ECUT)
+        if partition.is_ecut_vertex(v):
+            if ecut_copies != 1:
+                raise PartitionInvariantError(
+                    f"e-cut vertex {v} has {ecut_copies} e-cut copies"
+                )
+        else:
+            if ecut_copies != 0:
+                raise PartitionInvariantError(
+                    f"v-cut vertex {v} has an e-cut copy"
+                )
+            for fid, role in zip(sorted(hosts), roles):
+                count = partition.fragments[fid].incident_count(v)
+                if count > 0 and role is not NodeRole.VCUT:
+                    raise PartitionInvariantError(
+                        f"non-empty copy of v-cut vertex {v} at {fid} is {role}"
+                    )
+
+
+def is_edge_cut(partition: HybridPartition) -> bool:
+    """Whether HP(n) is an edge-cut partition (Section 2, special case 1).
+
+    Requires every vertex to be e-cut and the e-cut node sets of the
+    fragments to be pairwise disjoint (the latter holds automatically
+    because each e-cut vertex has exactly one designated e-cut copy, so we
+    check that every vertex is e-cut).
+    """
+    return all(partition.is_ecut_vertex(v) for v, _ in partition.vertex_fragments())
+
+
+def is_vertex_cut(partition: HybridPartition) -> bool:
+    """Whether HP(n) is a vertex-cut partition (disjoint edge sets)."""
+    total = partition.total_edge_copies()
+    distinct = len({e for f in partition.fragments for e in f.edges()})
+    return total == distinct
+
+
+def fragment_role_counts(partition: HybridPartition) -> List[dict]:
+    """Per-fragment counts of e-cut / v-cut / dummy copies (diagnostics)."""
+    out = []
+    for fragment in partition.fragments:
+        counts = {NodeRole.ECUT: 0, NodeRole.VCUT: 0, NodeRole.DUMMY: 0}
+        for v in fragment.vertices():
+            counts[partition.role(v, fragment.fid)] += 1
+        out.append({role.value: count for role, count in counts.items()})
+    return out

@@ -1,0 +1,53 @@
+"""Baseline graph partitioners (the comparison targets of Section 7).
+
+Every partitioner produces a :class:`~repro.partition.hybrid.
+HybridPartition`, so the refiners of :mod:`repro.core` and the quality
+metrics apply uniformly.  The roster mirrors the paper's baselines:
+
+=============  ==========  ====================================================
+name           cut type    strategy
+=============  ==========  ====================================================
+``hash``       edge-cut    modular hash of the vertex id (extension)
+``xtrapulp``   edge-cut    PuLP-style label propagation with balance constraints
+``metis``      edge-cut    METIS-style multilevel: matching + FM refinement
+``fennel``     edge-cut    streaming with the Fennel objective
+``ldg``        edge-cut    linear deterministic greedy streaming (extension)
+``grid``       vertex-cut  2-D grid hashing with bounded replication
+``ne``         vertex-cut  neighborhood-expansion heuristic
+``dbh``        vertex-cut  degree-based hashing (extension)
+``hdrf``       vertex-cut  high-degree replicated first streaming (extension)
+``ginger``     hybrid      Fennel placement + high-degree splitting
+``topox``      hybrid      low-degree fusion + high-degree splitting
+=============  ==========  ====================================================
+"""
+
+from repro.partitioners.base import Partitioner, get_partitioner, register_partitioner, PARTITIONER_NAMES
+from repro.partitioners.hash_edgecut import HashEdgeCut
+from repro.partitioners.fennel import Fennel
+from repro.partitioners.xtrapulp import XtraPuLP
+from repro.partitioners.multilevel import MultilevelEdgeCut
+from repro.partitioners.ldg import LinearDeterministicGreedy
+from repro.partitioners.grid import GridVertexCut
+from repro.partitioners.ne import NeighborhoodExpansion
+from repro.partitioners.dbh import DegreeBasedHashing
+from repro.partitioners.hdrf import HDRF
+from repro.partitioners.ginger import Ginger
+from repro.partitioners.topox import TopoX
+
+__all__ = [
+    "Partitioner",
+    "get_partitioner",
+    "register_partitioner",
+    "PARTITIONER_NAMES",
+    "HashEdgeCut",
+    "Fennel",
+    "XtraPuLP",
+    "MultilevelEdgeCut",
+    "LinearDeterministicGreedy",
+    "GridVertexCut",
+    "NeighborhoodExpansion",
+    "DegreeBasedHashing",
+    "HDRF",
+    "Ginger",
+    "TopoX",
+]

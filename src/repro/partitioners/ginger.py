@@ -1,0 +1,98 @@
+"""Ginger hybrid partitioner [16] (PowerLyra's Fennel-derived heuristic).
+
+Ginger differentiates vertices by degree with a user threshold θ
+(Section 1 of the paper: hybrid partitioners "combine edge-cut and
+vertex-cut by cutting only high-degree vertices, controlled by a
+user-defined threshold"):
+
+* **low-degree** vertices (``d⁺_G ≤ θ``) are placed with a Fennel-style
+  objective over their in-neighbors, and all their in-edges follow them —
+  edge-cut-like locality;
+* **high-degree** vertices have their in-edges *split* across fragments
+  by hashing the source endpoint — vertex-cut-like balance.
+
+The output is a hybrid partition with disjoint edge sets (PowerLyra's
+hybrid-cut does not replicate edges), typically showing small f_e/λ_e but
+a poor algorithm-specific balance λ_CN (Table 3) because the placement
+ignores cost models — the contrast the paper draws in Exp-1(c).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.graph.digraph import Graph
+from repro.partition.fragment import Edge
+from repro.partition.hybrid import HybridPartition
+from repro.partitioners.base import Partitioner, register_partitioner
+from repro.partitioners.hash_edgecut import _mix
+
+
+class Ginger(Partitioner):
+    """Degree-threshold hybrid: Fennel placement + high-degree splitting."""
+
+    name = "ginger"
+    cut_type = "hybrid"
+
+    def __init__(
+        self,
+        threshold: Optional[float] = None,
+        gamma: float = 1.5,
+        seed: int = 0,
+    ) -> None:
+        self.threshold = threshold
+        self.gamma = gamma
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_fragments: int) -> HybridPartition:
+        """Place low-degree vertices Fennel-style; split high-degree ones."""
+        n = graph.num_vertices
+        if n == 0:
+            return HybridPartition(graph, num_fragments)
+        m = max(1, graph.num_edges)
+        theta = self.threshold
+        if theta is None:
+            theta = 4.0 * m / n  # default: 4x the average degree
+        alpha = math.sqrt(num_fragments) * m / (n ** self.gamma)
+
+        # Pass 1: Fennel-style homes for low-degree vertices, greedy over
+        # already-placed in-neighbors.
+        home: List[int] = [-1] * n
+        sizes = [0] * num_fragments
+        for v in graph.vertices:
+            if graph.in_degree(v) > theta:
+                continue
+            counts = [0] * num_fragments
+            for u in graph.in_neighbors(v).tolist():
+                if home[u] >= 0:
+                    counts[home[u]] += 1
+            best_fid, best_score = 0, -math.inf
+            for fid in range(num_fragments):
+                score = counts[fid] - alpha * self.gamma * (
+                    sizes[fid] ** (self.gamma - 1.0)
+                )
+                if score > best_score:
+                    best_score = score
+                    best_fid = fid
+            home[v] = best_fid
+            sizes[best_fid] += 1
+
+        # Pass 2: edges follow their low-degree target; high-degree
+        # targets are split by source hash.
+        assignment: Dict[Edge, int] = {}
+        for edge in graph.edges():
+            u, v = edge
+            target = v if graph.directed else (v if graph.in_degree(v) <= graph.in_degree(u) else u)
+            if home[target] >= 0:
+                assignment[edge] = home[target]
+            else:
+                source = u if target == v else v
+                if home[source] >= 0:
+                    assignment[edge] = home[source]
+                else:
+                    assignment[edge] = _mix(source, self.seed) % num_fragments
+        return HybridPartition.from_edge_assignment(graph, assignment, num_fragments)
+
+
+register_partitioner("ginger", Ginger)

@@ -1,0 +1,96 @@
+"""Neighborhood-expansion (NE) vertex-cut partitioner [53].
+
+NE grows one edge set at a time: starting from a random seed vertex, it
+repeatedly picks the boundary vertex with the fewest unassigned incident
+edges, moves those edges into the current part, and expands the boundary
+with the new endpoints — stopping when the part reaches ``|E|/n`` edges.
+The result has excellent locality (small f_v, Table 3: NE f_v = 2.7
+vs Grid 9.8) and perfect edge balance, at the cost of possible vertex
+imbalance (Table 3: NE λ_v = 8.0).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Set
+
+from repro.graph.digraph import Graph
+from repro.partition.fragment import Edge
+from repro.partition.hybrid import HybridPartition
+from repro.partitioners.base import Partitioner, register_partitioner
+
+import numpy as np
+
+
+class NeighborhoodExpansion(Partitioner):
+    """Greedy core/boundary expansion vertex-cut."""
+
+    name = "ne"
+    cut_type = "vertex"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_fragments: int) -> HybridPartition:
+        """Grow one edge set per fragment by neighborhood expansion."""
+        rng = np.random.default_rng(self.seed)
+        remaining: Dict[int, Set[Edge]] = {}
+        for v in graph.vertices:
+            edges = set(graph.incident_edges(v))
+            if edges:
+                remaining[v] = edges
+        unassigned = {e for edges in remaining.values() for e in edges}
+        total_edges = len(unassigned)
+        target = max(1, total_edges // num_fragments)
+
+        assignment: Dict[Edge, int] = {}
+
+        def take_vertex(v: int, fid: int, quota: int) -> int:
+            """Assign v's unassigned edges to fid; return count taken."""
+            taken = 0
+            edges = remaining.get(v, ())
+            for edge in list(edges):
+                if edge in unassigned and taken < quota:
+                    assignment[edge] = fid
+                    unassigned.discard(edge)
+                    taken += 1
+                    for w in edge:
+                        bucket = remaining.get(w)
+                        if bucket is not None:
+                            bucket.discard(edge)
+                            if not bucket:
+                                del remaining[w]
+            return taken
+
+        for fid in range(num_fragments - 1):
+            grown = 0
+            boundary: list = []  # heap of (unassigned-degree, vertex)
+            visited: Set[int] = set()
+            while grown < target and unassigned:
+                if not boundary:
+                    # (Re)seed from a random vertex with pending edges.
+                    pending = list(remaining)
+                    seed_v = pending[int(rng.integers(0, len(pending)))]
+                    heapq.heappush(boundary, (len(remaining[seed_v]), seed_v))
+                score, v = heapq.heappop(boundary)
+                pending_edges = remaining.get(v)
+                if pending_edges is None:
+                    continue
+                if len(pending_edges) != score:
+                    heapq.heappush(boundary, (len(pending_edges), v))
+                    continue
+                neighbors = {w for e in pending_edges for w in e if w != v}
+                grown += take_vertex(v, fid, target - grown)
+                visited.add(v)
+                for w in neighbors:
+                    if w not in visited and w in remaining:
+                        heapq.heappush(boundary, (len(remaining[w]), w))
+        # Last fragment absorbs the remainder (keeps edge balance tight).
+        for edge in list(unassigned):
+            assignment[edge] = num_fragments - 1
+            unassigned.discard(edge)
+
+        return HybridPartition.from_edge_assignment(graph, assignment, num_fragments)
+
+
+register_partitioner("ne", NeighborhoodExpansion)

@@ -1,0 +1,32 @@
+"""Simulated shared-nothing BSP runtime (substitute for the GRAPE cluster).
+
+The paper evaluates on a 32-machine cluster running GRAPE under the BSP
+model (Section 5.3, Section 7).  This package provides a deterministic
+single-process *simulator* of that setting:
+
+* every fragment of a :class:`~repro.partition.hybrid.HybridPartition`
+  maps to one simulated worker;
+* computation proceeds in supersteps; messages posted during a superstep
+  are delivered at the next one;
+* a :class:`~repro.runtime.costclock.CostClock` charges per-operation
+  compute time and per-byte communication time and aggregates the
+  per-superstep **maximum over workers** — i.e. exactly the parallel cost
+  ``max_i C_A(F_i)`` that application-driven partitioning minimizes.
+
+The simulator also powers training-data collection: per-vertex-copy
+operation counts and per-master communication bytes are recorded in a
+:class:`~repro.runtime.instrumentation.RunProfile`.
+"""
+
+from repro.runtime.costclock import CostClock
+from repro.runtime.instrumentation import RunProfile, SuperstepRecord
+from repro.runtime.bsp import Cluster
+from repro.runtime.sync import sync_by_master
+
+__all__ = [
+    "CostClock",
+    "RunProfile",
+    "SuperstepRecord",
+    "Cluster",
+    "sync_by_master",
+]

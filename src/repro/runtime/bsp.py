@@ -1,0 +1,126 @@
+"""The BSP cluster simulator.
+
+One :class:`Cluster` instance simulates the shared-nothing worker pool of
+Section 5.3: fragment ``i`` of the partition lives on worker ``i``.
+Algorithms interleave three calls:
+
+* :meth:`Cluster.charge` — account abstract computation operations to a
+  worker (optionally attributed to a vertex copy for training data);
+* :meth:`Cluster.send` — post a message to another worker, delivered at
+  the next superstep (optionally attributed to a master vertex's
+  synchronization traffic);
+* :meth:`Cluster.deliver` — end the superstep: the clock adds
+  ``max_f comp + max_f bytes + latency`` to the makespan and the posted
+  messages become the next superstep's input.
+
+Messages to the local worker are delivered but cost zero bytes, matching
+a shared-memory shortcut on a real deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.partition.hybrid import HybridPartition
+from repro.runtime.costclock import CostClock
+from repro.runtime.instrumentation import RunProfile, SuperstepRecord
+
+
+class Cluster:
+    """Simulated BSP worker pool over a hybrid partition."""
+
+    def __init__(
+        self,
+        partition: HybridPartition,
+        clock: Optional[CostClock] = None,
+    ) -> None:
+        self.partition = partition
+        self.num_workers = partition.num_fragments
+        self.clock = clock or CostClock()
+        self.profile = RunProfile(num_workers=self.num_workers)
+        self._step_ops: Dict[int, float] = {f: 0.0 for f in range(self.num_workers)}
+        self._step_bytes: Dict[int, float] = {f: 0.0 for f in range(self.num_workers)}
+        self._outbox: Dict[int, List[Any]] = {f: [] for f in range(self.num_workers)}
+        self._step_index = 0
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def charge(self, fid: int, ops: float, vertex: Optional[int] = None) -> None:
+        """Account ``ops`` computation operations to worker ``fid``.
+
+        When ``vertex`` is given the operations are also attributed to the
+        copy ``(fid, vertex)`` for cost-model training.
+        """
+        if ops <= 0:
+            return
+        self._step_ops[fid] += ops
+        self.profile.comp_ops_by_worker[fid] = (
+            self.profile.comp_ops_by_worker.get(fid, 0.0) + ops
+        )
+        if vertex is not None:
+            key = (fid, vertex)
+            self.profile.comp_ops_by_copy[key] = (
+                self.profile.comp_ops_by_copy.get(key, 0.0) + ops
+            )
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        nbytes: float,
+        master_vertex: Optional[int] = None,
+    ) -> None:
+        """Post ``payload`` from worker ``src`` to worker ``dst``.
+
+        ``nbytes`` is the simulated wire size; local (``src == dst``)
+        messages are free.  ``master_vertex`` attributes the bytes to that
+        vertex's master-synchronization traffic (the quantity g_A models).
+        """
+        self._outbox[dst].append(payload)
+        if src != dst and nbytes > 0:
+            self._step_bytes[src] += nbytes
+            self._step_bytes[dst] += nbytes
+            for fid in (src, dst):
+                self.profile.bytes_by_worker[fid] = (
+                    self.profile.bytes_by_worker.get(fid, 0.0) + nbytes
+                )
+            if master_vertex is not None:
+                self.profile.comm_bytes_by_master[master_vertex] = (
+                    self.profile.comm_bytes_by_master.get(master_vertex, 0.0) + nbytes
+                )
+
+    # ------------------------------------------------------------------
+    # Superstep barrier
+    # ------------------------------------------------------------------
+    def deliver(self) -> Dict[int, List[Any]]:
+        """End the superstep; return per-worker inboxes for the next one."""
+        record = SuperstepRecord(
+            index=self._step_index,
+            ops_by_worker=dict(self._step_ops),
+            bytes_by_worker=dict(self._step_bytes),
+            time=self.clock.superstep_time(
+                max(self._step_ops.values(), default=0.0),
+                max(self._step_bytes.values(), default=0.0),
+            ),
+        )
+        self.profile.supersteps.append(record)
+        self.profile.makespan += record.time
+        inboxes = self._outbox
+        self._outbox = {f: [] for f in range(self.num_workers)}
+        self._step_ops = {f: 0.0 for f in range(self.num_workers)}
+        self._step_bytes = {f: 0.0 for f in range(self.num_workers)}
+        self._step_index += 1
+        return inboxes
+
+    def finish(self) -> RunProfile:
+        """Flush a trailing superstep if any work is pending and return the profile."""
+        pending = (
+            any(self._step_ops.values())
+            or any(self._step_bytes.values())
+            or any(self._outbox.values())
+        )
+        if pending:
+            self.deliver()
+        return self.profile

@@ -1,0 +1,78 @@
+"""Run profiles: what the simulator records about one algorithm execution.
+
+Profiles serve two consumers:
+
+* the evaluation harness reads ``makespan`` (the simulated parallel
+  runtime) and the per-worker breakdowns for the Exp-1/Exp-2 figures;
+* the cost-model learner reads ``comp_ops_by_copy`` and
+  ``comm_bytes_by_master`` — the running log of Section 4 from which
+  training samples ``[X(v), t]`` are extracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class SuperstepRecord:
+    """Cost accounting for one superstep."""
+
+    index: int
+    ops_by_worker: Dict[int, float]
+    bytes_by_worker: Dict[int, float]
+    time: float
+
+    @property
+    def max_ops(self) -> float:
+        """Largest per-worker op count this superstep."""
+        return max(self.ops_by_worker.values(), default=0.0)
+
+    @property
+    def max_bytes(self) -> float:
+        """Largest per-worker byte count this superstep."""
+        return max(self.bytes_by_worker.values(), default=0.0)
+
+
+@dataclass
+class RunProfile:
+    """Full instrumentation record of one algorithm run."""
+
+    num_workers: int
+    comp_ops_by_copy: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    comm_bytes_by_master: Dict[int, float] = field(default_factory=dict)
+    comp_ops_by_worker: Dict[int, float] = field(default_factory=dict)
+    bytes_by_worker: Dict[int, float] = field(default_factory=dict)
+    supersteps: List[SuperstepRecord] = field(default_factory=list)
+    makespan: float = 0.0
+
+    @property
+    def num_supersteps(self) -> int:
+        """Number of supersteps executed."""
+        return len(self.supersteps)
+
+    @property
+    def total_ops(self) -> float:
+        """Total computation ops across all workers."""
+        return sum(self.comp_ops_by_worker.values())
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes across all workers (each transfer counted twice)."""
+        return sum(self.bytes_by_worker.values())
+
+    def worker_time(self, fid: int, clock) -> float:
+        """Aggregate busy time of one worker under ``clock`` charges."""
+        return (
+            self.comp_ops_by_worker.get(fid, 0.0) * clock.op_cost
+            + self.bytes_by_worker.get(fid, 0.0) * clock.byte_cost
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.num_supersteps} supersteps, "
+            f"{self.total_ops:.3g} ops, {self.total_bytes:.3g} bytes, "
+            f"makespan {self.makespan * 1e3:.3f} ms"
+        )

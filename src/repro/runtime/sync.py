@@ -1,0 +1,97 @@
+"""Master/mirror synchronization helper.
+
+The paper's communication model (Eq. 3) charges synchronization to the
+master copy of each replicated vertex: mirrors send their partial values
+to the master, the master aggregates, and broadcasts the result back
+[22, 24].  :func:`sync_by_master` implements exactly that exchange in two
+supersteps of the cluster simulator and is used by every
+partition-transparent algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.bsp import Cluster
+
+VALUE_BYTES = 12  # (vertex id, scalar) wire estimate
+
+
+def sync_by_master(
+    cluster: Cluster,
+    partial_values: Dict[int, Dict[int, Any]],
+    combine: Callable[[Any, Any], Any],
+    value_bytes: Optional[Callable[[Any], float]] = None,
+    finalize: Optional[Callable[[int, Any], Any]] = None,
+) -> Dict[int, Dict[int, Any]]:
+    """Aggregate per-copy partial values at each vertex's master.
+
+    Parameters
+    ----------
+    cluster:
+        The BSP cluster; two supersteps are consumed.
+    partial_values:
+        ``{fid: {vertex: value}}`` — each worker's local partial per vertex
+        copy it holds.  Vertices hosted by a single fragment are combined
+        locally at zero communication cost.
+    combine:
+        Associative/commutative reducer applied at the master.
+    value_bytes:
+        Wire-size estimator for one value (default: 12 bytes).
+    finalize:
+        Optional ``(vertex, combined) -> value`` applied at the master
+        before broadcasting back.
+
+    Returns
+    -------
+    ``{fid: {vertex: combined_value}}`` with the combined value available
+    at **every** fragment holding a copy of the vertex.
+    """
+    partition = cluster.partition
+    size_of = value_bytes or (lambda _val: float(VALUE_BYTES))
+
+    # Superstep A: mirrors ship partials to the master worker.
+    for fid, values in partial_values.items():
+        for v, value in values.items():
+            master = partition.master(v)
+            cluster.send(
+                fid,
+                master,
+                ("partial", v, value),
+                nbytes=size_of(value),
+                master_vertex=v if partition.is_border(v) else None,
+            )
+    inboxes = cluster.deliver()
+
+    # Superstep B: masters combine and broadcast back to mirrors.
+    combined: Dict[int, Any] = {}
+    owner: Dict[int, int] = {}
+    for fid in range(cluster.num_workers):
+        for _tag, v, value in inboxes[fid]:
+            if v in combined:
+                combined[v] = combine(combined[v], value)
+                cluster.charge(fid, 1)
+            else:
+                combined[v] = value
+                owner[v] = fid
+    if finalize is not None:
+        for v in combined:
+            combined[v] = finalize(v, combined[v])
+            cluster.charge(owner[v], 1)
+    for v, value in combined.items():
+        master = owner[v]
+        for fid in partition.placement(v):
+            cluster.send(
+                master,
+                fid,
+                ("combined", v, value),
+                nbytes=size_of(value),
+                master_vertex=v if partition.is_border(v) else None,
+            )
+    inboxes = cluster.deliver()
+
+    out: Dict[int, Dict[int, Any]] = {f: {} for f in range(cluster.num_workers)}
+    for fid in range(cluster.num_workers):
+        for _tag, v, value in inboxes[fid]:
+            out[fid][v] = value
+    return out

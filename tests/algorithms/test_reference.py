@@ -1,0 +1,81 @@
+"""Sanity tests for the single-machine reference implementations."""
+
+import math
+
+import pytest
+
+from repro.algorithms.reference import (
+    reference_common_neighbors,
+    reference_pagerank,
+    reference_sssp,
+    reference_triangle_count,
+    reference_wcc,
+)
+from repro.graph.digraph import Graph
+from repro.graph.generators import complete_graph, path_graph, star_graph
+
+
+def test_pagerank_sums_to_one_without_dangling():
+    # Cycle: no dangling mass lost.
+    g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    ranks = reference_pagerank(g, iterations=50)
+    assert sum(ranks.values()) == pytest.approx(1.0)
+    for v in g.vertices:
+        assert ranks[v] == pytest.approx(0.25)
+
+
+def test_pagerank_hub_ranks_highest():
+    g = star_graph(6)
+    ranks = reference_pagerank(g, iterations=20)
+    assert ranks[0] == max(ranks.values())
+
+
+def test_wcc_components():
+    g = Graph(5, [(0, 1), (3, 4)])
+    labels = reference_wcc(g)
+    assert labels[0] == labels[1] == 0
+    assert labels[3] == labels[4] == 3
+    assert labels[2] == 2
+
+
+def test_wcc_direction_ignored():
+    g = Graph(3, [(2, 0), (1, 0)])
+    labels = reference_wcc(g)
+    assert len(set(labels.values())) == 1
+
+
+def test_sssp_path():
+    g = path_graph(5)
+    dist = reference_sssp(g, 0)
+    assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+
+def test_sssp_directed_respects_direction():
+    g = Graph(3, [(0, 1), (2, 1)])
+    dist = reference_sssp(g, 0)
+    assert dist[1] == 1.0
+    assert math.isinf(dist[2])
+
+
+def test_triangle_count_complete_graph():
+    assert reference_triangle_count(complete_graph(5)) == 10
+    assert reference_triangle_count(complete_graph(6)) == 20
+
+
+def test_triangle_count_triangle_free():
+    assert reference_triangle_count(path_graph(10)) == 0
+    assert reference_triangle_count(star_graph(10).as_undirected()) == 0
+
+
+def test_common_neighbors_star():
+    # All 10 pairs of leaves share the hub as an out-neighbor.
+    g = star_graph(5)
+    pairs = reference_common_neighbors(g, return_pairs=True)
+    assert len(pairs) == 10
+    assert all(count == 1 for count in pairs.values())
+    assert reference_common_neighbors(g) == 10
+
+
+def test_common_neighbors_theta_excludes_hub():
+    g = star_graph(5)
+    assert reference_common_neighbors(g, theta=4) == 0

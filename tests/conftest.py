@@ -1,0 +1,83 @@
+"""Shared fixtures: small graphs and partitions used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import chung_lu_power_law, road_grid
+from repro.partition.hybrid import HybridPartition
+
+
+@pytest.fixture(scope="session")
+def paper_g1() -> Graph:
+    """A directed bipartite graph shaped like the paper's G1 (Fig. 1(a)).
+
+    Sources ``s1..s5`` are vertices 0-4, targets ``t1..t5`` are 5-9.
+    Every source points at a few targets; targets' in-degrees are skewed
+    so CN's workload is unbalanced under naive partitions.
+    """
+    edges = [
+        (0, 5), (1, 5),                     # t1 <- s1, s2
+        (0, 6), (1, 6), (2, 6), (3, 6),     # t2 <- s1, s2, s3, s4
+        (0, 7), (2, 7),                     # t3 <- s1, s3
+        (2, 8), (3, 8), (4, 8),             # t4 <- s3, s4, s5
+        (3, 9), (4, 9),                     # t5 <- s4, s5
+    ]
+    return Graph(10, edges, directed=True)
+
+
+@pytest.fixture(scope="session")
+def paper_g2() -> Graph:
+    """An undirected graph in the spirit of the paper's G2 (Fig. 1(d))."""
+    edges = [
+        (0, 1), (1, 2), (1, 4),        # v1-v2, v2-v3, v2-v5
+        (2, 4), (0, 6),                # v3-v5, v1-v7
+        (4, 6), (2, 8),                # v5-v7, v3-v9
+        (8, 5), (8, 9), (8, 7),        # v9-v6, v9-v10, v9-v8
+        (5, 3), (3, 9), (7, 5),        # v6-v4, v4-v10, v8-v6
+    ]
+    return Graph(10, edges, directed=False)
+
+
+@pytest.fixture(scope="session")
+def power_graph() -> Graph:
+    """Small skewed directed graph for partitioner/refiner tests."""
+    return chung_lu_power_law(300, 6.0, exponent=2.1, directed=True, seed=7)
+
+
+@pytest.fixture(scope="session")
+def undirected_graph() -> Graph:
+    """Small undirected power-law graph (TC/WCC oriented tests)."""
+    return chung_lu_power_law(200, 6.0, exponent=2.2, directed=False, seed=9)
+
+
+@pytest.fixture(scope="session")
+def grid_graph() -> Graph:
+    """Small road grid (high diameter, SSSP regime)."""
+    return road_grid(8, 8, seed=1)
+
+
+def make_edge_cut(graph: Graph, n: int = 4, seed: int = 0) -> HybridPartition:
+    """Random edge-cut partition helper."""
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, n, size=graph.num_vertices).tolist()
+    return HybridPartition.from_vertex_assignment(graph, assignment, n)
+
+
+def make_vertex_cut(graph: Graph, n: int = 4, seed: int = 0) -> HybridPartition:
+    """Random vertex-cut partition helper."""
+    rng = np.random.default_rng(seed)
+    assignment = {e: int(rng.integers(0, n)) for e in graph.edges()}
+    return HybridPartition.from_edge_assignment(graph, assignment, n)
+
+
+@pytest.fixture()
+def edge_cut(power_graph) -> HybridPartition:
+    return make_edge_cut(power_graph, 4, seed=0)
+
+
+@pytest.fixture()
+def vertex_cut(power_graph) -> HybridPartition:
+    return make_vertex_cut(power_graph, 4, seed=0)

@@ -1,0 +1,82 @@
+"""Tests for the ADP problem and the Theorem 1 reduction."""
+
+import pytest
+
+from repro.core.adp import (
+    ADPInstance,
+    adp_decision,
+    certificate_from_set_partition,
+    reduction_cost_model,
+    reduction_from_set_partition,
+    set_partition_exists,
+)
+
+
+class TestSetPartitionDP:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ([1, 1], True),
+            ([3, 1, 1, 2, 2, 1], True),
+            ([1, 2], False),
+            ([2, 2, 3], False),
+            ([5, 5], True),
+            ([1, 1, 1], False),
+            ([4, 3, 2, 1], True),
+        ],
+    )
+    def test_decisions(self, values, expected):
+        assert set_partition_exists(values) is expected
+
+
+class TestReduction:
+    def test_instance_shape(self):
+        inst = reduction_from_set_partition([2, 3])
+        assert inst.num_fragments == 2
+        assert inst.budget == 2.5
+        assert inst.graph.num_vertices == 5
+        assert inst.graph.num_edges == 1 + 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            reduction_from_set_partition([2, 0])
+
+    @pytest.mark.parametrize(
+        "values", [[1, 1], [2, 2], [1, 2], [2, 1, 1], [3, 2, 1], [2, 2, 3]]
+    )
+    def test_reduction_agrees_with_dp(self, values):
+        inst = reduction_from_set_partition(values)
+        assert adp_decision(inst) is set_partition_exists(values)
+
+    def test_forward_certificate(self):
+        sizes = [2, 3, 1]
+        inst = reduction_from_set_partition(sizes)
+        # {2, 1} vs {3}: equal sums.
+        partition = certificate_from_set_partition(inst, sizes, side_a=[0, 2])
+        assert inst.accepts(partition)
+        assert inst.partition_cost(partition) == pytest.approx(3.0)
+
+    def test_unbalanced_certificate_rejected(self):
+        sizes = [2, 3, 1]
+        inst = reduction_from_set_partition(sizes)
+        partition = certificate_from_set_partition(inst, sizes, side_a=[0])
+        assert not inst.accepts(partition)
+
+    def test_replication_penalized(self):
+        # Splitting a clique incurs g = r - 1 > 0 on top of h.
+        inst = reduction_from_set_partition([2, 2])
+        model = reduction_cost_model()
+        from repro.partition.hybrid import HybridPartition
+
+        p = HybridPartition(inst.graph, 2)
+        p.add_edge_to(0, (0, 1))
+        p.add_edge_to(0, (2, 3))
+        p.add_edge_to(1, (2, 3))  # replicate second clique
+        cost_with_replicas = model.parallel_cost(p)
+        clean = certificate_from_set_partition(inst, [2, 2], side_a=[0])
+        assert cost_with_replicas > model.parallel_cost(clean)
+
+    def test_exhaustive_guard(self):
+        inst = reduction_from_set_partition([8, 8])
+        with pytest.raises(ValueError):
+            adp_decision(inst, max_vertices=10)

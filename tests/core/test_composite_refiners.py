@@ -1,0 +1,91 @@
+"""Tests for the composite refiners ME2H and MV2H (Section 6)."""
+
+import pytest
+
+from repro.core.me2h import ME2H
+from repro.core.mv2h import MV2H
+from repro.core.tracker import CostTracker
+from repro.costmodel.library import builtin_cost_models
+from repro.partition.validation import check_partition
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+BATCH = ("cn", "wcc", "pr")
+
+
+@pytest.fixture(scope="module")
+def models():
+    return builtin_cost_models(BATCH)
+
+
+class TestME2H:
+    @pytest.fixture(scope="class")
+    def composite(self, models):
+        from repro.graph.generators import chung_lu_power_law
+
+        graph = chung_lu_power_law(300, 6.0, exponent=2.1, directed=True, seed=7)
+        initial = make_edge_cut(graph, 3, seed=8)
+        return ME2H(models).refine(initial)
+
+    def test_every_partition_valid(self, composite):
+        for name in BATCH:
+            check_partition(composite.partition_for(name))
+
+    def test_composite_saves_space(self, composite):
+        assert (
+            composite.composite_replication_ratio()
+            < composite.separate_storage_ratio()
+        )
+        assert composite.space_saving() > 0.0
+
+    def test_each_partition_balanced_for_its_model(self, composite, models):
+        for name in BATCH:
+            partition = composite.partition_for(name)
+            tracker = CostTracker(partition, models[name])
+            costs = tracker.comp_costs()
+            avg = sum(costs) / len(costs)
+            # No fragment should be wildly above average after refinement.
+            assert max(costs) <= 3.0 * max(avg, 1e-12)
+            tracker.detach()
+
+    def test_stats_recorded(self, models, power_graph):
+        refiner = ME2H(models)
+        refiner.refine(make_edge_cut(power_graph, 3, seed=9))
+        stats = refiner.last_stats
+        assert set(stats.budgets) == set(BATCH)
+        assert stats.core_units > 0
+        assert set(stats.phase_seconds) == {"init", "vassign", "eassign", "massign"}
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            ME2H({})
+
+
+class TestMV2H:
+    @pytest.fixture(scope="class")
+    def composite(self, models):
+        from repro.graph.generators import chung_lu_power_law
+
+        graph = chung_lu_power_law(300, 6.0, exponent=2.1, directed=True, seed=7)
+        initial = make_vertex_cut(graph, 3, seed=8)
+        return MV2H(models).refine(initial)
+
+    def test_every_partition_valid(self, composite):
+        for name in BATCH:
+            check_partition(composite.partition_for(name))
+
+    def test_space_saving_positive(self, composite):
+        assert composite.space_saving() > 0.0
+
+    def test_vertex_cut_units_disjoint_before_vmerge(self, models, power_graph):
+        # With VMerge disabled the outputs keep disjoint edge sets.
+        refiner = MV2H(models, vmerge_passes=0)
+        composite = refiner.refine(make_vertex_cut(power_graph, 3, seed=9))
+        from repro.partition.validation import is_vertex_cut
+
+        for name in BATCH:
+            assert is_vertex_cut(composite.partition_for(name))
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            MV2H({})

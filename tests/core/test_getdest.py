@@ -1,0 +1,56 @@
+"""Tests for the GetDest greedy set-cover heuristic (Fig. 7)."""
+
+from repro.core.getdest import get_dest
+
+
+def test_single_fragment_covers_all():
+    dest = get_dest(
+        ["cn", "tc", "wcc"],
+        {"cn": {1, 2}, "tc": {2}, "wcc": {2, 3}},
+    )
+    assert dest == {"cn": 2, "tc": 2, "wcc": 2}
+
+
+def test_paper_example14():
+    # U_CN={F1,F2,F3}, U_TC={F2,F3}, U_WCC={F2,F4}, U_PR={F4}
+    dest = get_dest(
+        ["cn", "tc", "wcc", "pr"],
+        {"cn": {1, 2, 3}, "tc": {2, 3}, "wcc": {2, 4}, "pr": {4}},
+    )
+    # F2 covers CN, TC, WCC; F4 covers PR: two destinations total.
+    assert dest["cn"] == dest["tc"] == dest["wcc"] == 2
+    assert dest["pr"] == 4
+    assert len(set(dest.values())) == 2
+
+
+def test_uncoverable_algorithms_absent():
+    dest = get_dest(["a", "b"], {"a": {1}, "b": set()})
+    assert dest == {"a": 1}
+
+
+def test_fits_predicate_filters():
+    dest = get_dest(
+        ["a", "b"],
+        {"a": {1, 2}, "b": {1, 2}},
+        fits=lambda alg, fid: fid != 1,
+    )
+    assert dest == {"a": 2, "b": 2}
+
+
+def test_empty_input():
+    assert get_dest([], {}) == {}
+
+
+def test_deterministic_tie_break():
+    a = get_dest(["x", "y"], {"x": {1, 2}, "y": {1, 2}})
+    b = get_dest(["x", "y"], {"x": {1, 2}, "y": {1, 2}})
+    assert a == b
+
+
+def test_greedy_minimizes_destinations():
+    # Optimal cover uses 2 fragments; greedy must find it here.
+    dest = get_dest(
+        ["a", "b", "c", "d"],
+        {"a": {1}, "b": {1}, "c": {2}, "d": {2}},
+    )
+    assert len(set(dest.values())) == 2

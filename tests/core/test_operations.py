@@ -1,0 +1,146 @@
+"""Semantics tests for the refiners' move operations (Examples 9, 10, 12)."""
+
+import pytest
+
+from repro.core.operations import emigrate, split_migrate_edge, vmerge, vmigrate
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.partition.validation import check_partition
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+
+@pytest.fixture()
+def line_partition():
+    # 0 -> 1 -> 2 -> 3, edge-cut: {0,1} in F0, {2,3} in F1.
+    g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    p = HybridPartition.from_vertex_assignment(g, [0, 0, 1, 1], 2)
+    return g, p
+
+
+class TestEmigrate:
+    def test_moves_all_edges_and_master(self, line_partition):
+        g, p = line_partition
+        emigrate(p, 1, 0, 1)
+        check_partition(p)
+        # Destination copy holds all of 1's edges and is the e-cut node.
+        assert p.fragments[1].incident_count(1) == g.incident_edge_count(1)
+        assert p.master(1) == 1
+        assert p.role(1, 1) is NodeRole.ECUT
+
+    def test_boundary_edge_kept_for_bearing_source_vertex(self, line_partition):
+        g, p = line_partition
+        emigrate(p, 1, 0, 1)
+        # Vertex 0 computes in F0 and keeps (0,1) locally; 1 stays dummy.
+        assert p.fragments[0].has_edge((0, 1))
+        assert p.role(1, 0) is NodeRole.DUMMY
+        assert p.role(0, 0) is NodeRole.ECUT
+
+    def test_example9_shape(self, paper_g1):
+        # Migrate target t3 (=7) from its home; sources keep locality.
+        p = HybridPartition.from_vertex_assignment(
+            paper_g1, [0, 0, 0, 1, 1, 0, 0, 0, 1, 1], 2
+        )
+        emigrate(p, 7, 0, 1)
+        check_partition(p)
+        assert p.role(7, 1) is NodeRole.ECUT
+        # s1 (=0) keeps all its out-edges in F0.
+        assert p.fragments[0].incident_count(0) == paper_g1.incident_edge_count(0)
+
+    def test_isolated_vertex_moves(self):
+        g = Graph(3, [(0, 1)])
+        p = HybridPartition.from_vertex_assignment(g, [0, 0, 0], 2)
+        emigrate(p, 2, 0, 1)
+        check_partition(p)
+        assert p.placement(2) == frozenset({1})
+
+    def test_emigrate_reduces_source_cost_bearing_set(self, power_graph):
+        p = make_edge_cut(power_graph, 3, seed=2)
+        v = next(u for u in power_graph.vertices if p.designated_home(u) == 0)
+        emigrate(p, v, 0, 1)
+        check_partition(p)
+        assert p.designated_home(v) == 1
+
+
+class TestSplitMigrate:
+    def test_edge_moves_without_duplication(self, line_partition):
+        g, p = line_partition
+        split_migrate_edge(p, 1, (1, 2), 0, 1)
+        check_partition(p)
+        assert not p.fragments[0].has_edge((1, 2))
+        assert p.fragments[1].has_edge((1, 2))
+
+    def test_vertex_becomes_vcut(self, paper_g1):
+        p = HybridPartition.from_vertex_assignment(
+            paper_g1, [0, 0, 0, 1, 1, 0, 0, 0, 1, 1], 2
+        )
+        # t2 (=6) has in-edges from s1,s2,s3,s4; split two of them off.
+        edges = list(p.fragments[0].incident(6))[:2]
+        for edge in edges:
+            split_migrate_edge(p, 6, edge, 0, 1)
+        check_partition(p)
+        assert p.is_vcut_vertex(6)
+        assert p.role(6, 0) is NodeRole.VCUT
+        assert p.role(6, 1) is NodeRole.VCUT
+
+    def test_same_fragment_noop(self, line_partition):
+        _g, p = line_partition
+        before = p.total_edge_copies()
+        split_migrate_edge(p, 1, (1, 2), 0, 0)
+        assert p.total_edge_copies() == before
+
+
+class TestVMigrate:
+    def test_reduces_replication(self, power_graph):
+        p = make_vertex_cut(power_graph, 3, seed=3)
+        v = next(u for u, hosts in p.vertex_fragments() if len(hosts) >= 2)
+        hosts = sorted(p.placement(v))
+        r_before = p.mirrors(v)
+        vmigrate(p, v, hosts[0], hosts[1])
+        check_partition(p)
+        assert p.mirrors(v) == r_before - 1
+
+    def test_requires_destination_copy(self, line_partition):
+        _g, p = line_partition
+        with pytest.raises(ValueError):
+            vmigrate(p, 0, 0, 1)
+
+    def test_same_fragment_rejected(self, line_partition):
+        _g, p = line_partition
+        with pytest.raises(ValueError, match="must differ"):
+            vmigrate(p, 0, 0, 0)
+        with pytest.raises(ValueError, match="must differ"):
+            emigrate(p, 0, 0, 0)
+
+
+class TestVMerge:
+    def test_promotes_to_ecut(self, power_graph):
+        p = make_vertex_cut(power_graph, 3, seed=4)
+        v = next(u for u, _h in p.vertex_fragments() if p.is_vcut_vertex(u))
+        dst = max(
+            p.placement(v), key=lambda f: p.fragments[f].incident_count(v)
+        )
+        vmerge(p, v, dst)
+        check_partition(p)
+        assert p.is_ecut_vertex(v)
+        assert p.designated_home(v) == dst
+        for fid in p.placement(v):
+            if fid != dst:
+                assert p.role(v, fid) is NodeRole.DUMMY
+
+    def test_example12_replication_for_neighbor(self):
+        # v2-like scenario: merging pulls the missing edge while the far
+        # endpoint's bearing copy keeps it (replication, Fig. 1(f)).
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], )
+        p = HybridPartition(g, 2)
+        p.add_edge_to(0, (0, 1))
+        p.add_edge_to(1, (1, 2))
+        p.add_edge_to(1, (2, 3))
+        check_partition(p)
+        assert p.is_vcut_vertex(1)
+        vmerge(p, 1, 0)
+        check_partition(p)
+        assert p.is_ecut_vertex(1)
+        # (1,2) still at F1 because vertex 2 computes there.
+        assert p.fragments[1].has_edge((1, 2))
+        assert p.fragments[0].has_edge((1, 2))

@@ -1,0 +1,60 @@
+"""Tests for training-data collection from instrumented runs."""
+
+import pytest
+
+from repro.costmodel.collection import (
+    collect_training_data,
+    default_training_graphs,
+)
+from repro.costmodel.features import FEATURE_NAMES
+from repro.graph.generators import chung_lu_power_law
+
+
+@pytest.fixture(scope="module")
+def pr_samples():
+    graphs = [chung_lu_power_law(150, 5.0, seed=21)]
+    return collect_training_data(
+        "pr", graphs, num_fragments=3, seed=1, algorithm_params={"iterations": 2}
+    )
+
+
+def test_comp_samples_nonempty(pr_samples):
+    comp, _comm = pr_samples
+    assert len(comp) > 50
+
+
+def test_samples_have_full_feature_vectors(pr_samples):
+    comp, comm = pr_samples
+    for features, cost in comp[:20] + comm[:20]:
+        assert set(features) == set(FEATURE_NAMES)
+        assert cost > 0
+
+
+def test_comm_samples_only_from_replicated_vertices(pr_samples):
+    _comp, comm = pr_samples
+    assert comm, "expected communication samples"
+    assert all(f["r"] >= 1 for f, _t in comm)
+
+
+def test_pr_comp_cost_tracks_local_in_degree(pr_samples):
+    comp, _comm = pr_samples
+    # Two iterations of PR charge ~2 ops per local in-edge.
+    degree_2 = [t for f, t in comp if f["d_in_L"] == 2]
+    degree_8 = [t for f, t in comp if f["d_in_L"] == 8]
+    if degree_2 and degree_8:
+        assert (sum(degree_8) / len(degree_8)) > (sum(degree_2) / len(degree_2))
+
+
+def test_default_training_roster():
+    graphs = default_training_graphs(seed=0, scale=1)
+    assert len(graphs) == 10
+    directed = sum(1 for g in graphs if g.directed)
+    assert 0 < directed < 10  # mixed directedness
+    assert len({g.num_vertices for g in graphs}) > 1
+
+
+def test_collection_deterministic():
+    graphs = [chung_lu_power_law(80, 4.0, seed=5)]
+    a = collect_training_data("wcc", graphs, num_fragments=2, seed=3)
+    b = collect_training_data("wcc", graphs, num_fragments=2, seed=3)
+    assert a == b

@@ -1,0 +1,36 @@
+"""Consistency tests: Exp-6 must train with the same configuration the
+harness's runtime-calibrated models use (one pipeline, not two)."""
+
+from repro.costmodel import trained
+from repro.eval.experiments import exp6
+
+
+def test_exp6_shares_trained_variable_sets():
+    assert exp6.H_VARIABLES is trained.H_VARIABLES
+    assert exp6.G_VARIABLES is trained.G_VARIABLES
+
+
+def test_every_algorithm_has_h_and_g_config():
+    for name in trained.ALGORITHMS:
+        assert name in trained.H_VARIABLES
+        assert name in trained.G_VARIABLES
+        assert name in trained.H_DEGREE
+
+
+def test_cn_trains_with_theta_and_cubic_terms():
+    # The CN variant deployed in the evaluation uses θ = 300; its master
+    # merge cost is cubic (M * d²), which degree 2 cannot express.
+    assert trained.TRAIN_PARAMS["cn"]["theta"] == 300
+    assert trained.H_DEGREE["cn"] == 3
+    assert "M" in trained.H_VARIABLES["cn"]
+
+
+def test_feature_names_cover_all_configured_variables():
+    from repro.costmodel.features import FEATURE_NAMES
+
+    used = set()
+    for variables in list(trained.H_VARIABLES.values()) + list(
+        trained.G_VARIABLES.values()
+    ):
+        used.update(variables)
+    assert used <= set(FEATURE_NAMES)

@@ -1,0 +1,79 @@
+"""Tests for metric variable extraction (Section 3.1)."""
+
+import pytest
+
+from repro.costmodel.features import (
+    FEATURE_NAMES,
+    hypothetical_ecut_features,
+    vertex_features,
+)
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+
+
+@pytest.fixture()
+def split_partition():
+    # 0 -> 1, 2 -> 1, 1 -> 3 ; vertex 1's edges split across fragments.
+    g = Graph(4, [(0, 1), (2, 1), (1, 3)])
+    p = HybridPartition(g, 2)
+    p.add_edge_to(0, (0, 1))
+    p.add_edge_to(0, (2, 1))
+    p.add_edge_to(1, (1, 3))
+    return g, p
+
+
+def test_feature_names_complete(split_partition):
+    _g, p = split_partition
+    features = vertex_features(p, 1, 0)
+    assert set(features) == set(FEATURE_NAMES)
+
+
+def test_local_vs_global_degrees(split_partition):
+    _g, p = split_partition
+    f0 = vertex_features(p, 1, 0)
+    assert f0["d_in_L"] == 2
+    assert f0["d_out_L"] == 0
+    assert f0["d_in_G"] == 2
+    assert f0["d_out_G"] == 1
+    f1 = vertex_features(p, 1, 1)
+    assert f1["d_in_L"] == 0
+    assert f1["d_out_L"] == 1
+
+
+def test_mirror_count_and_indicator(split_partition):
+    _g, p = split_partition
+    f0 = vertex_features(p, 1, 0)
+    assert f0["r"] == 1  # copies in both fragments
+    assert f0["I"] == 1.0  # v-cut copy is not an e-cut node
+
+
+def test_ecut_indicator_zero_at_home(split_partition):
+    g, p = split_partition
+    f = vertex_features(p, 0, 0)
+    assert f["I"] == 0.0
+    assert f["d_L"] == f["d_G"] == 1
+
+
+def test_master_indicator(split_partition):
+    _g, p = split_partition
+    assert vertex_features(p, 1, p.master(1))["M"] == 1.0
+    other = ({0, 1} - {p.master(1)}).pop()
+    assert vertex_features(p, 1, other)["M"] == 0.0
+
+
+def test_average_degree_constant(split_partition):
+    g, p = split_partition
+    f = vertex_features(p, 0, 0)
+    assert f["D"] == pytest.approx(g.num_edges / g.num_vertices)
+    # Explicit override avoids recomputation.
+    assert vertex_features(p, 0, 0, avg_degree=7.0)["D"] == 7.0
+
+
+def test_hypothetical_ecut_features(split_partition):
+    g, p = split_partition
+    f = hypothetical_ecut_features(p, 1)
+    assert f["d_in_L"] == g.in_degree(1)
+    assert f["d_out_L"] == g.out_degree(1)
+    assert f["I"] == 0.0
+    assert f["M"] == 1.0
+    assert f["d_L"] == f["d_G"]

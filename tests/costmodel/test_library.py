@@ -1,0 +1,62 @@
+"""Tests for the built-in Table 5 cost models."""
+
+import pytest
+
+from repro.costmodel.library import ALGORITHMS, builtin_cost_model, builtin_cost_models
+
+
+def test_all_five_models_available():
+    models = builtin_cost_models()
+    assert set(models) == set(ALGORITHMS)
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(KeyError):
+        builtin_cost_model("nope")
+
+
+def test_case_insensitive():
+    assert builtin_cost_model("PR").name == "pr"
+
+
+def test_cn_h_dominated_by_degree_product():
+    model = builtin_cost_model("cn")
+    low = model.h.evaluate({"d_in_L": 1, "d_in_G": 1})
+    high = model.h.evaluate({"d_in_L": 100, "d_in_G": 100})
+    assert high / low > 1000  # quadratic growth
+
+
+def test_tc_g_zero_for_ecut_nodes():
+    model = builtin_cost_model("tc")
+    features = {"d_G": 50.0, "r": 3.0, "I": 0.0}
+    assert model.g.evaluate(features) == 0.0
+    features["I"] = 1.0
+    assert model.g.evaluate(features) > 0.0
+
+
+def test_pr_h_linear_in_local_in_degree():
+    model = builtin_cost_model("pr")
+    f1 = model.h.evaluate({"d_in_L": 10})
+    f2 = model.h.evaluate({"d_in_L": 20})
+    base = model.h.evaluate({"d_in_L": 0})
+    assert f2 - base == pytest.approx(2 * (f1 - base))
+
+
+def test_sssp_h_uses_out_degree():
+    model = builtin_cost_model("sssp")
+    assert "d_out_L" in model.h.variables()
+
+
+def test_wcc_g_increasing_in_mirrors():
+    model = builtin_cost_model("wcc")
+    assert model.g.evaluate({"r": 3}) > model.g.evaluate({"r": 1})
+
+
+def test_all_h_nonnegative_on_typical_features():
+    features = {
+        "d_in_L": 5.0, "d_out_L": 5.0, "d_in_G": 8.0, "d_out_G": 8.0,
+        "r": 1.0, "D": 10.0, "I": 1.0, "d_L": 10.0, "d_G": 16.0, "M": 1.0,
+    }
+    for name in ALGORITHMS:
+        model = builtin_cost_model(name)
+        assert model.h.evaluate(features) > 0.0

@@ -1,0 +1,121 @@
+"""Tests for CostModel fragment-cost evaluation (Eqs. 1-3)."""
+
+import pytest
+
+from repro.costmodel.library import builtin_cost_model
+from repro.costmodel.model import CostModel, constant_cost_model
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+
+from tests.conftest import make_edge_cut
+
+
+@pytest.fixture()
+def star_partition():
+    # Star: 1..4 -> 0; hub home in F0, leaves split between fragments.
+    g = Graph(5, [(1, 0), (2, 0), (3, 0), (4, 0)])
+    p = HybridPartition.from_vertex_assignment(g, [0, 0, 0, 1, 1], 2)
+    return g, p
+
+
+def _linear_in_degree_model() -> CostModel:
+    h = PolynomialCostFunction([Monomial(1.0, {"d_in_L": 1})], "h")
+    g = PolynomialCostFunction([Monomial(1.0, {"r": 1})], "g")
+    return CostModel("test", h, g)
+
+
+class TestComputationCost:
+    def test_dummies_excluded(self, star_partition):
+        _g, p = star_partition
+        model = _linear_in_degree_model()
+        # Hub (in-degree 4) bears cost only at its home F0.
+        assert model.fragment_comp_cost(p, 0) == pytest.approx(4.0)
+        # F1 holds leaves (in-degree 0) and a dummy hub copy.
+        assert model.fragment_comp_cost(p, 1) == pytest.approx(0.0)
+
+    def test_vertex_comp_cost_zero_for_dummy(self, star_partition):
+        _g, p = star_partition
+        model = _linear_in_degree_model()
+        assert model.vertex_comp_cost(p, 0, 1) == 0.0
+        assert model.vertex_comp_cost(p, 0, 0) == pytest.approx(4.0)
+
+    def test_constant_model_counts_bearing_copies(self, power_graph):
+        p = make_edge_cut(power_graph, 4)
+        model = constant_cost_model()
+        total = sum(model.fragment_comp_cost(p, i) for i in range(4))
+        # Edge-cut: exactly one bearing copy per vertex.
+        assert total == pytest.approx(power_graph.num_vertices)
+
+
+class TestCommunicationCost:
+    def test_masters_only(self, star_partition):
+        _g, p = star_partition
+        model = _linear_in_degree_model()
+        # Hub (master at F0, r=1) charges F0; leaves 3 and 4 get dummy
+        # copies at the hub's home, so their masters at F1 charge 1 each.
+        assert model.fragment_comm_cost(p, 0) == pytest.approx(1.0)
+        assert model.fragment_comm_cost(p, 1) == pytest.approx(2.0)
+
+    def test_master_move_moves_charge(self, star_partition):
+        _g, p = star_partition
+        model = _linear_in_degree_model()
+        p.set_master(0, 1)
+        assert model.fragment_comm_cost(p, 0) == 0.0
+        assert model.fragment_comm_cost(p, 1) == pytest.approx(3.0)
+
+    def test_comm_cost_if_master_at(self, star_partition):
+        _g, p = star_partition
+        model = _linear_in_degree_model()
+        assert model.comm_cost_if_master_at(p, 0, 1) == pytest.approx(1.0)
+
+
+class TestGate:
+    def test_gated_vertex_costs_zero(self, star_partition):
+        _g, p = star_partition
+        model = _linear_in_degree_model()
+        gated = CostModel(model.name, model.h, model.g, gate=("d_in_G", 3.0))
+        # Hub in-degree 4 exceeds the gate.
+        assert gated.fragment_comp_cost(p, 0) == 0.0
+        assert gated.fragment_comm_cost(p, 0) == 0.0
+
+    def test_gate_passes_low_degree(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        p = HybridPartition.from_vertex_assignment(g, [0, 0, 1], 2)
+        model = _linear_in_degree_model()
+        gated = CostModel(model.name, model.h, model.g, gate=("d_in_G", 3.0))
+        assert gated.fragment_comp_cost(p, 0) == pytest.approx(1.0)
+
+
+class TestMasterDelta:
+    def test_zero_without_m_terms(self, star_partition):
+        _g, p = star_partition
+        model = _linear_in_degree_model()
+        assert model.comp_master_delta(p, 0, 0) == 0.0
+
+    def test_positive_with_m_terms(self, star_partition):
+        _g, p = star_partition
+        h = PolynomialCostFunction(
+            [Monomial(1.0, {"M": 1, "d_in_G": 1})], "h"
+        )
+        model = CostModel("m", h, _linear_in_degree_model().g)
+        assert model.comp_master_delta(p, 0, 0) == pytest.approx(4.0)
+
+    def test_zero_for_dummy_copy(self, star_partition):
+        _g, p = star_partition
+        h = PolynomialCostFunction([Monomial(1.0, {"M": 1})], "h")
+        model = CostModel("m", h, _linear_in_degree_model().g)
+        assert model.comp_master_delta(p, 0, 1) == 0.0
+
+
+class TestBuiltinAndParallel:
+    def test_parallel_cost_is_max(self, power_graph):
+        p = make_edge_cut(power_graph, 4)
+        model = builtin_cost_model("pr")
+        per_fragment = [model.fragment_cost(p, i) for i in range(4)]
+        assert model.parallel_cost(p) == pytest.approx(max(per_fragment))
+
+    def test_describe_mentions_both_functions(self):
+        model = builtin_cost_model("cn")
+        text = model.describe()
+        assert "h_cn" in text and "g_cn" in text

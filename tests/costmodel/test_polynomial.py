@@ -1,0 +1,98 @@
+"""Unit tests for polynomial cost functions."""
+
+import pytest
+
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+
+
+class TestMonomial:
+    def test_constant(self):
+        m = Monomial(3.0)
+        assert m.evaluate({}) == 3.0
+        assert m.basis({}) == 1.0
+        assert m.degree() == 0
+
+    def test_linear_and_power(self):
+        m = Monomial(2.0, {"x": 1, "y": 2})
+        assert m.evaluate({"x": 3.0, "y": 2.0}) == pytest.approx(24.0)
+        assert m.basis({"x": 3.0, "y": 2.0}) == pytest.approx(12.0)
+        assert m.degree() == 3
+
+    def test_key_is_order_independent(self):
+        a = Monomial(1.0, {"x": 1, "y": 2})
+        b = Monomial(5.0, {"y": 2, "x": 1})
+        assert a.key() == b.key()
+
+    def test_str(self):
+        assert "x^2" in str(Monomial(1.0, {"x": 2}))
+
+
+class TestExpansion:
+    def test_degree_two_term_count(self):
+        poly = PolynomialCostFunction.expansion(["x", "y"], 2)
+        # 1, x, y, x^2, xy, y^2
+        assert len(poly.terms) == 6
+
+    def test_degree_three_single_var(self):
+        poly = PolynomialCostFunction.expansion(["x"], 3)
+        assert len(poly.terms) == 4
+
+    def test_no_constant(self):
+        poly = PolynomialCostFunction.expansion(["x"], 1, include_constant=False)
+        assert len(poly.terms) == 1
+        assert poly.terms[0].powers == {"x": 1}
+
+    def test_no_duplicate_terms(self):
+        poly = PolynomialCostFunction.expansion(["x", "y", "z"], 3)
+        keys = [t.key() for t in poly.terms]
+        assert len(keys) == len(set(keys))
+
+
+class TestEvaluation:
+    def test_evaluate_sum(self):
+        poly = PolynomialCostFunction(
+            [Monomial(1.0, {}), Monomial(2.0, {"x": 1}), Monomial(0.5, {"x": 2})]
+        )
+        assert poly.evaluate({"x": 2.0}) == pytest.approx(1 + 4 + 2)
+        assert poly({"x": 2.0}) == poly.evaluate({"x": 2.0})
+
+    def test_with_coefficients(self):
+        poly = PolynomialCostFunction.expansion(["x"], 1)
+        new = poly.with_coefficients([5.0, 7.0])
+        assert new.evaluate({"x": 1.0}) == pytest.approx(12.0)
+        # original untouched
+        assert poly.evaluate({"x": 1.0}) == pytest.approx(2.0)
+
+    def test_with_coefficients_length_check(self):
+        poly = PolynomialCostFunction.expansion(["x"], 1)
+        with pytest.raises(ValueError):
+            poly.with_coefficients([1.0])
+
+    def test_pruned(self):
+        poly = PolynomialCostFunction(
+            [Monomial(0.0, {"x": 1}), Monomial(2.0, {"x": 2})]
+        )
+        pruned = poly.pruned()
+        assert len(pruned.terms) == 1
+        assert pruned.terms[0].powers == {"x": 2}
+
+    def test_pruned_never_empty(self):
+        poly = PolynomialCostFunction([Monomial(0.0, {"x": 1})])
+        assert len(poly.pruned().terms) == 1
+
+    def test_variables(self):
+        poly = PolynomialCostFunction(
+            [Monomial(1.0, {"a": 1}), Monomial(0.0, {"b": 1})]
+        )
+        assert poly.variables() == ["a"]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        poly = PolynomialCostFunction(
+            [Monomial(1.5, {"x": 2, "y": 1}), Monomial(0.25, {})], name="h_test"
+        )
+        clone = PolynomialCostFunction.from_dict(poly.to_dict())
+        assert clone.name == "h_test"
+        features = {"x": 3.0, "y": 4.0}
+        assert clone.evaluate(features) == pytest.approx(poly.evaluate(features))

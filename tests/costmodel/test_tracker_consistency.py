@@ -1,0 +1,56 @@
+"""Cross-checks between the incremental tracker and the plain CostModel
+evaluation after the full high-level refiner pipelines — the strongest
+guard against bookkeeping drift."""
+
+import pytest
+
+from repro.core.e2h import E2H
+from repro.core.tracker import CostTracker
+from repro.core.v2h import V2H
+from repro.costmodel.library import builtin_cost_model
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+
+@pytest.mark.parametrize("alg", ["cn", "tc", "wcc", "pr", "sssp"])
+def test_tracker_exact_after_e2h(alg, power_graph):
+    model = builtin_cost_model(alg)
+    partition = make_edge_cut(power_graph, 4, seed=21)
+    tracker = CostTracker(partition, model)
+    E2H(model).refine(partition, in_place=True)
+    for fid in range(4):
+        assert tracker.comp_cost(fid) == pytest.approx(
+            model.fragment_comp_cost(partition, fid), abs=1e-9
+        )
+        assert tracker.comm_cost(fid) == pytest.approx(
+            model.fragment_comm_cost(partition, fid), abs=1e-9
+        )
+    tracker.detach()
+
+
+@pytest.mark.parametrize("alg", ["cn", "tc", "pr"])
+def test_tracker_exact_after_v2h(alg, power_graph):
+    model = builtin_cost_model(alg)
+    partition = make_vertex_cut(power_graph, 4, seed=22)
+    tracker = CostTracker(partition, model)
+    V2H(model).refine(partition, in_place=True)
+    for fid in range(4):
+        assert tracker.comp_cost(fid) == pytest.approx(
+            model.fragment_comp_cost(partition, fid), abs=1e-9
+        )
+        assert tracker.comm_cost(fid) == pytest.approx(
+            model.fragment_comm_cost(partition, fid), abs=1e-9
+        )
+    tracker.detach()
+
+
+def test_chained_refinements_keep_tracker_exact(power_graph):
+    model = builtin_cost_model("wcc")
+    partition = make_edge_cut(power_graph, 4, seed=23)
+    tracker = CostTracker(partition, model)
+    for _ in range(2):
+        E2H(model).refine(partition, in_place=True)
+    assert tracker.parallel_cost() == pytest.approx(
+        max(model.fragment_cost(partition, fid) for fid in range(4)), abs=1e-9
+    )
+    tracker.detach()

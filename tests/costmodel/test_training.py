@@ -1,0 +1,123 @@
+"""Tests for the SGD cost-function learner (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.polynomial import PolynomialCostFunction
+from repro.costmodel.training import (
+    SGDTrainer,
+    fit_cost_function,
+    msre,
+    select_features,
+    train_test_split,
+)
+
+
+def _synthetic_samples(fn, n=400, seed=0, noise=0.02):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(n):
+        x = float(rng.integers(1, 60))
+        y = float(rng.integers(1, 30))
+        target = fn(x, y) * (1.0 + noise * rng.standard_normal())
+        samples.append(({"x": x, "y": y}, max(target, 1e-9)))
+    return samples
+
+
+class TestMsre:
+    def test_zero_on_exact(self):
+        t = np.array([1.0, 2.0])
+        assert msre(t, t) == 0.0
+
+    def test_relative_not_absolute(self):
+        assert msre(np.array([2.0]), np.array([1.0])) == pytest.approx(1.0)
+        assert msre(np.array([200.0]), np.array([100.0])) == pytest.approx(1.0)
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        samples = _synthetic_samples(lambda x, y: x)
+        train, test = train_test_split(samples, 0.2, seed=1)
+        assert len(train) == 320 and len(test) == 80
+
+    def test_split_disjoint_and_complete(self):
+        samples = _synthetic_samples(lambda x, y: x, n=50)
+        train, test = train_test_split(samples, 0.2, seed=1)
+        assert len(train) + len(test) == 50
+
+
+class TestLearning:
+    def test_recovers_linear_relationship(self):
+        samples = _synthetic_samples(lambda x, y: 3.0 * x + 5.0)
+        report = fit_cost_function(samples, ["x"], degree=1, name="lin")
+        assert report.test_msre < 0.01
+        # Coefficient of x should be near 3.
+        coeffs = {t.key(): t.coefficient for t in report.function.terms}
+        assert coeffs[(("x", 1),)] == pytest.approx(3.0, rel=0.15)
+
+    def test_recovers_quadratic(self):
+        samples = _synthetic_samples(lambda x, y: 0.5 * x * x + x)
+        report = fit_cost_function(samples, ["x"], degree=2, name="quad")
+        assert report.test_msre < 0.01
+
+    def test_recovers_interaction_term(self):
+        samples = _synthetic_samples(lambda x, y: 2.0 * x * y)
+        report = fit_cost_function(samples, ["x", "y"], degree=2, name="prod")
+        assert report.test_msre < 0.02
+
+    def test_unit_scale_invariance(self):
+        base = _synthetic_samples(lambda x, y: 4.0 * x)
+        scaled = [(f, t * 1e-6) for f, t in base]
+        r1 = fit_cost_function(base, ["x"], degree=1)
+        r2 = fit_cost_function(scaled, ["x"], degree=1)
+        assert r2.test_msre == pytest.approx(r1.test_msre, abs=0.01)
+
+    def test_closed_form_only(self):
+        samples = _synthetic_samples(lambda x, y: 2.0 * x)
+        trainer = SGDTrainer(epochs=0)
+        report = fit_cost_function(samples, ["x"], degree=1, trainer=trainer)
+        assert report.epochs_run == 0
+        assert report.test_msre < 0.01
+
+    def test_l1_prunes_irrelevant_variable(self):
+        samples = _synthetic_samples(lambda x, y: 5.0 * x)
+        trainer = SGDTrainer(epochs=80, l1=5e-3)
+        report = fit_cost_function(
+            samples, ["x", "y"], degree=1, trainer=trainer, prune_below=1e-3
+        )
+        assert "y" not in report.function.variables()
+        assert report.test_msre < 0.05
+
+    def test_nonnegative_projection(self):
+        samples = _synthetic_samples(lambda x, y: 2.0 * x)
+        report = fit_cost_function(samples, ["x", "y"], degree=2)
+        assert all(t.coefficient >= 0 for t in report.function.terms)
+
+    def test_empty_samples_rejected(self):
+        trainer = SGDTrainer()
+        tpl = PolynomialCostFunction.expansion(["x"], 1)
+        with pytest.raises(ValueError):
+            trainer.fit(tpl, [])
+
+    def test_report_fields(self):
+        samples = _synthetic_samples(lambda x, y: x)
+        report = fit_cost_function(samples, ["x"], degree=1, name="h_x")
+        assert report.num_train == 320
+        assert report.num_test == 80
+        assert report.training_time > 0
+        assert "h_x" in str(report)
+
+
+class TestFeatureSelection:
+    def test_selects_correlated_variable(self):
+        samples = _synthetic_samples(lambda x, y: 10.0 * x + 0.01 * y)
+        top = select_features(samples, ["x", "y"], top_k=1)
+        assert top == ["x"]
+
+    def test_handles_constant_column(self):
+        samples = [({"x": 1.0, "c": 5.0}, float(i + 1)) for i in range(20)]
+        top = select_features(samples, ["x", "c"], top_k=2)
+        assert set(top) == {"x", "c"}
+
+    def test_empty_samples(self):
+        assert select_features([], ["a", "b"], top_k=1) == ["a"]

@@ -1,0 +1,45 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.eval.datasets import CN_THETA, DATASETS, load_dataset
+from repro.graph.metrics import degree_skew
+
+
+def test_all_registered_datasets_build():
+    for name in ("livejournal_like", "twitter_like", "ukweb_like", "traffic_like"):
+        graph = load_dataset(name)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+
+def test_cached_instances_are_shared():
+    assert load_dataset("twitter_like") is load_dataset("twitter_like")
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(KeyError):
+        load_dataset("facebook")
+
+
+def test_twitter_like_is_most_skewed():
+    twitter = load_dataset("twitter_like")
+    traffic = load_dataset("traffic_like")
+    assert degree_skew(twitter, 0.01) > degree_skew(traffic, 0.01)
+
+
+def test_traffic_like_is_undirected_planarish():
+    traffic = load_dataset("traffic_like")
+    assert not traffic.directed
+    degrees = [traffic.degree(v) for v in traffic.vertices]
+    assert max(degrees) <= 8  # lattice + diagonals only
+
+
+def test_scale_series_grows():
+    sizes = [load_dataset(f"scale_{k}").num_edges for k in (1, 2, 3)]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_theta_configured_for_twitter():
+    assert CN_THETA["twitter_like"] == 300
+    assert CN_THETA["livejournal_like"] is None

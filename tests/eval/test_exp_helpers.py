@@ -1,0 +1,108 @@
+"""Fast tests for the experiment modules' pure helper functions.
+
+The expensive end-to-end paths are covered by the slow smoke tests and
+the benchmarks; these check the data-shaping helpers with synthetic
+inputs.
+"""
+
+from repro.eval.experiments import appendix, exp1, exp2, exp3, exp4, exp5
+
+
+class TestExp1Helpers:
+    def test_speedups_ignores_missing_series(self):
+        series = {"fennel": [(4, 10.0)]}  # HFennel absent
+        assert exp1.speedups(series) == {}
+
+    def test_speedups_averages_over_n(self):
+        series = {
+            "fennel": [(2, 10.0), (4, 20.0)],
+            "HFennel": [(2, 5.0), (4, 5.0)],
+        }
+        assert exp1.speedups(series)["HFennel"] == 3.0  # (2 + 4) / 2
+
+    def test_speedups_skips_unmatched_points(self):
+        series = {"grid": [(2, 8.0)], "HGrid": [(2, 4.0), (8, 1.0)]}
+        assert exp1.speedups(series)["HGrid"] == 2.0
+
+    def test_table3_headers_shape(self):
+        assert exp1.table3_headers()[0] == "partitioner"
+        assert len(exp1.table3_headers()) == 6
+
+
+class TestExp2Helpers:
+    DATA = {
+        "grid": {
+            "pr": {"initial": 0.010, "parhp": 0.004, "parmhp": 0.005},
+            "batch": {"initial": 0.010, "parhp": 0.004, "parmhp": 0.005},
+        }
+    }
+
+    def test_table4_rows_order_and_speedup(self):
+        rows = exp2.table4_rows(self.DATA)
+        assert rows[0][0] == "PR"
+        assert rows[-1][0] == "BATCH"
+        assert rows[0][3] == 2.0  # initial / parmhp
+
+    def test_table4_headers(self):
+        headers = exp2.table4_headers(["grid"])
+        assert headers == ["app", "Mgrid (ms)", "grid (ms)", "X"]
+
+    def test_composite_overhead(self):
+        overhead = exp2.composite_overhead(self.DATA)
+        assert overhead["grid"] == (0.005 - 0.004) / 0.004
+
+
+class TestExp3Exp5Helpers:
+    def test_exp3_rows_flatten(self):
+        data = {"HFennel": [(2, 1.0, 0.5, 1 / 3)]}
+        rows = exp3.rows(data)
+        assert rows == [["HFennel", 2, 1.0, 0.5, "33.3%"]]
+
+    def test_exp5_rows_align_by_factor(self):
+        data = {"A": [(1, 0.5), (2, 1.0)], "B": [(2, 3.0)]}
+        rows = exp5.rows(data)
+        assert rows[0][0] == "1|G|"
+        assert rows[1][1:] == [1.0, 3.0]
+        assert exp5.headers(data) == ["size", "A (s)", "B (s)"]
+
+
+class TestAppendixHelpers:
+    def test_contribution_rows_shares_sum_to_one(self):
+        data = {"cn": [2.0, 3.0, 4.0]}
+        rows = appendix.contribution_rows(data)
+        row = rows[0]
+        assert row[0] == "CN"
+        shares = [float(s.rstrip("%")) for s in row[4:7]]
+        assert abs(sum(shares) - 100.0) <= 2.0  # integer-percent rounding
+        assert row[-1] == 3.0  # total gain = 4x - 1
+
+    def test_contribution_rows_negative_marginals_clamped(self):
+        data = {"pr": [3.0, 2.0, 2.5]}  # phase 2 regresses
+        rows = appendix.contribution_rows(data)
+        shares = [float(s.rstrip("%")) for s in rows[0][4:7]]
+        assert shares[1] == 0.0  # clamped, not negative
+
+    def test_flat_speedups_do_not_divide_by_zero(self):
+        data = {"sssp": [1.0, 1.0, 1.0]}
+        rows = appendix.contribution_rows(data)
+        assert rows[0][-1] == 0.0
+
+
+class TestExp4Rows:
+    def test_rows_format(self):
+        data = {
+            "ne": {
+                "parhp_s": 0.05,
+                "parmhp_s": 0.01,
+                "time_saving": 0.8,
+                "initial_ratio": 1.5,
+                "separate_ratio": 7.0,
+                "composite_ratio": 4.5,
+                "space_saving": 0.35,
+                "extra_over_initial": 2.0,
+            }
+        }
+        rows = exp4.rows(data)
+        assert rows[0][0] == "ne"
+        assert rows[0][3] == "80%"
+        assert rows[0][6] == "35%"

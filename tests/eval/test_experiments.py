@@ -1,0 +1,114 @@
+"""Smoke tests for every experiment module at reduced scale.
+
+Each experiment must run end-to-end and emit structurally correct data;
+the full-scale numbers live in EXPERIMENTS.md and the benchmarks.
+"""
+
+import pytest
+
+from repro.eval.experiments import appendix, exp1, exp2, exp3, exp4, exp5, exp6
+
+
+@pytest.mark.slow
+class TestExp1:
+    def test_figure9_series_shape(self):
+        series = exp1.figure9_series(
+            "pr", "livejournal_like", (2,), baselines=["fennel", "grid"]
+        )
+        assert set(series) == {"fennel", "HFennel", "grid", "HGrid"}
+        for points in series.values():
+            assert points[0][0] == 2
+            assert points[0][1] > 0
+
+    def test_speedups_computed(self):
+        series = {
+            "fennel": [(2, 10.0)],
+            "HFennel": [(2, 5.0)],
+        }
+        assert exp1.speedups(series) == {"HFennel": 2.0}
+
+    def test_table3_rows(self):
+        rows = exp1.table3_rows("livejournal_like", 2)
+        labels = [row[0] for row in rows]
+        assert "xtrapulp" in labels and "HxtraPuLP" in labels
+        assert len(rows[0]) == len(exp1.table3_headers())
+
+
+@pytest.mark.slow
+class TestExp2:
+    def test_table4_structure(self):
+        data = exp2.table4(
+            "livejournal_like", 2, baselines=("grid",), batch=("pr", "wcc")
+        )
+        assert set(data) == {"grid"}
+        assert set(data["grid"]) == {"pr", "wcc", "batch"}
+        for cell in data["grid"].values():
+            assert set(cell) == {"initial", "parhp", "parmhp"}
+        rows = exp2.table4_rows(data)
+        assert rows[-1][0] == "BATCH"
+        overhead = exp2.composite_overhead(data)
+        assert "grid" in overhead
+
+
+@pytest.mark.slow
+class TestExp3:
+    def test_figure9k(self):
+        data = exp3.figure9k(
+            "livejournal_like", "pr", (2,), baselines=("fennel",)
+        )
+        (label, points), = data.items()
+        assert label == "HFennel"
+        n, part_s, refine_s, share = points[0]
+        assert 0 <= share <= 1
+
+
+@pytest.mark.slow
+class TestExp4:
+    def test_figure10b(self):
+        data = exp4.figure10b(
+            "livejournal_like", 2, baselines=("grid",), batch=("pr", "wcc")
+        )
+        cell = data["grid"]
+        assert cell["composite_ratio"] <= cell["separate_ratio"] + 1e-9
+        assert 0.0 <= cell["space_saving"] <= 1.0
+        assert exp4.rows(data)
+
+
+@pytest.mark.slow
+class TestExp5:
+    def test_figure9l(self):
+        data = exp5.figure9l(
+            factors=(1,), num_fragments=2, baselines=("fennel",)
+        )
+        assert "HFennel" in data
+        assert exp5.rows(data)
+        assert exp5.headers(data)[0] == "size"
+
+
+@pytest.mark.slow
+class TestExp6:
+    def test_table5_rows(self):
+        rows = exp6.table5(algorithms=("pr",), num_graphs=2)
+        assert len(rows) == 1
+        row = rows[0].as_row()
+        assert row[0] == "PR"
+        assert len(row) == len(exp6.HEADERS)
+        assert rows[0].h_report.test_msre < 1.0
+
+    def test_gunrock_substitute(self):
+        from repro.graph.generators import chung_lu_power_law
+
+        times = exp6.gunrock_substitute_times(chung_lu_power_law(100, 4.0, seed=1))
+        assert set(times) == {"tc", "wcc", "sssp", "pr"}
+
+
+@pytest.mark.slow
+class TestAppendix:
+    def test_phase_speedups_monotone_keys(self):
+        data = appendix.phase_speedups(
+            "livejournal_like", "fennel", algorithms=("pr",), num_fragments=2
+        )
+        assert set(data) == {"pr"}
+        assert len(data["pr"]) == 3
+        rows = appendix.contribution_rows(data)
+        assert rows[0][0] == "PR"

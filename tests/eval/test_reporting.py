@@ -1,0 +1,35 @@
+"""Tests for the table/series renderers."""
+
+from repro.eval.reporting import format_table, markdown_table, series_block
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "long-name" in lines[3]
+
+
+def test_float_formatting():
+    text = format_table(["x"], [[0.000123456], [1234567.0], [1.5]])
+    assert "0.000123" in text
+    assert "1.23e+06" in text
+    assert "1.5" in text
+
+
+def test_markdown_table_shape():
+    text = markdown_table(["a", "b"], [[1, 2]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+
+
+def test_series_block_merges_x_values():
+    series = {"s1": [(1, 10.0), (2, 20.0)], "s2": [(2, 5.0)]}
+    text = series_block("title", "n", series)
+    assert "title" in text
+    assert "s1" in text and "s2" in text
+    lines = text.splitlines()
+    assert len(lines) == 1 + 2 + 2  # title + header rows + two x rows

@@ -1,0 +1,122 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    chung_lu_power_law,
+    clique_collection,
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    rmat,
+    road_grid,
+    small_world,
+    star_graph,
+)
+from repro.graph.metrics import degree_skew
+
+
+class TestErdosRenyi:
+    def test_edge_count(self):
+        g = erdos_renyi(100, 300, seed=1)
+        assert g.num_edges == 300
+        assert g.num_vertices == 100
+
+    def test_deterministic(self):
+        assert erdos_renyi(50, 100, seed=2) == erdos_renyi(50, 100, seed=2)
+
+    def test_caps_at_max_possible(self):
+        g = erdos_renyi(4, 1000, directed=False, seed=0)
+        assert g.num_edges == 6
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(30, 100, seed=3)
+        assert all(u != v for u, v in g.edges())
+
+
+class TestChungLu:
+    def test_size_and_skew(self):
+        g = chung_lu_power_law(500, 8.0, exponent=2.1, seed=4)
+        assert g.num_vertices == 500
+        assert g.num_edges == pytest.approx(4000, rel=0.05)
+        # Top 1% of vertices should hold far more than 1% of endpoints.
+        assert degree_skew(g, 0.01) > 0.05
+
+    def test_vertex_zero_is_hub(self):
+        g = chung_lu_power_law(500, 8.0, seed=4)
+        hub_degree = g.degree(0)
+        median = sorted(g.degree(v) for v in g.vertices)[250]
+        assert hub_degree > 5 * max(1, median)
+
+    def test_undirected_variant(self):
+        g = chung_lu_power_law(200, 6.0, directed=False, seed=5)
+        assert not g.directed
+
+    def test_tiny_graph(self):
+        g = chung_lu_power_law(1, 4.0, seed=0)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(8, avg_degree=8.0, seed=6)
+        assert g.num_vertices == 256
+        assert g.num_edges == pytest.approx(2048, rel=0.2)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(4, a=0.5, b=0.4, c=0.3)
+
+
+class TestRoadGrid:
+    def test_lattice_structure(self):
+        g = road_grid(3, 4)
+        assert g.num_vertices == 12
+        # 3*3 horizontal + 2*4 vertical = 17
+        assert g.num_edges == 17
+        assert not g.directed
+
+    def test_interior_degree(self):
+        g = road_grid(5, 5)
+        assert g.degree(12) == 4  # center vertex
+
+    def test_diagonals_add_edges(self):
+        base = road_grid(10, 10, diagonal_prob=0.0).num_edges
+        extra = road_grid(10, 10, diagonal_prob=1.0, seed=1).num_edges
+        assert extra == base + 81
+
+
+class TestSmallWorld:
+    def test_degree_regularity(self):
+        g = small_world(50, k=4, rewire_prob=0.0)
+        assert g.num_edges == 100
+        assert all(g.degree(v) == 4 for v in g.vertices)
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            small_world(10, k=3)
+
+
+class TestFixedTopologies:
+    def test_clique_collection(self):
+        g = clique_collection([3, 4])
+        assert g.num_vertices == 7
+        assert g.num_edges == 3 + 6
+
+    def test_clique_collection_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            clique_collection([3, 0])
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.num_vertices == 6
+        assert g.in_degree(0) == 5
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+
+    def test_complete(self):
+        assert complete_graph(5).num_edges == 10
+        assert complete_graph(4, directed=True).num_edges == 12

@@ -1,0 +1,76 @@
+"""Additional graph edge cases and determinism guarantees."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import (
+    chung_lu_power_law,
+    erdos_renyi,
+    rmat,
+    road_grid,
+    small_world,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: chung_lu_power_law(120, 5.0, seed=s),
+            lambda s: erdos_renyi(120, 300, seed=s),
+            lambda s: rmat(6, 6.0, seed=s),
+            lambda s: road_grid(8, 8, diagonal_prob=0.3, seed=s),
+            lambda s: small_world(60, k=4, rewire_prob=0.5, seed=s),
+        ],
+        ids=["chung_lu", "er", "rmat", "grid", "smallworld"],
+    )
+    def test_same_seed_same_graph(self, factory):
+        assert factory(7) == factory(7)
+
+    def test_different_seed_different_graph(self):
+        assert chung_lu_power_law(200, 6.0, seed=1) != chung_lu_power_law(
+            200, 6.0, seed=2
+        )
+
+
+class TestGraphViews:
+    def test_subgraph_empty_selection(self):
+        g = Graph(5, [(0, 1)])
+        sub = g.subgraph([])
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+    def test_subgraph_preserves_direction(self):
+        g = Graph(4, [(3, 1)])
+        sub = g.subgraph([3, 1])
+        assert sub.directed
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(1, 0)
+
+    def test_as_undirected_merges_antiparallel(self):
+        g = Graph(2, [(0, 1), (1, 0)])
+        assert g.as_undirected().num_edges == 1
+
+    def test_as_undirected_idempotent(self):
+        g = Graph(3, [(0, 1)], directed=False)
+        assert g.as_undirected() is g
+
+    def test_neighbors_deduplicates_antiparallel(self):
+        g = Graph(2, [(0, 1), (1, 0)])
+        assert g.neighbors(0).tolist() == [1]
+
+    def test_degree_counts_both_directions(self):
+        g = Graph(2, [(0, 1), (1, 0)])
+        assert g.degree(0) == 2
+        assert g.incident_edge_count(0) == 2
+
+
+class TestVertexZeroHub:
+    def test_incident_edges_cover_in_and_out(self):
+        g = Graph(4, [(0, 1), (2, 0), (3, 0)])
+        incident = set(g.incident_edges(0))
+        assert incident == {(0, 1), (2, 0), (3, 0)}
+
+    def test_self_loop_incident_once(self):
+        g = Graph(1, [(0, 0)])
+        assert list(g.incident_edges(0)) == [(0, 0)]

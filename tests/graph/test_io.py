@@ -1,0 +1,52 @@
+"""Round-trip and format tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def test_round_trip_directed(tmp_path):
+    g = erdos_renyi(40, 120, seed=1)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    assert read_edge_list(path) == g
+
+
+def test_round_trip_undirected(tmp_path):
+    g = erdos_renyi(40, 80, directed=False, seed=2)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    loaded = read_edge_list(path)
+    assert not loaded.directed
+    assert loaded == g
+
+
+def test_trailing_isolated_vertices_preserved(tmp_path):
+    g = Graph(10, [(0, 1)])
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    assert read_edge_list(path).num_vertices == 10
+
+
+def test_headerless_file(tmp_path):
+    path = tmp_path / "bare.txt"
+    path.write_text("0 1\n2 0\n")
+    g = read_edge_list(path)
+    assert g.directed
+    assert g.num_vertices == 3
+    assert g.has_edge(2, 0)
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0\n")
+    with pytest.raises(ValueError):
+        read_edge_list(path)
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("\n0 1\n\n1 2\n")
+    assert read_edge_list(path).num_edges == 2

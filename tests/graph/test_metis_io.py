@@ -1,0 +1,85 @@
+"""Tests for METIS/Chaco format graph I/O."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import read_metis, write_metis
+
+
+def test_round_trip(tmp_path):
+    g = erdos_renyi(30, 60, directed=False, seed=3)
+    path = tmp_path / "g.metis"
+    write_metis(g, path)
+    assert read_metis(path) == g
+
+
+def test_directed_graph_written_as_undirected(tmp_path):
+    g = Graph(3, [(0, 1), (1, 0), (1, 2)])
+    path = tmp_path / "g.metis"
+    write_metis(g, path)
+    loaded = read_metis(path)
+    assert not loaded.directed
+    assert loaded.num_edges == 2
+
+
+def test_self_loops_dropped(tmp_path):
+    g = Graph(2, [(0, 0), (0, 1)], directed=False)
+    path = tmp_path / "g.metis"
+    write_metis(g, path)
+    assert read_metis(path).num_edges == 1
+
+
+def test_format_shape(tmp_path):
+    g = Graph(3, [(0, 1), (1, 2)], directed=False)
+    path = tmp_path / "g.metis"
+    write_metis(g, path)
+    lines = path.read_text().splitlines()
+    assert lines[0] == "3 2"
+    assert lines[1] == "2"       # vertex 1's neighbor: vertex 2 (1-indexed)
+    assert lines[2] == "1 3"
+    assert lines[3] == "2"
+
+
+def test_isolated_vertices_round_trip(tmp_path):
+    # Isolated vertices produce blank adjacency lines, which must not be
+    # dropped on read (regression test).
+    g = Graph(4, [(0, 3)], directed=False)
+    path = tmp_path / "g.metis"
+    write_metis(g, path)
+    assert read_metis(path) == g
+
+
+def test_comment_lines_skipped(tmp_path):
+    path = tmp_path / "g.metis"
+    path.write_text("% comment\n2 1\n2\n1\n")
+    g = read_metis(path)
+    assert g.num_edges == 1
+
+
+def test_header_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad.metis"
+    path.write_text("2 5\n2\n1\n")
+    with pytest.raises(ValueError, match="declares 5 edges"):
+        read_metis(path)
+
+
+def test_out_of_range_neighbor_rejected(tmp_path):
+    path = tmp_path / "bad.metis"
+    path.write_text("2 1\n9\n1\n")
+    with pytest.raises(ValueError, match="out of range"):
+        read_metis(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "bad.metis"
+    path.write_text("3 1\n2\n")
+    with pytest.raises(ValueError, match="adjacency lines"):
+        read_metis(path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.metis"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_metis(path)

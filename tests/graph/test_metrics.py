@@ -1,0 +1,62 @@
+"""Tests for graph-level degree statistics."""
+
+import math
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import chung_lu_power_law, erdos_renyi, star_graph
+from repro.graph.metrics import (
+    average_degree,
+    degree_histogram,
+    degree_skew,
+    density_summary,
+    power_law_exponent,
+)
+
+
+def test_average_degree_is_edges_over_vertices():
+    g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    assert average_degree(g) == pytest.approx(0.75)
+
+
+def test_average_degree_empty():
+    assert average_degree(Graph(0, [])) == 0.0
+
+
+def test_degree_histogram_star():
+    g = star_graph(5)
+    hist = degree_histogram(g, "in")
+    assert hist == {0: 5, 5: 1}
+    out_hist = degree_histogram(g, "out")
+    assert out_hist == {1: 5, 0: 1}
+
+
+def test_degree_histogram_rejects_bad_direction():
+    with pytest.raises(ValueError):
+        degree_histogram(star_graph(3), "sideways")
+
+
+def test_degree_skew_flat_vs_skewed():
+    flat = erdos_renyi(400, 2000, seed=1)
+    skewed = chung_lu_power_law(400, 10.0, exponent=2.0, seed=1)
+    assert degree_skew(skewed, 0.02) > degree_skew(flat, 0.02)
+
+
+def test_degree_skew_empty():
+    assert degree_skew(Graph(0, [])) == 0.0
+
+
+def test_power_law_exponent_in_plausible_range():
+    g = chung_lu_power_law(2000, 10.0, exponent=2.2, seed=3)
+    est = power_law_exponent(g)
+    assert 1.5 < est < 3.5
+
+
+def test_power_law_exponent_degenerate():
+    assert math.isnan(power_law_exponent(Graph(3, [(0, 1)])))
+
+
+def test_density_summary():
+    g = Graph(4, [(0, 1), (1, 2)])
+    assert density_summary(g) == (4, 2, 0.5)

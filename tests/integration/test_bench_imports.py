@@ -1,0 +1,27 @@
+"""Guard: every benchmark module imports cleanly.
+
+Benches only run under ``pytest benchmarks/ --benchmark-only``; this
+cheap test keeps them from bit-rotting when library APIs change.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_bench_module_imports(path):
+    spec = importlib.util.spec_from_file_location(f"bench_import_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert any(name.startswith("test_") for name in dir(module))
+
+
+def test_every_bench_has_docstring():
+    for path in BENCH_FILES:
+        first = path.read_text().lstrip()
+        assert first.startswith('"""'), f"{path.name} lacks a module docstring"

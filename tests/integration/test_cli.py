@@ -1,0 +1,109 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    rc = main(
+        [
+            "generate", "--kind", "powerlaw", "--vertices", "300",
+            "--degree", "6", "--seed", "5", "--out", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+def test_generate_writes_graph(graph_file, capsys):
+    from repro.graph.io import read_edge_list
+
+    graph = read_edge_list(graph_file)
+    assert graph.num_vertices == 300
+    assert graph.num_edges > 0
+
+
+@pytest.mark.parametrize("kind", ["er", "grid", "smallworld", "rmat"])
+def test_generate_other_kinds(kind, tmp_path):
+    out = tmp_path / f"{kind}.txt"
+    rc = main(
+        ["generate", "--kind", kind, "--vertices", "100", "--out", str(out)]
+    )
+    assert rc == 0
+    assert out.exists()
+
+
+def test_partition_evaluate_metrics_pipeline(graph_file, tmp_path, capsys):
+    part_file = tmp_path / "p.json"
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "fennel",
+            "--fragments", "3", "--out", str(part_file),
+        ]
+    )
+    assert rc == 0
+    assert part_file.exists()
+
+    rc = main(
+        [
+            "evaluate", "--graph", str(graph_file),
+            "--partition", str(part_file), "--algorithms", "pr,wcc",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "PR" in out and "WCC" in out and "simulated ms" in out
+
+    rc = main(
+        ["metrics", "--graph", str(graph_file), "--partition", str(part_file)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "f_v" in out and "lambda_e" in out
+
+
+@pytest.mark.slow
+def test_partition_with_refinement(graph_file, tmp_path, capsys):
+    part_file = tmp_path / "p.json"
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "grid",
+            "--fragments", "3", "--refine", "pr", "--out", str(part_file),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pr-driven refinement" in out
+
+
+def test_refine_hybrid_baseline_rejected(graph_file, tmp_path, capsys):
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "ginger",
+            "--fragments", "3", "--refine", "pr",
+            "--out", str(tmp_path / "p.json"),
+        ]
+    )
+    assert rc == 2
+    assert "cannot refine" in capsys.readouterr().err
+
+
+def test_metrics_with_cost_model(graph_file, tmp_path, capsys):
+    part_file = tmp_path / "p.json"
+    main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "hash",
+            "--fragments", "3", "--out", str(part_file),
+        ]
+    )
+    rc = main(
+        [
+            "metrics", "--graph", str(graph_file), "--partition", str(part_file),
+            "--cost-model", "wcc",
+        ]
+    )
+    assert rc == 0
+    assert "lambda_wcc" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Parser-level CLI tests (no heavy work)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_defaults():
+    args = build_parser().parse_args(["generate", "--out", "g.txt"])
+    assert args.kind == "powerlaw"
+    assert args.vertices == 1000
+    assert not args.undirected
+
+
+def test_generate_rejects_unknown_kind():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["generate", "--kind", "tree", "--out", "g"])
+
+
+def test_partition_rejects_unknown_partitioner():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["partition", "--graph", "g", "--partitioner", "magic", "--out", "p"]
+        )
+
+
+def test_partition_refine_choices_are_algorithms():
+    args = build_parser().parse_args(
+        [
+            "partition", "--graph", "g", "--partitioner", "metis",
+            "--refine", "tc", "--out", "p",
+        ]
+    )
+    assert args.refine == "tc"
+
+
+def test_evaluate_algorithm_list_default():
+    args = build_parser().parse_args(
+        ["evaluate", "--graph", "g", "--partition", "p"]
+    )
+    assert args.algorithms == "pr,wcc,sssp"
+
+
+def test_metrics_cost_model_optional():
+    args = build_parser().parse_args(
+        ["metrics", "--graph", "g", "--partition", "p"]
+    )
+    assert args.cost_model is None

@@ -1,0 +1,151 @@
+"""Edge cases and failure injection across the stack."""
+
+import math
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.e2h import E2H
+from repro.core.parallel import ParE2H
+from repro.core.tracker import CostTracker
+from repro.core.v2h import V2H
+from repro.costmodel.library import builtin_cost_model
+from repro.costmodel.model import constant_cost_model
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+from repro.partition.validation import check_partition
+from repro.partitioners.base import PARTITIONER_NAMES, get_partitioner
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph_partitions(self):
+        g = Graph(0, [])
+        for name in ("hash", "grid", "metis"):
+            p = get_partitioner(name).partition(g, 3)
+            assert p.num_fragments == 3
+
+    def test_edgeless_graph(self):
+        g = Graph(5, [])
+        p = get_partitioner("fennel").partition(g, 2)
+        check_partition(p)
+        result = get_algorithm("wcc").run(p)
+        assert len(set(result.values.values())) == 5
+
+    def test_single_vertex(self):
+        g = Graph(1, [])
+        p = get_partitioner("hash").partition(g, 2)
+        check_partition(p)
+        assert get_algorithm("sssp").run(p, source=0).values == {0: 0.0}
+
+    def test_self_loop_only_graph(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        p = get_partitioner("hash").partition(g, 2)
+        check_partition(p)
+        assert get_algorithm("wcc").run(p).values[1] == 0
+
+    def test_all_isolated_refinement(self):
+        g = Graph(6, [])
+        p = HybridPartition.from_vertex_assignment(g, [0] * 6, 2)
+        refined = E2H(constant_cost_model()).refine(p)
+        check_partition(refined)
+        # EMigrate moves isolated vertices; load should spread.
+        tracker = CostTracker(refined, constant_cost_model())
+        assert max(tracker.comp_costs()) <= 4
+        tracker.detach()
+
+
+class TestRefinerEdgeCases:
+    def test_single_fragment_noop(self, power_graph):
+        p = get_partitioner("hash").partition(power_graph, 1)
+        refined = E2H(builtin_cost_model("cn")).refine(p)
+        check_partition(refined)
+        assert refined.fragments[0].num_edges == power_graph.num_edges
+
+    def test_more_fragments_than_vertices(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        p = HybridPartition.from_vertex_assignment(g, [0, 0, 0], 5)
+        refined = E2H(constant_cost_model()).refine(p)
+        check_partition(refined)
+
+    def test_v2h_on_edge_cut_input_is_safe(self, power_graph):
+        # V2H expects a vertex-cut but must not corrupt an edge-cut.
+        from tests.conftest import make_edge_cut
+
+        p = make_edge_cut(power_graph, 4)
+        refined = V2H(builtin_cost_model("tc")).refine(p)
+        check_partition(refined)
+
+    def test_e2h_on_vertex_cut_input_is_safe(self, power_graph):
+        from tests.conftest import make_vertex_cut
+
+        p = make_vertex_cut(power_graph, 4)
+        refined = E2H(builtin_cost_model("cn")).refine(p)
+        check_partition(refined)
+
+    def test_invalid_candidate_order_rejected(self):
+        with pytest.raises(ValueError):
+            E2H(constant_cost_model(), candidate_order="random")
+
+    def test_pare2h_no_underloaded_fragments(self):
+        # Uniform costs, budget slack < 1: everyone overloaded.
+        g = Graph(8, [(i, (i + 1) % 8) for i in range(8)])
+        p = HybridPartition.from_vertex_assignment(g, [i % 2 for i in range(8)], 2)
+        refined, profile = ParE2H(
+            constant_cost_model(), budget_slack=0.5
+        ).refine(p)
+        check_partition(refined)
+
+
+class TestAlgorithmEdgeCases:
+    def test_sssp_source_out_of_component(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        p = HybridPartition.from_vertex_assignment(g, [0, 0, 1, 1], 2)
+        result = get_algorithm("sssp").run(p, source=2)
+        assert result.values[3] == 1.0
+        assert math.isinf(result.values[0])
+
+    def test_pr_zero_iterations(self, power_graph):
+        from tests.conftest import make_edge_cut
+
+        p = make_edge_cut(power_graph, 3)
+        result = get_algorithm("pr").run(p, iterations=0)
+        n = power_graph.num_vertices
+        assert all(abs(rank - 1 / n) < 1e-12 for rank in result.values.values())
+
+    def test_cn_theta_zero_filters_everything(self, power_graph):
+        from tests.conftest import make_edge_cut
+
+        p = make_edge_cut(power_graph, 3)
+        assert get_algorithm("cn").run(p, theta=-1).values == 0
+
+    def test_tc_on_directed_counts_undirected_view(self):
+        # Directed triangle 0->1->2->0 is one undirected triangle.
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        p = HybridPartition.from_vertex_assignment(g, [0, 1, 0], 2)
+        assert get_algorithm("tc").run(p).values == 1
+
+
+class TestTrackerMisuse:
+    def test_double_detach_raises(self, power_graph):
+        from tests.conftest import make_edge_cut
+
+        tracker = CostTracker(make_edge_cut(power_graph, 2), constant_cost_model())
+        tracker.detach()
+        with pytest.raises(ValueError):
+            tracker.detach()
+
+    def test_two_trackers_coexist(self, power_graph):
+        from tests.conftest import make_edge_cut
+
+        p = make_edge_cut(power_graph, 2)
+        a = CostTracker(p, constant_cost_model())
+        b = CostTracker(p, builtin_cost_model("pr"))
+        from repro.core.operations import emigrate
+
+        v = next(u for u in power_graph.vertices if p.designated_home(u) == 0)
+        emigrate(p, v, 0, 1)
+        # Both see the move.
+        assert a.comp_cost(1) >= 1.0
+        assert b.comp_cost(1) > 0.0
+        a.detach()
+        b.detach()

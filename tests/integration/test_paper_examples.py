@@ -1,0 +1,127 @@
+"""Scenario tests mirroring the paper's running examples (Section 1-2).
+
+These use the G1/G2-style fixtures to check the *qualitative* claims the
+paper builds its motivation on: CN workload skew under vertex-balanced
+edge-cuts (Example 1), communication removal by replication for TC
+(Example 1(2)), and the quality metrics of Example 5's flavor.
+"""
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.tracker import CostTracker
+from repro.costmodel.library import builtin_cost_model
+from repro.costmodel.model import CostModel
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.partition.quality import (
+    cost_balance_factor,
+    edge_balance_factor,
+    vertex_balance_factor,
+)
+
+
+def cn_workload_model() -> CostModel:
+    """Example 1(a)'s analytic workload: ½ d⁺(v)(d⁺(v)−1) per vertex."""
+    h = PolynomialCostFunction(
+        [Monomial(0.5, {"d_in_L": 2}), Monomial(-0.5, {"d_in_L": 1})], "h"
+    )
+    g = PolynomialCostFunction([Monomial(0.0, {})], "g")
+    return CostModel("cn_paper", h, g)
+
+
+class TestExample1CommonNeighbors:
+    def test_vertex_balanced_cut_skews_cn_workload(self, paper_g1):
+        """Fig. 1(b)'s phenomenon: balance vertices, skew CN cost."""
+        # Split targets evenly: t1,t2,t3 with s1,s2 | t4,t5 with s3,s4,s5.
+        assignment = [0, 0, 1, 1, 1, 0, 0, 0, 1, 1]
+        partition = HybridPartition.from_vertex_assignment(paper_g1, assignment, 2)
+        assert vertex_balance_factor(partition) < 0.3
+        model = cn_workload_model()
+        lam_cn = cost_balance_factor(partition, model)
+        # F0 hosts the high in-degree targets: CN workload is skewed.
+        assert lam_cn > 0.3
+
+    def test_cost_aware_cut_balances_cn(self, paper_g1):
+        """Fig. 1(c)'s counterpoint: unbalanced sizes, balanced workload."""
+        model = cn_workload_model()
+        # Put the heavy target t2 (in-degree 4) alone against the rest.
+        assignment = [0, 0, 1, 1, 1, 1, 0, 1, 1, 1]
+        partition = HybridPartition.from_vertex_assignment(paper_g1, assignment, 2)
+        lam_cn = cost_balance_factor(partition, model)
+        assert lam_cn < 0.35
+
+    def test_cn_cost_formula_matches_runtime_ops(self, paper_g1):
+        """The Example 1 formula Σ ½d⁺(d⁺−1) equals CN's actual op count."""
+        assignment = [0] * 10
+        partition = HybridPartition.from_vertex_assignment(paper_g1, assignment, 2)
+        result = get_algorithm("cn").run(partition)
+        expected = sum(
+            paper_g1.in_degree(v) * (paper_g1.in_degree(v) - 1) // 2
+            for v in paper_g1.vertices
+        )
+        assert result.values == expected
+
+
+class TestExample1TriangleCounting:
+    def test_replication_removes_tc_queries(self, paper_g2):
+        """Fig. 1(e) vs 1(f): promoting a split vertex to e-cut removes
+        its remote verification traffic."""
+        # Vertex-cut with vertex 1 (the paper's v2) split.
+        edges = list(paper_g2.edges())
+        assignment = {e: (0 if 1 in e and e != (1, 4) else 1) for e in edges}
+        vertex_cut = HybridPartition.from_edge_assignment(paper_g2, assignment, 2)
+        assert vertex_cut.is_vcut_vertex(1)
+        before = get_algorithm("tc").run(vertex_cut)
+
+        from repro.core.operations import vmerge
+
+        hybrid = vertex_cut.copy()
+        vmerge(hybrid, 1, 0)
+        assert hybrid.is_ecut_vertex(1)
+        after = get_algorithm("tc").run(hybrid)
+        assert after.values == before.values  # same triangles
+        # The merged partition needs no more bytes than the split one.
+        assert after.profile.total_bytes <= before.profile.total_bytes
+
+
+class TestExample5Metrics:
+    def test_edge_cut_vertex_cut_signatures(self, paper_g1):
+        ec = HybridPartition.from_vertex_assignment(
+            paper_g1, [0, 0, 1, 1, 1, 0, 0, 0, 1, 1], 2
+        )
+        from repro.partition.quality import (
+            edge_replication_ratio,
+            vertex_replication_ratio,
+        )
+
+        # Edge-cut: edges replicate across fragments, f_e > 1.
+        assert edge_replication_ratio(ec) > 1.0
+        vc = HybridPartition.from_edge_assignment(
+            paper_g1, {e: i % 2 for i, e in enumerate(paper_g1.edges())}, 2
+        )
+        # Vertex-cut: f_e = 1 exactly, vertices replicate.
+        assert edge_replication_ratio(vc) == pytest.approx(1.0)
+        assert vertex_replication_ratio(vc) > 1.0
+
+
+class TestExample3Roles:
+    def test_role_taxonomy_on_manual_hybrid(self, paper_g2):
+        """Build a Fig. 1(f)-style hybrid and check the role taxonomy."""
+        p = HybridPartition(paper_g2, 2)
+        # Vertex 8 (the paper's v9) split: some edges in each fragment.
+        p.add_edge_to(0, (2, 8))
+        p.add_edge_to(1, (8, 5))
+        p.add_edge_to(1, (8, 9))
+        p.add_edge_to(1, (8, 7))
+        assert p.is_vcut_vertex(8)
+        assert p.role(8, 0) is NodeRole.VCUT
+        assert p.role(8, 1) is NodeRole.VCUT
+        # Vertex 1 (v2) gets all its edges in F0 plus a copy in F1.
+        for e in paper_g2.incident_edges(1):
+            p.add_edge_to(0, e)
+        p.add_edge_to(1, (1, 2))
+        assert p.is_ecut_vertex(1)
+        roles = {fid: p.role(1, fid) for fid in p.placement(1)}
+        assert NodeRole.ECUT in roles.values()
+        assert NodeRole.DUMMY in roles.values()

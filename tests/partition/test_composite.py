@@ -1,0 +1,147 @@
+"""Tests for the composite partition HP(n, k) (Section 6.1)."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.partition.composite import CompositePartition
+from repro.partition.hybrid import HybridPartition
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+
+@pytest.fixture()
+def two_partitions(power_graph):
+    return {
+        "a": make_edge_cut(power_graph, 3, seed=1),
+        "b": make_edge_cut(power_graph, 3, seed=2),
+    }
+
+
+class TestConstruction:
+    def test_identical_partitions_share_everything(self, power_graph):
+        p = make_edge_cut(power_graph, 3, seed=5)
+        composite = CompositePartition({"x": p, "y": p.copy()})
+        assert composite.core_fraction() == pytest.approx(1.0)
+        # f_c equals a single partition's storage ratio.
+        single = (p.total_vertex_copies() + p.total_edge_copies()) / (
+            power_graph.num_vertices + power_graph.num_edges
+        )
+        assert composite.composite_replication_ratio() == pytest.approx(single)
+
+    def test_disjoint_partitions_share_little(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        assert 0.0 < composite.core_fraction() < 1.0
+        assert composite.space_saving() >= 0.0
+
+    def test_requires_same_graph(self, power_graph, undirected_graph):
+        a = make_edge_cut(power_graph, 3)
+        b = make_edge_cut(undirected_graph, 3)
+        with pytest.raises(ValueError):
+            CompositePartition({"a": a, "b": b})
+
+    def test_requires_same_fragment_count(self, power_graph):
+        with pytest.raises(ValueError):
+            CompositePartition(
+                {"a": make_edge_cut(power_graph, 3), "b": make_edge_cut(power_graph, 4)}
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositePartition({})
+
+    def test_partition_for_round_trip(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        assert composite.partition_for("a") is two_partitions["a"]
+
+
+class TestStorageAccounting:
+    def test_fc_below_separate(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        assert (
+            composite.composite_replication_ratio()
+            <= composite.separate_storage_ratio() + 1e-9
+        )
+
+    def test_storage_decomposition_consistent(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        for comp, frag_a, frag_b in zip(
+            composite.composite_fragments,
+            two_partitions["a"].fragments,
+            two_partitions["b"].fragments,
+        ):
+            # core + residual_j reconstructs partition j's fragment.
+            assert comp.core_edges | comp.residual_edges[0] == set(frag_a.edges())
+            assert comp.core_edges | comp.residual_edges[1] == set(frag_b.edges())
+            assert comp.core_vertices | comp.residual_vertices[0] == set(
+                frag_a.vertices()
+            )
+
+
+class TestEdgeIndex:
+    def test_locate_core_edge(self, power_graph):
+        p = make_edge_cut(power_graph, 3, seed=5)
+        composite = CompositePartition({"x": p, "y": p.copy()})
+        edge = next(iter(power_graph.edges()))
+        host = next(
+            c for c in composite.composite_fragments if edge in c.edge_index
+        )
+        in_core, residuals = host.locate_edge(edge)
+        assert in_core and residuals == set()
+
+    def test_locate_residual_edge(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        for comp in composite.composite_fragments:
+            for j, edges in enumerate(comp.residual_edges):
+                for edge in edges:
+                    in_core, residuals = comp.locate_edge(edge)
+                    if not in_core:
+                        assert j in residuals
+
+    def test_locate_absent_edge(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        assert composite.composite_fragments[0].locate_edge((99999, 0)) == (
+            False,
+            set(),
+        )
+
+
+class TestCoherence:
+    def test_delete_edge_removes_all_copies(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        edge = next(iter(composite.graph.edges()))
+        removed = composite.delete_edge(edge)
+        assert removed >= 1
+        for comp in composite.composite_fragments:
+            assert edge not in comp.edge_index
+            assert edge not in comp.core_edges
+            for residual in comp.residual_edges:
+                assert edge not in residual
+
+    def test_delete_is_idempotent(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        edge = next(iter(composite.graph.edges()))
+        composite.delete_edge(edge)
+        assert composite.delete_edge(edge) == 0
+
+    def test_insert_agreeing_edge_stored_once(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        written = composite.insert_edge((7, 3), {"a": 1, "b": 1})
+        assert written == 1
+        in_core, residuals = composite.composite_fragments[1].locate_edge((7, 3))
+        assert in_core and not residuals
+
+    def test_insert_disagreeing_edge_stored_per_partition(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        written = composite.insert_edge((7, 3), {"a": 0, "b": 2})
+        assert written == 2
+        assert (7, 3) in composite.composite_fragments[0].residual_edges[0]
+        assert (7, 3) in composite.composite_fragments[2].residual_edges[1]
+
+    def test_insert_requires_all_targets(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        with pytest.raises(ValueError):
+            composite.insert_edge((7, 3), {"a": 0})
+
+    def test_index_size_positive(self, two_partitions):
+        composite = CompositePartition(two_partitions)
+        assert composite.index_size() > 0

@@ -1,0 +1,93 @@
+"""Unit tests for Fragment bookkeeping."""
+
+import pytest
+
+from repro.partition.fragment import Fragment
+
+
+@pytest.fixture()
+def frag():
+    return Fragment(0, directed=True)
+
+
+class TestVertexOps:
+    def test_add_vertex(self, frag):
+        assert frag._add_vertex(3)
+        assert frag.has_vertex(3)
+        assert not frag._add_vertex(3)  # idempotent
+        assert frag.num_vertices == 1
+
+    def test_remove_edge_free_vertex(self, frag):
+        frag._add_vertex(3)
+        frag._remove_vertex(3)
+        assert not frag.has_vertex(3)
+
+    def test_remove_vertex_with_edges_rejected(self, frag):
+        frag._add_edge((1, 2))
+        with pytest.raises(ValueError):
+            frag._remove_vertex(1)
+
+    def test_remove_absent_vertex_is_noop(self, frag):
+        frag._remove_vertex(42)
+
+
+class TestEdgeOps:
+    def test_add_edge_creates_endpoints(self, frag):
+        assert frag._add_edge((1, 2))
+        assert frag.has_vertex(1) and frag.has_vertex(2)
+        assert frag.num_edges == 1
+
+    def test_add_edge_idempotent(self, frag):
+        frag._add_edge((1, 2))
+        assert not frag._add_edge((1, 2))
+        assert frag.num_edges == 1
+
+    def test_degrees_directed(self, frag):
+        frag._add_edge((1, 2))
+        frag._add_edge((3, 2))
+        assert frag.local_out_degree(1) == 1
+        assert frag.local_in_degree(2) == 2
+        assert frag.local_in_degree(1) == 0
+
+    def test_degrees_undirected(self):
+        f = Fragment(0, directed=False)
+        f._add_edge((1, 2))
+        assert f.local_in_degree(1) == f.local_out_degree(1) == 1
+        assert f.local_in_degree(2) == 1
+
+    def test_self_loop_degrees(self, frag):
+        frag._add_edge((1, 1))
+        assert frag.local_in_degree(1) == 1
+        assert frag.local_out_degree(1) == 1
+        assert frag.incident_count(1) == 1
+
+    def test_remove_edge_updates_degrees(self, frag):
+        frag._add_edge((1, 2))
+        assert frag._remove_edge((1, 2))
+        assert frag.local_out_degree(1) == 0
+        assert frag.incident_count(2) == 0
+        assert frag.has_vertex(1)  # endpoints stay
+
+    def test_remove_absent_edge(self, frag):
+        assert not frag._remove_edge((5, 6))
+
+
+class TestNeighborIteration:
+    def test_local_neighbors_directed(self, frag):
+        frag._add_edge((1, 2))
+        frag._add_edge((2, 3))
+        assert list(frag.local_out_neighbors(2)) == [3]
+        assert list(frag.local_in_neighbors(2)) == [1]
+
+    def test_local_neighbors_undirected(self):
+        f = Fragment(0, directed=False)
+        f._add_edge((1, 2))
+        f._add_edge((2, 3))
+        assert set(f.local_out_neighbors(2)) == {1, 3}
+        assert set(f.local_in_neighbors(2)) == {1, 3}
+
+    def test_incident_returns_frozen(self, frag):
+        frag._add_edge((1, 2))
+        edges = frag.incident(1)
+        assert edges == frozenset({(1, 2)})
+        assert frag.incident(99) == frozenset()

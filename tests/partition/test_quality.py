@@ -1,0 +1,74 @@
+"""Tests for replication ratios and balance factors (Section 2)."""
+
+import pytest
+
+from repro.costmodel.model import constant_cost_model
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+from repro.partition.quality import (
+    cost_balance_factor,
+    edge_balance_factor,
+    edge_replication_ratio,
+    parallel_cost,
+    vertex_balance_factor,
+    vertex_replication_ratio,
+)
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+
+@pytest.fixture()
+def chain():
+    return Graph(4, [(0, 1), (1, 2), (2, 3)])
+
+
+def test_vertex_cut_has_unit_edge_replication(power_graph):
+    p = make_vertex_cut(power_graph, 4)
+    assert edge_replication_ratio(p) == pytest.approx(1.0)
+    assert vertex_replication_ratio(p) >= 1.0
+
+
+def test_edge_cut_replicates_edges(power_graph):
+    p = make_edge_cut(power_graph, 4)
+    assert edge_replication_ratio(p) > 1.0
+
+
+def test_balance_factor_zero_when_even(chain):
+    # F0 = {0,1} + dummy 2; F1 = {2,3} + dummy 1 -> both hold 3 copies.
+    p = HybridPartition.from_vertex_assignment(chain, [0, 0, 1, 1], 2)
+    assert vertex_balance_factor(p) == pytest.approx(0.0)
+    p2 = HybridPartition.from_edge_assignment(
+        chain, {(0, 1): 0, (1, 2): 0, (2, 3): 1}, 2
+    )
+    assert edge_balance_factor(p2) == pytest.approx(1 / 3)
+
+
+def test_balance_factor_definition():
+    # max/avg - 1: sizes 3 and 1 -> avg 2, lambda = 0.5
+    g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    p = HybridPartition.from_edge_assignment(
+        g, {(0, 1): 0, (1, 2): 0, (2, 3): 0}, 2
+    )
+    assert edge_balance_factor(p) == pytest.approx(1.0)  # 3 vs 0: 3/1.5-1
+
+
+def test_cost_balance_factor_uses_model(chain):
+    p = HybridPartition.from_vertex_assignment(chain, [0, 0, 0, 1], 2)
+    model = constant_cost_model()
+    lam = cost_balance_factor(p, model)
+    # Fragment 0 bears 3 units, fragment 1 bears 1 (+ dummies bear none).
+    assert lam == pytest.approx(0.5)
+
+
+def test_parallel_cost_is_max(chain):
+    p = HybridPartition.from_vertex_assignment(chain, [0, 0, 0, 1], 2)
+    model = constant_cost_model()
+    assert parallel_cost(p, model) == pytest.approx(3.0)
+
+
+def test_empty_graph_ratios():
+    g = Graph(0, [])
+    p = HybridPartition(g, 2)
+    assert vertex_replication_ratio(p) == 1.0
+    assert edge_replication_ratio(p) == 1.0
+    assert vertex_balance_factor(p) == 0.0

@@ -1,0 +1,68 @@
+"""Tests for structural invariant checking."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+from repro.partition.validation import (
+    PartitionInvariantError,
+    check_partition,
+    fragment_role_counts,
+    is_edge_cut,
+    is_vertex_cut,
+)
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+
+def test_valid_partitions_pass(power_graph):
+    check_partition(make_edge_cut(power_graph, 4))
+    check_partition(make_vertex_cut(power_graph, 4))
+
+
+def test_missing_vertex_detected():
+    g = Graph(3, [(0, 1)])
+    p = HybridPartition(g, 2)
+    p.add_edge_to(0, (0, 1))
+    # Vertex 2 never placed.
+    with pytest.raises(PartitionInvariantError, match="not covered"):
+        check_partition(p)
+
+
+def test_missing_edge_detected():
+    g = Graph(2, [(0, 1)])
+    p = HybridPartition(g, 2)
+    p.add_vertex_to(0, 0)
+    p.add_vertex_to(1, 1)
+    with pytest.raises(PartitionInvariantError, match="edges not covered"):
+        check_partition(p)
+
+
+def test_cut_classification(power_graph):
+    ec = make_edge_cut(power_graph, 4)
+    vc = make_vertex_cut(power_graph, 4)
+    assert is_edge_cut(ec)
+    assert not is_vertex_cut(ec)
+    assert is_vertex_cut(vc)
+
+
+def test_hybrid_is_neither():
+    g = Graph(3, [(0, 1), (1, 2)])
+    p = HybridPartition(g, 2)
+    p.add_edge_to(0, (0, 1))
+    p.add_edge_to(1, (0, 1))  # duplicated edge -> not vertex-cut
+    p.add_edge_to(0, (1, 2))
+    p.add_edge_to(1, (1, 2))
+    p.remove_edge_from(0, (1, 2))
+    # Split vertex structure: make 1 v-cut by unbalancing copies.
+    p.remove_edge_from(1, (0, 1))
+    check_partition(p)
+    assert not is_vertex_cut(p) or not is_edge_cut(p)
+
+
+def test_role_counts_sum_to_fragment_sizes(power_graph):
+    p = make_edge_cut(power_graph, 4)
+    counts = fragment_role_counts(p)
+    for fragment, row in zip(p.fragments, counts):
+        assert sum(row.values()) == fragment.num_vertices
+        assert row["v-cut"] == 0  # pure edge-cut has no v-cut copies

@@ -1,0 +1,121 @@
+"""Cross-cutting tests every registered partitioner must satisfy."""
+
+import pytest
+
+from repro.partition.quality import (
+    edge_balance_factor,
+    edge_replication_ratio,
+    vertex_balance_factor,
+)
+from repro.partition.validation import check_partition, is_edge_cut, is_vertex_cut
+from repro.partitioners.base import PARTITIONER_NAMES, get_partitioner
+
+ALL_NAMES = sorted(PARTITIONER_NAMES)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_output_is_valid_partition(name, power_graph):
+    partition = get_partitioner(name).partition(power_graph, 4)
+    check_partition(partition)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_respects_fragment_count(name, power_graph):
+    partition = get_partitioner(name).partition(power_graph, 3)
+    assert partition.num_fragments == 3
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_deterministic(name, power_graph):
+    a = get_partitioner(name).partition(power_graph, 4)
+    b = get_partitioner(name).partition(power_graph, 4)
+    assert [set(f.edges()) for f in a.fragments] == [
+        set(f.edges()) for f in b.fragments
+    ]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_single_fragment_trivial(name, power_graph):
+    partition = get_partitioner(name).partition(power_graph, 1)
+    check_partition(partition)
+    assert partition.fragments[0].num_edges == power_graph.num_edges
+
+
+@pytest.mark.parametrize("name", ["hash", "fennel", "xtrapulp"])
+def test_edge_cut_family(name, power_graph):
+    partition = get_partitioner(name).partition(power_graph, 4)
+    assert is_edge_cut(partition)
+    assert get_partitioner(name).cut_type == "edge"
+
+
+@pytest.mark.parametrize("name", ["grid", "ne", "dbh", "hdrf", "ginger", "topox"])
+def test_disjoint_edge_family(name, power_graph):
+    partition = get_partitioner(name).partition(power_graph, 4)
+    assert is_vertex_cut(partition)
+    assert edge_replication_ratio(partition) == pytest.approx(1.0)
+
+
+def test_unknown_partitioner_rejected():
+    with pytest.raises(KeyError):
+        get_partitioner("metis9000")
+
+
+def test_registry_contains_paper_roster():
+    for name in ("xtrapulp", "fennel", "grid", "ne", "ginger", "topox"):
+        assert name in PARTITIONER_NAMES
+
+
+class TestQualityCharacteristics:
+    """Each baseline's signature behaviour (Table 3's qualitative shape)."""
+
+    def test_hash_balances_vertices(self, power_graph):
+        p = get_partitioner("hash").partition(power_graph, 4)
+        assert vertex_balance_factor(p) < 0.3
+
+    def test_fennel_respects_capacity(self, power_graph):
+        p = get_partitioner("fennel", slack=1.1).partition(power_graph, 4)
+        cap = 1.1 * power_graph.num_vertices / 4
+        # Count only home (e-cut designated) vertices against capacity.
+        homes = [0] * 4
+        for v in power_graph.vertices:
+            homes[p.designated_home(v)] += 1
+        assert max(homes) <= cap + 1
+
+    def test_grid_replication_bound(self, power_graph):
+        p = get_partitioner("grid").partition(power_graph, 4)
+        # 2x2 grid: r + c - 1 = 3 copies max per vertex.
+        for v, hosts in p.vertex_fragments():
+            assert len(hosts) <= 3
+
+    def test_ne_beats_grid_on_replication(self, power_graph):
+        from repro.partition.quality import vertex_replication_ratio
+
+        ne = get_partitioner("ne").partition(power_graph, 4)
+        grid = get_partitioner("grid").partition(power_graph, 4)
+        assert vertex_replication_ratio(ne) <= vertex_replication_ratio(grid)
+
+    def test_ne_edge_balance_tight(self, power_graph):
+        p = get_partitioner("ne").partition(power_graph, 4)
+        assert edge_balance_factor(p) < 0.25
+
+    def test_hdrf_balances_edges(self, power_graph):
+        p = get_partitioner("hdrf").partition(power_graph, 4)
+        assert edge_balance_factor(p) < 0.2
+
+    def test_ginger_splits_high_degree_only(self, power_graph):
+        p = get_partitioner("ginger", threshold=10.0).partition(power_graph, 4)
+        for v in power_graph.vertices:
+            if power_graph.in_degree(v) <= 10 and p.is_vcut_vertex(v):
+                # Low-degree vertices keep their in-edges together; only
+                # out-edges to other homes may split them.
+                in_edges = set()
+                for fid in p.placement(v):
+                    for e in p.fragments[fid].incident(v):
+                        if e[1] == v:
+                            in_edges.add(fid)
+                            break
+                assert len(in_edges) <= max(1, power_graph.in_degree(v))
+
+    def test_topox_fuses_low_degree(self, power_graph):
+        p = get_partitioner("topox", max_supernode=8).partition(power_graph, 4)
+        check_partition(p)

@@ -1,0 +1,129 @@
+"""Tests for the METIS-style multilevel and LDG partitioners."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import (
+    chung_lu_power_law,
+    clique_collection,
+    path_graph,
+    road_grid,
+    star_graph,
+)
+from repro.partition.quality import edge_balance_factor, vertex_balance_factor
+from repro.partition.validation import check_partition, is_edge_cut
+from repro.partitioners.base import get_partitioner
+from repro.partitioners.multilevel import (
+    MultilevelEdgeCut,
+    _build_base_level,
+    _coarsen,
+)
+
+import numpy as np
+
+
+class TestCoarsening:
+    def test_base_level_symmetric_adjacency(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        level = _build_base_level(g)
+        assert level.adjacency[0] == {1: 1}
+        assert level.adjacency[1] == {0: 1, 2: 1}
+
+    def test_coarsening_shrinks_path(self):
+        g = path_graph(16)
+        level = _build_base_level(g)
+        coarse = _coarsen(level, np.random.default_rng(0))
+        # Randomized matching rarely achieves the perfect 2x, but must
+        # shrink substantially and conserve total vertex weight.
+        assert 8 <= coarse.num_vertices <= 12
+        assert sum(coarse.vertex_weight) == 16
+
+    def test_weights_accumulate(self):
+        g = clique_collection([4, 4])
+        level = _build_base_level(g)
+        coarse = _coarsen(level, np.random.default_rng(1))
+        assert sum(coarse.vertex_weight) == 8
+        assert max(coarse.vertex_weight) == 2
+
+    def test_disconnected_cliques_never_merge_across(self):
+        g = clique_collection([3, 3])
+        level = _build_base_level(g)
+        coarse = _coarsen(level, np.random.default_rng(2))
+        # No coarse vertex mixes members of both cliques (no edges across).
+        members = {}
+        for v in range(6):
+            members.setdefault(coarse.parent_of_fine[v], set()).add(v // 3)
+        assert all(len(cliques) == 1 for cliques in members.values())
+
+
+class TestMultilevelPartition:
+    def test_valid_edge_cut(self):
+        g = chung_lu_power_law(800, 8.0, seed=9)
+        p = MultilevelEdgeCut().partition(g, 4)
+        check_partition(p)
+        assert is_edge_cut(p)
+
+    def test_better_edge_balance_than_streaming(self):
+        g = chung_lu_power_law(1500, 8.0, seed=10)
+        metis = get_partitioner("metis").partition(g, 4)
+        fennel = get_partitioner("fennel").partition(g, 4)
+        assert edge_balance_factor(metis) < edge_balance_factor(fennel)
+
+    def test_grid_graph_cut_quality(self):
+        # On a 2-D grid a multilevel cut should be near-planar: the cut
+        # edge fraction must stay small.
+        g = road_grid(20, 20)
+        p = MultilevelEdgeCut().partition(g, 2)
+        duplicated = p.total_edge_copies() - g.num_edges
+        assert duplicated < 0.2 * g.num_edges
+
+    def test_weight_balance_respected(self):
+        g = chung_lu_power_law(600, 6.0, seed=11)
+        p = MultilevelEdgeCut(balance=1.05).partition(g, 3)
+        homes = [0] * 3
+        for v in g.vertices:
+            homes[p.designated_home(v)] += 1
+        assert max(homes) <= 1.15 * g.num_vertices / 3
+
+    def test_star_graph_no_infinite_loop(self):
+        # Matching stalls on stars (hub can match only one leaf).
+        g = star_graph(200).as_undirected()
+        p = MultilevelEdgeCut(coarsen_to=16).partition(g, 2)
+        check_partition(p)
+
+    def test_empty_graph(self):
+        p = MultilevelEdgeCut().partition(Graph(0, []), 2)
+        assert p.num_fragments == 2
+
+    def test_deterministic(self):
+        g = chung_lu_power_law(400, 6.0, seed=12)
+        a = MultilevelEdgeCut(seed=3).partition(g, 4)
+        b = MultilevelEdgeCut(seed=3).partition(g, 4)
+        assert [set(f.edges()) for f in a.fragments] == [
+            set(f.edges()) for f in b.fragments
+        ]
+
+
+class TestLDG:
+    def test_valid_edge_cut(self, power_graph):
+        p = get_partitioner("ldg").partition(power_graph, 4)
+        check_partition(p)
+        assert is_edge_cut(p)
+
+    def test_capacity_respected(self, power_graph):
+        p = get_partitioner("ldg", slack=1.1).partition(power_graph, 4)
+        homes = [0] * 4
+        for v in power_graph.vertices:
+            homes[p.designated_home(v)] += 1
+        assert max(homes) <= 1.1 * power_graph.num_vertices / 4 + 1
+
+    def test_custom_stream_order(self, power_graph):
+        order = list(reversed(range(power_graph.num_vertices)))
+        p = get_partitioner("ldg", order=order).partition(power_graph, 4)
+        check_partition(p)
+
+    def test_registered(self):
+        from repro.partitioners.base import PARTITIONER_NAMES
+
+        assert "ldg" in PARTITIONER_NAMES
+        assert "metis" in PARTITIONER_NAMES

@@ -1,0 +1,101 @@
+"""Property-based partition-transparency tests.
+
+For any random graph and any random hybrid-ish partition of it, every
+algorithm must return exactly the single-machine reference answer.  This
+is the library's deepest invariant — the refiners rely on it to move
+state around without changing results.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.algorithms.reference import (
+    reference_common_neighbors,
+    reference_sssp,
+    reference_triangle_count,
+    reference_wcc,
+)
+from repro.algorithms.registry import get_algorithm
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_hybrid_partitions(draw):
+    """A random graph plus a random *hybrid* partition of it.
+
+    Starts from a random vertex-cut and then duplicates a few random
+    edges into extra fragments, producing genuine hybrid structure
+    (replicated edges, mixed roles).
+    """
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=1,
+            max_size=3 * n,
+        )
+    )
+    graph = Graph(n, edges, directed=draw(st.booleans()))
+    k = draw(st.integers(min_value=2, max_value=3))
+    assignment = {e: draw(st.integers(0, k - 1)) for e in graph.edges()}
+    partition = HybridPartition.from_edge_assignment(graph, assignment, k)
+    all_edges = list(graph.edges())
+    for _ in range(draw(st.integers(0, 5))):
+        edge = all_edges[draw(st.integers(0, len(all_edges) - 1))]
+        partition.add_edge_to(draw(st.integers(0, k - 1)), edge)
+    return graph, partition
+
+
+@given(random_hybrid_partitions())
+@SETTINGS
+def test_wcc_transparent(case):
+    graph, partition = case
+    assert get_algorithm("wcc").run(partition).values == reference_wcc(graph)
+
+
+@given(random_hybrid_partitions())
+@SETTINGS
+def test_sssp_transparent(case):
+    graph, partition = case
+    assert get_algorithm("sssp").run(partition, source=0).values == reference_sssp(
+        graph, 0
+    )
+
+
+@given(random_hybrid_partitions())
+@SETTINGS
+def test_triangle_count_transparent(case):
+    graph, partition = case
+    assert get_algorithm("tc").run(partition).values == reference_triangle_count(
+        graph
+    )
+
+
+@given(random_hybrid_partitions())
+@SETTINGS
+def test_common_neighbors_transparent(case):
+    graph, partition = case
+    assert get_algorithm("cn").run(
+        partition, return_pairs=True
+    ).values == reference_common_neighbors(graph, return_pairs=True)
+
+
+@given(random_hybrid_partitions(), st.integers(1, 4))
+@SETTINGS
+def test_pagerank_transparent(case, iterations):
+    from repro.algorithms.reference import reference_pagerank
+
+    graph, partition = case
+    result = get_algorithm("pr").run(partition, iterations=iterations)
+    reference = reference_pagerank(graph, iterations=iterations)
+    for v in graph.vertices:
+        assert abs(result.values[v] - reference[v]) < 1e-9

@@ -1,0 +1,86 @@
+"""Property-based tests for the composite partition representation."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph.digraph import Graph
+from repro.partition.composite import CompositePartition
+from repro.partition.hybrid import HybridPartition
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def composite_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=1,
+            max_size=3 * n,
+        )
+    )
+    graph = Graph(n, edges, directed=True)
+    k = draw(st.integers(min_value=2, max_value=3))
+    num_partitions = draw(st.integers(min_value=2, max_value=3))
+    partitions = {}
+    for j in range(num_partitions):
+        assignment = [draw(st.integers(0, k - 1)) for _ in range(n)]
+        partitions[f"alg{j}"] = HybridPartition.from_vertex_assignment(
+            graph, assignment, k
+        )
+    return CompositePartition(partitions)
+
+
+@given(composite_cases())
+@SETTINGS
+def test_core_plus_residual_reconstructs_each_partition(composite):
+    for j, name in enumerate(composite.names):
+        partition = composite.partition_for(name)
+        for comp, fragment in zip(
+            composite.composite_fragments, partition.fragments
+        ):
+            assert comp.core_edges | comp.residual_edges[j] == set(fragment.edges())
+            assert comp.core_vertices | comp.residual_vertices[j] == set(
+                fragment.vertices()
+            )
+
+
+@given(composite_cases())
+@SETTINGS
+def test_fc_bounded_by_separate_storage(composite):
+    assert (
+        composite.composite_replication_ratio()
+        <= composite.separate_storage_ratio() + 1e-9
+    )
+    assert 0.0 <= composite.space_saving() <= 1.0
+
+
+@given(composite_cases())
+@SETTINGS
+def test_edge_index_complete(composite):
+    for j, name in enumerate(composite.names):
+        partition = composite.partition_for(name)
+        for comp, fragment in zip(
+            composite.composite_fragments, partition.fragments
+        ):
+            for edge in fragment.edges():
+                in_core, residuals = comp.locate_edge(edge)
+                assert in_core or j in residuals
+
+
+@given(composite_cases())
+@SETTINGS
+def test_delete_every_edge_empties_index(composite):
+    for edge in list(composite.graph.edges()):
+        composite.delete_edge(edge)
+    assert composite.index_size() == 0
+    for comp in composite.composite_fragments:
+        assert not comp.core_edges
+        assert all(not r for r in comp.residual_edges)

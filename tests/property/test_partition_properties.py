@@ -1,0 +1,126 @@
+"""Property-based tests: partition invariants under random construction
+and random mutation sequences."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.partition.quality import (
+    edge_replication_ratio,
+    vertex_replication_ratio,
+)
+from repro.partition.validation import check_partition, is_edge_cut, is_vertex_cut
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=12, directed=None):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    if directed is None:
+        directed = draw(st.booleans())
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=3 * n,
+        )
+    )
+    return Graph(n, edges, directed=directed)
+
+
+@st.composite
+def edge_cut_cases(draw):
+    graph = draw(graphs())
+    k = draw(st.integers(min_value=1, max_value=4))
+    assignment = [draw(st.integers(0, k - 1)) for _ in range(graph.num_vertices)]
+    return graph, assignment, k
+
+
+@st.composite
+def vertex_cut_cases(draw):
+    graph = draw(graphs())
+    k = draw(st.integers(min_value=1, max_value=4))
+    assignment = {e: draw(st.integers(0, k - 1)) for e in graph.edges()}
+    return graph, assignment, k
+
+
+@given(edge_cut_cases())
+@SETTINGS
+def test_vertex_assignment_always_valid_edge_cut(case):
+    graph, assignment, k = case
+    p = HybridPartition.from_vertex_assignment(graph, assignment, k)
+    check_partition(p)
+    assert is_edge_cut(p)
+
+
+@given(vertex_cut_cases())
+@SETTINGS
+def test_edge_assignment_always_valid_vertex_cut(case):
+    graph, assignment, k = case
+    p = HybridPartition.from_edge_assignment(graph, assignment, k)
+    check_partition(p)
+    assert is_vertex_cut(p)
+    assert edge_replication_ratio(p) <= 1.0 + 1e-9
+
+
+@given(edge_cut_cases())
+@SETTINGS
+def test_exactly_one_bearing_copy_per_ecut_vertex(case):
+    graph, assignment, k = case
+    p = HybridPartition.from_vertex_assignment(graph, assignment, k)
+    for v in graph.vertices:
+        bearing = [
+            fid for fid in p.placement(v) if p.role(v, fid) is not NodeRole.DUMMY
+        ]
+        assert len(bearing) == 1
+
+
+@given(vertex_cut_cases(), st.randoms(use_true_random=False))
+@SETTINGS
+def test_random_mutations_preserve_invariants(case, rng):
+    graph, assignment, k = case
+    p = HybridPartition.from_edge_assignment(graph, assignment, k)
+    edges = list(graph.edges())
+    for _ in range(15):
+        if not edges:
+            break
+        edge = rng.choice(edges)
+        fid = rng.randrange(k)
+        if p.fragments[fid].has_edge(edge):
+            holders = [f for f in range(k) if p.fragments[f].has_edge(edge)]
+            if len(holders) > 1:
+                p.remove_edge_from(fid, edge)
+        else:
+            p.add_edge_to(fid, edge)
+    check_partition(p)
+
+
+@given(edge_cut_cases())
+@SETTINGS
+def test_replication_ratios_at_least_one(case):
+    graph, assignment, k = case
+    p = HybridPartition.from_vertex_assignment(graph, assignment, k)
+    if graph.num_vertices:
+        assert vertex_replication_ratio(p) >= 1.0 - 1e-9
+    if graph.num_edges:
+        assert edge_replication_ratio(p) >= 1.0 - 1e-9
+
+
+@given(edge_cut_cases())
+@SETTINGS
+def test_copy_roundtrip_preserves_structure(case):
+    graph, assignment, k = case
+    p = HybridPartition.from_vertex_assignment(graph, assignment, k)
+    clone = p.copy()
+    assert clone.total_vertex_copies() == p.total_vertex_copies()
+    assert clone.total_edge_copies() == p.total_edge_copies()
+    for v, hosts in p.vertex_fragments():
+        assert clone.placement(v) == hosts
+        assert clone.master(v) == p.master(v)

@@ -1,0 +1,76 @@
+"""Property-based tests for polynomial cost functions."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.costmodel.polynomial import Monomial, PolynomialCostFunction
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+coefficients = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+powers = st.dictionaries(
+    st.sampled_from(["x", "y", "z"]), st.integers(1, 3), max_size=3
+)
+features = st.fixed_dictionaries(
+    {
+        "x": st.floats(0.1, 50, allow_nan=False),
+        "y": st.floats(0.1, 50, allow_nan=False),
+        "z": st.floats(0.1, 50, allow_nan=False),
+    }
+)
+
+
+@st.composite
+def polynomials(draw, max_terms=5):
+    terms = [
+        Monomial(draw(coefficients), draw(powers))
+        for _ in range(draw(st.integers(1, max_terms)))
+    ]
+    return PolynomialCostFunction(terms)
+
+
+@given(polynomials(), features)
+@SETTINGS
+def test_serialization_round_trip_preserves_value(poly, feats):
+    clone = PolynomialCostFunction.from_dict(poly.to_dict())
+    assert abs(clone.evaluate(feats) - poly.evaluate(feats)) < 1e-6 * (
+        1 + abs(poly.evaluate(feats))
+    )
+
+
+@given(polynomials(), features)
+@SETTINGS
+def test_evaluate_equals_term_sum(poly, feats):
+    total = sum(t.evaluate(feats) for t in poly.terms)
+    assert poly.evaluate(feats) == total
+
+
+@given(polynomials(), features, st.floats(0.1, 10, allow_nan=False))
+@SETTINGS
+def test_coefficient_scaling_scales_value(poly, feats, factor):
+    scaled = poly.with_coefficients([c * factor for c in poly.coefficients()])
+    assert abs(scaled.evaluate(feats) - factor * poly.evaluate(feats)) < 1e-6 * (
+        1 + abs(factor * poly.evaluate(feats))
+    )
+
+
+@given(polynomials(), features)
+@SETTINGS
+def test_pruned_drops_only_zero_terms(poly, feats):
+    pruned = poly.pruned(0.0)
+    assert abs(pruned.evaluate(feats) - poly.evaluate(feats)) < 1e-9 * (
+        1 + abs(poly.evaluate(feats))
+    )
+
+
+@given(st.integers(1, 4), st.integers(1, 3))
+@SETTINGS
+def test_expansion_term_count_matches_combinatorics(num_vars, degree):
+    import math
+
+    variables = [f"v{i}" for i in range(num_vars)]
+    poly = PolynomialCostFunction.expansion(variables, degree)
+    expected = math.comb(num_vars + degree, degree)  # C(n+d, d) monomials
+    assert len(poly.terms) == expected

@@ -1,0 +1,98 @@
+"""Property-based tests for the refiners: validity and algorithm
+correctness must survive refinement of arbitrary partitions."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.algorithms.reference import reference_wcc
+from repro.algorithms.registry import get_algorithm
+from repro.core.e2h import E2H
+from repro.core.tracker import CostTracker
+from repro.core.v2h import V2H
+from repro.costmodel.library import builtin_cost_model
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+from repro.partition.validation import check_partition
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def partitioned_graphs(draw, vertex_cut=False):
+    n = draw(st.integers(min_value=3, max_value=14))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=1,
+            max_size=4 * n,
+        )
+    )
+    graph = Graph(n, edges, directed=draw(st.booleans()))
+    k = draw(st.integers(min_value=2, max_value=3))
+    if vertex_cut:
+        assignment = {e: draw(st.integers(0, k - 1)) for e in graph.edges()}
+        partition = HybridPartition.from_edge_assignment(graph, assignment, k)
+    else:
+        assignment = [draw(st.integers(0, k - 1)) for _ in range(n)]
+        partition = HybridPartition.from_vertex_assignment(graph, assignment, k)
+    return graph, partition
+
+
+@given(partitioned_graphs(vertex_cut=False), st.sampled_from(["cn", "pr", "wcc"]))
+@SETTINGS
+def test_e2h_validity_and_bounded_overshoot(case, alg):
+    """E2H is greedy: it cannot guarantee strict improvement on arbitrary
+    (including already-balanced) inputs, but no fragment's computational
+    cost may exceed the larger of the initial maximum and the budget by
+    more than one vertex's worth of granularity."""
+    graph, partition = case
+    model = builtin_cost_model(alg)
+    t0 = CostTracker(partition, model)
+    before_max = max(t0.comp_costs())
+    budget = sum(t0.comp_costs()) / partition.num_fragments
+    max_price = max(
+        (t0.price_as_ecut(v) for v in graph.vertices), default=0.0
+    )
+    t0.detach()
+    refined = E2H(model).refine(partition)
+    check_partition(refined)
+    t1 = CostTracker(refined, model)
+    after_max = max(t1.comp_costs())
+    # Two vertices' granularity: an ESplit edge move can co-locate both
+    # endpoints' bearing copies on the receiving fragment.
+    bound = max(before_max, budget) + 2.0 * max_price
+    assert after_max <= bound * 1.05 + 1e-9
+    t1.detach()
+
+
+@given(partitioned_graphs(vertex_cut=True), st.sampled_from(["tc", "pr"]))
+@SETTINGS
+def test_v2h_preserves_validity(case, alg):
+    _graph, partition = case
+    model = builtin_cost_model(alg)
+    refined = V2H(model).refine(partition)
+    check_partition(refined)
+
+
+@given(partitioned_graphs(vertex_cut=False))
+@SETTINGS
+def test_wcc_correct_on_refined_partition(case):
+    graph, partition = case
+    refined = E2H(builtin_cost_model("wcc")).refine(partition)
+    result = get_algorithm("wcc").run(refined)
+    assert result.values == reference_wcc(graph)
+
+
+@given(partitioned_graphs(vertex_cut=True))
+@SETTINGS
+def test_wcc_correct_on_v2h_refined_partition(case):
+    graph, partition = case
+    refined = V2H(builtin_cost_model("wcc")).refine(partition)
+    result = get_algorithm("wcc").run(refined)
+    assert result.values == reference_wcc(graph)

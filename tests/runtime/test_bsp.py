@@ -1,0 +1,101 @@
+"""Tests for the BSP cluster simulator."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+from repro.runtime.bsp import Cluster
+from repro.runtime.costclock import CostClock
+
+
+@pytest.fixture()
+def cluster():
+    g = Graph(4, [(0, 1), (2, 3)])
+    p = HybridPartition.from_vertex_assignment(g, [0, 0, 1, 1], 2)
+    return Cluster(p, clock=CostClock(op_cost=1.0, byte_cost=1.0, superstep_latency=0.5))
+
+
+class TestCharging:
+    def test_comp_charge_accumulates(self, cluster):
+        cluster.charge(0, 5)
+        cluster.charge(0, 3)
+        cluster.deliver()
+        assert cluster.profile.comp_ops_by_worker[0] == 8
+
+    def test_zero_and_negative_charges_ignored(self, cluster):
+        cluster.charge(0, 0)
+        cluster.charge(0, -5)
+        assert cluster.profile.comp_ops_by_worker.get(0, 0) == 0
+
+    def test_vertex_attribution(self, cluster):
+        cluster.charge(1, 4, vertex=7)
+        assert cluster.profile.comp_ops_by_copy[(1, 7)] == 4
+
+
+class TestMessaging:
+    def test_messages_delivered_next_superstep(self, cluster):
+        cluster.send(0, 1, "hello", nbytes=5)
+        inboxes = cluster.deliver()
+        assert inboxes[1] == ["hello"]
+        assert inboxes[0] == []
+
+    def test_local_messages_free(self, cluster):
+        cluster.send(0, 0, "self", nbytes=100)
+        inboxes = cluster.deliver()
+        assert inboxes[0] == ["self"]
+        assert cluster.profile.bytes_by_worker.get(0, 0) == 0
+
+    def test_remote_bytes_charged_both_ends(self, cluster):
+        cluster.send(0, 1, "x", nbytes=10)
+        cluster.deliver()
+        assert cluster.profile.bytes_by_worker[0] == 10
+        assert cluster.profile.bytes_by_worker[1] == 10
+
+    def test_master_vertex_attribution(self, cluster):
+        cluster.send(0, 1, "sync", nbytes=12, master_vertex=3)
+        cluster.deliver()
+        assert cluster.profile.comm_bytes_by_master[3] == 12
+
+
+class TestClock:
+    def test_superstep_time_is_max_plus_latency(self, cluster):
+        cluster.charge(0, 10)
+        cluster.charge(1, 4)
+        cluster.send(0, 1, "m", nbytes=3)
+        cluster.deliver()
+        # max ops 10 * 1.0 + max bytes 3 * 1.0 + latency 0.5
+        assert cluster.profile.makespan == pytest.approx(13.5)
+
+    def test_makespan_accumulates(self, cluster):
+        cluster.charge(0, 1)
+        cluster.deliver()
+        cluster.charge(1, 2)
+        cluster.deliver()
+        assert cluster.profile.makespan == pytest.approx(1.5 + 2.5)
+        assert cluster.profile.num_supersteps == 2
+
+    def test_finish_flushes_pending(self, cluster):
+        cluster.charge(0, 1)
+        profile = cluster.finish()
+        assert profile.num_supersteps == 1
+
+    def test_finish_idempotent_when_clean(self, cluster):
+        cluster.deliver()
+        before = cluster.profile.num_supersteps
+        cluster.finish()
+        assert cluster.profile.num_supersteps == before
+
+
+class TestProfile:
+    def test_summary_string(self, cluster):
+        cluster.charge(0, 3)
+        cluster.deliver()
+        text = cluster.profile.summary()
+        assert "supersteps" in text
+
+    def test_worker_time(self, cluster):
+        cluster.charge(0, 10)
+        cluster.send(0, 1, "m", nbytes=4)
+        cluster.deliver()
+        clock = cluster.clock
+        assert cluster.profile.worker_time(0, clock) == pytest.approx(14.0)

@@ -1,0 +1,30 @@
+"""Tests for the cost clock presets."""
+
+import pytest
+
+from repro.runtime.costclock import CostClock
+
+
+def test_default_superstep_time():
+    clock = CostClock(op_cost=2.0, byte_cost=0.5, superstep_latency=1.0)
+    assert clock.superstep_time(10, 4) == pytest.approx(20 + 2 + 1)
+
+
+def test_zero_work_costs_latency_only():
+    clock = CostClock()
+    assert clock.superstep_time(0, 0) == pytest.approx(clock.superstep_latency)
+
+
+def test_multicore_profile_cheaper_communication():
+    network = CostClock()
+    multicore = CostClock.multicore()
+    assert multicore.byte_cost < network.byte_cost / 10
+    assert multicore.superstep_latency < network.superstep_latency
+    # Computation charge unchanged: same workloads stay comparable.
+    assert multicore.op_cost == network.op_cost
+
+
+def test_frozen():
+    clock = CostClock()
+    with pytest.raises(Exception):
+        clock.op_cost = 5.0

@@ -1,0 +1,43 @@
+"""Tests for run profiles and superstep records."""
+
+import pytest
+
+from repro.runtime.costclock import CostClock
+from repro.runtime.instrumentation import RunProfile, SuperstepRecord
+
+
+def test_superstep_record_maxima():
+    record = SuperstepRecord(
+        index=0,
+        ops_by_worker={0: 5.0, 1: 9.0},
+        bytes_by_worker={0: 2.0, 1: 1.0},
+        time=1.0,
+    )
+    assert record.max_ops == 9.0
+    assert record.max_bytes == 2.0
+
+
+def test_superstep_record_empty_maxima():
+    record = SuperstepRecord(index=0, ops_by_worker={}, bytes_by_worker={}, time=0.0)
+    assert record.max_ops == 0.0
+    assert record.max_bytes == 0.0
+
+
+def test_profile_totals_and_worker_time():
+    profile = RunProfile(
+        num_workers=2,
+        comp_ops_by_worker={0: 100.0, 1: 50.0},
+        bytes_by_worker={0: 10.0},
+    )
+    assert profile.total_ops == 150.0
+    assert profile.total_bytes == 10.0
+    clock = CostClock(op_cost=1.0, byte_cost=2.0, superstep_latency=0.0)
+    assert profile.worker_time(0, clock) == pytest.approx(120.0)
+    assert profile.worker_time(1, clock) == pytest.approx(50.0)
+    assert profile.worker_time(9, clock) == 0.0
+
+
+def test_profile_summary_mentions_makespan():
+    profile = RunProfile(num_workers=1, makespan=0.5)
+    assert "ms" in profile.summary()
+    assert profile.num_supersteps == 0
