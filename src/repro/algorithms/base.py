@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from repro.partition.fragment import Edge
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.bsp import Cluster
 from repro.runtime.costclock import CostClock
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.instrumentation import RunProfile
 
 
@@ -38,10 +39,23 @@ class AlgorithmResult:
 
 
 class Algorithm(abc.ABC):
-    """A graph algorithm runnable over any hybrid partition."""
+    """A graph algorithm runnable over any hybrid partition.
+
+    Fault tolerance is driver-level and transparent to implementations:
+    :meth:`configure_faults` (or the per-run ``faults`` /
+    ``checkpoint_interval`` params) threads a fault plan and checkpoint
+    interval into the simulated cluster, each implementation registers
+    its vertex state via :meth:`Cluster.set_snapshot`, and the cluster's
+    rollback-recovery loop does the rest.  Results are unchanged by
+    construction; only the profile gains failure/recovery accounting.
+    """
 
     #: short registry name, e.g. ``"pr"``
     name: str = "abstract"
+
+    #: default runtime-degradation config; see :meth:`configure_faults`
+    fault_plan: Optional[Union[FaultPlan, FaultInjector]] = None
+    checkpoint_interval: int = 0
 
     @abc.abstractmethod
     def run(
@@ -50,12 +64,48 @@ class Algorithm(abc.ABC):
         clock: Optional[CostClock] = None,
         **params: Any,
     ) -> AlgorithmResult:
-        """Execute over ``partition`` on a fresh simulated cluster."""
+        """Execute over ``partition`` on a fresh simulated cluster.
+
+        All implementations additionally accept the runtime params
+        ``faults`` (a :class:`FaultPlan`) and ``checkpoint_interval``
+        (supersteps between state snapshots), consumed by
+        :meth:`_cluster` before algorithm-specific params are read.
+        """
+
+    def configure_faults(
+        self,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        checkpoint_interval: int = 0,
+    ) -> "Algorithm":
+        """Set the default fault plan / checkpoint interval for future runs.
+
+        Returns ``self`` so call sites can chain
+        ``get_algorithm("pr").configure_faults(plan, 4).run(partition)``.
+        """
+        self.fault_plan = faults
+        self.checkpoint_interval = int(checkpoint_interval)
+        return self
 
     def _cluster(
-        self, partition: HybridPartition, clock: Optional[CostClock]
+        self,
+        partition: HybridPartition,
+        clock: Optional[CostClock],
+        params: Optional[Dict[str, Any]] = None,
     ) -> Cluster:
-        return Cluster(partition, clock=clock)
+        """Build the run's cluster, consuming runtime params if present."""
+        faults = self.fault_plan
+        checkpoint_interval = self.checkpoint_interval
+        if params is not None:
+            faults = params.pop("faults", faults)
+            checkpoint_interval = int(
+                params.pop("checkpoint_interval", checkpoint_interval) or 0
+            )
+        return Cluster(
+            partition,
+            clock=clock,
+            faults=faults,
+            checkpoint_interval=checkpoint_interval,
+        )
 
 
 def compute_edge_owners(

@@ -48,10 +48,11 @@ class CommonNeighbors(Algorithm):
         if theta is None:
             theta = math.inf
         graph = partition.graph
-        cluster = self._cluster(partition, clock)
+        cluster = self._cluster(partition, clock, params)
 
         pair_counts: Dict[Tuple[int, int], int] = {}
         total = 0
+        cluster.set_snapshot(lambda: (total, pair_counts))
 
         def count_pairs(fid: int, v: int, neighbors: List[int]) -> None:
             nonlocal total

@@ -51,13 +51,14 @@ class PageRank(Algorithm):
         n = max(1, graph.num_vertices)
         base = (1.0 - damping) / n
 
-        cluster = self._cluster(partition, clock)
+        cluster = self._cluster(partition, clock, params)
         owners = compute_edge_owners(partition, target_aware=graph.directed)
 
         # Every fragment holds the current rank of each vertex copy.
         ranks: Dict[int, Dict[int, float]] = {
             f.fid: {v: 1.0 / n for v in f.vertices()} for f in partition.fragments
         }
+        cluster.set_snapshot(lambda: ranks)
         out_deg = graph.out_degrees()
 
         for _ in range(iterations):

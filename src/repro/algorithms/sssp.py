@@ -46,12 +46,13 @@ class SingleSourceShortestPath(Algorithm):
         source = int(params.get("source", self.source))
         max_iterations = int(params.get("max_iterations", self.max_iterations))
         graph = partition.graph
-        cluster = self._cluster(partition, clock)
+        cluster = self._cluster(partition, clock, params)
 
         dist: Dict[int, Dict[int, float]] = {
             f.fid: {v: INF for v in f.vertices()} for f in partition.fragments
         }
         active: Dict[int, Set[int]] = {f.fid: set() for f in partition.fragments}
+        cluster.set_snapshot(lambda: (dist, active))
         for fid in partition.placement(source):
             dist[fid][source] = 0.0
             active[fid].add(source)

@@ -39,7 +39,7 @@ class TriangleCounting(Algorithm):
     ) -> AlgorithmResult:
         """Count triangles over the partition (see class docs)."""
         graph = partition.graph
-        cluster = self._cluster(partition, clock)
+        cluster = self._cluster(partition, clock, params)
 
         def order(v: int) -> Tuple[int, int]:
             return (graph.degree(v), v)
@@ -54,6 +54,7 @@ class TriangleCounting(Algorithm):
         # qid -> [outstanding replies, found flag]
         pending: Dict[int, List] = {}
         next_qid = 0
+        cluster.set_snapshot(lambda: (triangles, pending))
 
         def check_wedge(fid: int, pivot: int, a: int, b: int) -> None:
             """Verify closing edge (a, b) for a wedge generated at ``fid``."""

@@ -40,11 +40,12 @@ class WeaklyConnectedComponents(Algorithm):
     ) -> AlgorithmResult:
         """Run WCC to fixpoint over the partition (see class docs)."""
         max_iterations = int(params.get("max_iterations", self.max_iterations))
-        cluster = self._cluster(partition, clock)
+        cluster = self._cluster(partition, clock, params)
 
         labels: Dict[int, Dict[int, int]] = {
             f.fid: {v: v for v in f.vertices()} for f in partition.fragments
         }
+        cluster.set_snapshot(lambda: labels)
 
         for _ in range(max_iterations):
             proposals: Dict[int, Dict[int, int]] = {

@@ -13,6 +13,12 @@ Four subcommands cover the library's pipeline without writing Python::
 ``partition --refine ALG`` runs the application-driven refiner for that
 algorithm's cost model after the baseline; ``evaluate`` reports each
 algorithm's simulated parallel runtime on the stored partition.
+
+``evaluate`` can also degrade the simulated substrate deterministically
+(``--crash W:S``, ``--drop-rate``, ``--duplicate-rate``,
+``--straggler W:F``, ``--faults-seed``) with superstep checkpointing and
+rollback recovery (``--checkpoint-interval``); results are unchanged,
+and the table gains failure/recovery/checkpoint columns.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.partition.quality import (
 from repro.partition.serialize import load_partition, save_partition
 from repro.partition.validation import check_partition
 from repro.partitioners.base import PARTITIONER_NAMES, get_partitioner
+from repro.runtime.faults import CrashFault, FaultPlan, StragglerFault
 
 
 def _load_graph(path: str):
@@ -109,28 +116,76 @@ def cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pair(spec: str, option: str, cast=int):
+    """Parse a ``"A:B"`` CLI spec into a ``(int, cast)`` pair."""
+    try:
+        left, right = spec.split(":", 1)
+        return int(left), cast(right)
+    except ValueError:
+        raise SystemExit(
+            f"error: {option} expects WORKER:{'SUPERSTEP' if cast is int else 'FACTOR'},"
+            f" got {spec!r}"
+        )
+
+
+def _build_fault_plan(args: argparse.Namespace):
+    """Assemble a FaultPlan from evaluate's fault flags (None if unused)."""
+    crashes = tuple(
+        CrashFault(*_parse_pair(spec, "--crash")) for spec in (args.crash or ())
+    )
+    stragglers = tuple(
+        StragglerFault(*_parse_pair(spec, "--straggler", float))
+        for spec in (args.straggler or ())
+    )
+    try:
+        plan = FaultPlan(
+            seed=args.faults_seed or 0,
+            crashes=crashes,
+            drop_rate=args.drop_rate,
+            duplicate_rate=args.duplicate_rate,
+            stragglers=stragglers,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return None if plan.is_empty else plan
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``evaluate``: simulated runtimes of algorithms on a stored partition."""
+    plan = _build_fault_plan(args)  # validate fault flags before heavy IO
+    faulty = plan is not None or args.checkpoint_interval > 0
     graph = _load_graph(args.graph)
     partition = load_partition(args.partition, graph)
     names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
     rows = []
     for name in names:
-        result = get_algorithm(name).run(partition)
-        rows.append(
-            [
-                name.upper(),
-                round(result.makespan * 1e3, 3),
-                result.profile.num_supersteps,
-                round(result.profile.total_ops),
-                round(result.profile.total_bytes),
+        algorithm = get_algorithm(name).configure_faults(
+            plan, args.checkpoint_interval
+        )
+        try:
+            result = algorithm.run(partition)
+        except ValueError as exc:
+            # e.g. a crash naming a worker the partition doesn't have
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        row = [
+            name.upper(),
+            round(result.makespan * 1e3, 3),
+            result.profile.num_supersteps,
+            round(result.profile.total_ops),
+            round(result.profile.total_bytes),
+        ]
+        if faulty:
+            row += [
+                result.profile.num_failures,
+                round(result.profile.recovery_time * 1e3, 3),
+                round(result.profile.checkpoint_bytes),
             ]
-        )
-    print(
-        format_table(
-            ["algorithm", "simulated ms", "supersteps", "ops", "bytes"], rows
-        )
-    )
+        rows.append(row)
+    headers = ["algorithm", "simulated ms", "supersteps", "ops", "bytes"]
+    if faulty:
+        headers += ["failures", "recovery ms", "ckpt bytes"]
+    print(format_table(headers, rows))
     return 0
 
 
@@ -193,6 +248,45 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--graph", required=True)
     ev.add_argument("--partition", required=True)
     ev.add_argument("--algorithms", default="pr,wcc,sssp")
+    faults = ev.add_argument_group(
+        "fault injection", "degrade the simulated substrate (deterministic)"
+    )
+    faults.add_argument(
+        "--faults-seed",
+        type=int,
+        default=0,
+        help="seed for per-message fault draws",
+    )
+    faults.add_argument(
+        "--crash",
+        action="append",
+        metavar="WORKER:SUPERSTEP",
+        help="crash a worker at a superstep (repeatable)",
+    )
+    faults.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="fraction of remote messages dropped then retransmitted",
+    )
+    faults.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.0,
+        help="fraction of remote messages duplicated then deduplicated",
+    )
+    faults.add_argument(
+        "--straggler",
+        action="append",
+        metavar="WORKER:FACTOR",
+        help="slow a worker by a multiplier (repeatable)",
+    )
+    faults.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        help="supersteps between state checkpoints (0 = off)",
+    )
     ev.set_defaults(func=cmd_evaluate)
 
     met = sub.add_parser("metrics", help="partition quality metrics")

@@ -16,16 +16,43 @@ single-process *simulator* of that setting:
 The simulator also powers training-data collection: per-vertex-copy
 operation counts and per-master communication bytes are recorded in a
 :class:`~repro.runtime.instrumentation.RunProfile`.
+
+The substrate can degrade on demand: a seeded
+:class:`~repro.runtime.faults.FaultPlan` injects worker crashes, message
+drops/duplicates, and stragglers, while
+:class:`~repro.runtime.checkpoint.CheckpointManager` provides the
+superstep checkpoints that rollback recovery replays from — all
+deterministic, all charged to the same clock.
 """
 
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager
 from repro.runtime.costclock import CostClock
-from repro.runtime.instrumentation import RunProfile, SuperstepRecord
+from repro.runtime.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    MessageFate,
+    StragglerFault,
+)
+from repro.runtime.instrumentation import (
+    FailureEvent,
+    RunProfile,
+    SuperstepRecord,
+)
 from repro.runtime.bsp import Cluster
 from repro.runtime.sync import sync_by_master
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointManager",
     "CostClock",
+    "CrashFault",
+    "FailureEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageFate",
     "RunProfile",
+    "StragglerFault",
     "SuperstepRecord",
     "Cluster",
     "sync_by_master",

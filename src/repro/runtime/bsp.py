@@ -15,15 +15,37 @@ Algorithms interleave three calls:
 
 Messages to the local worker are delivered but cost zero bytes, matching
 a shared-memory shortcut on a real deployment.
+
+Fault tolerance (optional, zero-cost when off)
+----------------------------------------------
+A cluster built with a :class:`~repro.runtime.faults.FaultPlan` degrades
+its substrate deterministically: dropped messages are retransmitted
+(bytes paid twice), duplicated messages are deduplicated at the receiver
+(bytes paid twice), stragglers stretch a worker's superstep time, and a
+crash triggers *rollback recovery* — the cluster restores the last
+checkpoint taken by its :class:`~repro.runtime.checkpoint.CheckpointManager`
+(or rewinds to the initial state if none) and replays the lost
+supersteps, charging restore bytes, replayed superstep time, and the
+re-execution of the crashed superstep to the makespan.  Because the
+transport is reliable and recovery is exact, algorithm *results* are
+identical to a fault-free run; only the profile changes.  With no fault
+plan and no checkpointing the code path is exactly the historical one,
+so makespans stay bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.partition.hybrid import HybridPartition
+from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.costclock import CostClock
-from repro.runtime.instrumentation import RunProfile, SuperstepRecord
+from repro.runtime.faults import FaultInjector, FaultPlan, MessageFate
+from repro.runtime.instrumentation import (
+    FailureEvent,
+    RunProfile,
+    SuperstepRecord,
+)
 
 
 class Cluster:
@@ -33,7 +55,15 @@ class Cluster:
         self,
         partition: HybridPartition,
         clock: Optional[CostClock] = None,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        checkpoint_interval: int = 0,
+        snapshot: Optional[Callable[[], Any]] = None,
     ) -> None:
+        if partition.num_fragments <= 0:
+            raise ValueError(
+                "cluster needs at least one fragment/worker, got "
+                f"num_fragments={partition.num_fragments}"
+            )
         self.partition = partition
         self.num_workers = partition.num_fragments
         self.clock = clock or CostClock()
@@ -42,6 +72,45 @@ class Cluster:
         self._step_bytes: Dict[int, float] = {f: 0.0 for f in range(self.num_workers)}
         self._outbox: Dict[int, List[Any]] = {f: [] for f in range(self.num_workers)}
         self._step_index = 0
+
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None:
+            injector = (
+                faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+            )
+            for crash in injector.plan.crashes:
+                if crash.worker >= self.num_workers:
+                    raise ValueError(
+                        f"fault plan crashes worker {crash.worker}, but the "
+                        f"cluster has only {self.num_workers} workers"
+                    )
+            if not injector.plan.is_empty:
+                self.faults = injector
+        self.checkpoints: Optional[CheckpointManager] = None
+        if checkpoint_interval:
+            self.checkpoints = CheckpointManager(checkpoint_interval, snapshot)
+
+    def set_snapshot(self, snapshot: Callable[[], Any]) -> None:
+        """Register the algorithm's state-snapshot hook for checkpointing.
+
+        The callable must return a picklable view of the per-vertex state
+        a recovering worker would reload.  It is only invoked when
+        checkpointing is enabled, so registering it is free on the
+        default path.
+        """
+        if self.checkpoints is not None:
+            self.checkpoints.set_snapshot_hook(snapshot)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_fid(self, fid: int, role: str) -> None:
+        if not 0 <= fid < self.num_workers:
+            raise ValueError(
+                f"{role} worker id {fid} out of range for a "
+                f"{self.num_workers}-worker cluster (valid: 0.."
+                f"{self.num_workers - 1})"
+            )
 
     # ------------------------------------------------------------------
     # Charging
@@ -52,6 +121,7 @@ class Cluster:
         When ``vertex`` is given the operations are also attributed to the
         copy ``(fid, vertex)`` for cost-model training.
         """
+        self._check_fid(fid, "charged")
         if ops <= 0:
             return
         self._step_ops[fid] += ops
@@ -77,34 +147,122 @@ class Cluster:
         ``nbytes`` is the simulated wire size; local (``src == dst``)
         messages are free.  ``master_vertex`` attributes the bytes to that
         vertex's master-synchronization traffic (the quantity g_A models).
+
+        Under fault injection the transport stays *reliable*: a dropped
+        message is detected and retransmitted and a duplicated message is
+        deduplicated at the receiver, so the payload always arrives
+        exactly once — but the wire bytes are paid twice.
         """
+        self._check_fid(src, "source")
+        self._check_fid(dst, "destination")
         self._outbox[dst].append(payload)
         if src != dst and nbytes > 0:
-            self._step_bytes[src] += nbytes
-            self._step_bytes[dst] += nbytes
+            wire_bytes = nbytes
+            if self.faults is not None:
+                fate = self.faults.message_fate(self._step_index, src, dst)
+                if fate is not MessageFate.DELIVER:
+                    wire_bytes = nbytes * 2.0
+                    if fate is MessageFate.DROP:
+                        self.profile.messages_dropped += 1
+                    else:
+                        self.profile.messages_duplicated += 1
+            self._step_bytes[src] += wire_bytes
+            self._step_bytes[dst] += wire_bytes
             for fid in (src, dst):
                 self.profile.bytes_by_worker[fid] = (
-                    self.profile.bytes_by_worker.get(fid, 0.0) + nbytes
+                    self.profile.bytes_by_worker.get(fid, 0.0) + wire_bytes
                 )
             if master_vertex is not None:
                 self.profile.comm_bytes_by_master[master_vertex] = (
-                    self.profile.comm_bytes_by_master.get(master_vertex, 0.0) + nbytes
+                    self.profile.comm_bytes_by_master.get(master_vertex, 0.0)
+                    + wire_bytes
                 )
 
     # ------------------------------------------------------------------
     # Superstep barrier
     # ------------------------------------------------------------------
+    def _superstep_time(self) -> float:
+        """Clock charge for the pending superstep (straggler-aware)."""
+        if self.faults is None:
+            return self.clock.superstep_time(
+                max(self._step_ops.values(), default=0.0),
+                max(self._step_bytes.values(), default=0.0),
+            )
+        # Stragglers stretch individual workers; the barrier waits for the
+        # slowest, so each max is taken over straggler-scaled loads.  With
+        # every factor at 1.0 this reduces bit-exactly to the plain path.
+        step = self._step_index
+        factors = {
+            f: self.faults.straggler_factor(f, step) for f in range(self.num_workers)
+        }
+        max_ops = max(
+            (self._step_ops[f] * factors[f] for f in range(self.num_workers)),
+            default=0.0,
+        )
+        max_bytes = max(
+            (self._step_bytes[f] * factors[f] for f in range(self.num_workers)),
+            default=0.0,
+        )
+        return self.clock.superstep_time(max_ops, max_bytes)
+
+    def _recover(self, crash, record: SuperstepRecord) -> None:
+        """Roll back to the last checkpoint and replay lost supersteps.
+
+        ``record`` is the superstep the crash interrupted; its work is
+        redone from scratch after the rollback, so its own time counts
+        once more on top of the replayed history.
+        """
+        checkpoint = self.checkpoints.last if self.checkpoints is not None else None
+        if checkpoint is not None:
+            restore_time = checkpoint.nbytes * self.clock.byte_cost
+            resume_from = checkpoint.superstep
+            # Exercise the snapshot round-trip: a corrupt blob should fail
+            # loudly here, not at a hypothetical real recovery.
+            checkpoint.restore()
+        else:
+            restore_time = 0.0  # rewind to the (free) initial state
+            resume_from = 0
+        replayed = [
+            past.time
+            for past in self.profile.supersteps
+            if past.index >= resume_from
+        ]
+        recovery_time = restore_time + sum(replayed) + record.time
+        event = FailureEvent(
+            kind="crash",
+            worker=crash.worker,
+            superstep=record.index,
+            recovery_time=recovery_time,
+            replayed_supersteps=len(replayed) + 1,
+        )
+        record.failures.append(event)
+        record.recovery_time += recovery_time
+        record.time += recovery_time
+        self.profile.failures.append(event)
+        self.profile.recovery_time += recovery_time
+
     def deliver(self) -> Dict[int, List[Any]]:
-        """End the superstep; return per-worker inboxes for the next one."""
+        """End the superstep; return per-worker inboxes for the next one.
+
+        With faults enabled this is also where protection and recovery
+        are charged: a due checkpoint adds its serialized bytes, and a
+        crash scheduled for this superstep triggers rollback replay (see
+        :meth:`_recover`).
+        """
         record = SuperstepRecord(
             index=self._step_index,
             ops_by_worker=dict(self._step_ops),
             bytes_by_worker=dict(self._step_bytes),
-            time=self.clock.superstep_time(
-                max(self._step_ops.values(), default=0.0),
-                max(self._step_bytes.values(), default=0.0),
-            ),
+            time=self._superstep_time(),
         )
+        if self.faults is not None:
+            for crash in self.faults.crashes_at(self._step_index):
+                self._recover(crash, record)
+        if self.checkpoints is not None and self.checkpoints.due(self._step_index + 1):
+            checkpoint = self.checkpoints.take(self._step_index + 1)
+            record.checkpoint_bytes += checkpoint.nbytes
+            record.time += checkpoint.nbytes * self.clock.byte_cost
+            self.profile.checkpoint_bytes += checkpoint.nbytes
         self.profile.supersteps.append(record)
         self.profile.makespan += record.time
         inboxes = self._outbox

@@ -1,0 +1,82 @@
+"""Superstep checkpointing for rollback recovery.
+
+Classic BSP fault tolerance [Valiant; Pregel §4.2]: every ``interval``
+supersteps each worker writes its vertex state to stable storage; when a
+worker fails, the cluster restores the most recent checkpoint and
+replays the supersteps since.  The simulator reproduces both sides of
+the trade-off:
+
+* protection has a price — the serialized snapshot's bytes are charged
+  to the :class:`~repro.runtime.costclock.CostClock` at every
+  checkpoint;
+* recovery has a price — the fewer checkpoints, the more supersteps a
+  crash replays (see :meth:`repro.runtime.bsp.Cluster.deliver`).
+
+Algorithms expose their state through a *snapshot hook*
+(:meth:`repro.runtime.bsp.Cluster.set_snapshot`) returning whatever
+picklable object captures their per-vertex state; the manager serializes
+it to measure checkpoint volume and to prove restorability.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One durable snapshot of algorithm state.
+
+    ``superstep`` is the number of *completed* supersteps the snapshot
+    covers: restoring it rewinds the run to just after superstep
+    ``superstep - 1``.
+    """
+
+    superstep: int
+    nbytes: float
+    blob: bytes
+
+    def restore(self) -> Any:
+        """Deserialize the snapshot (what a recovering worker reloads)."""
+        return pickle.loads(self.blob)
+
+
+class CheckpointManager:
+    """Takes snapshots every ``interval`` supersteps via a state hook."""
+
+    def __init__(
+        self,
+        interval: int,
+        snapshot: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {interval}")
+        self.interval = interval
+        self._snapshot = snapshot
+        self.last: Optional[Checkpoint] = None
+        self.checkpoints_taken = 0
+        self.total_bytes = 0.0
+
+    def set_snapshot_hook(self, snapshot: Callable[[], Any]) -> None:
+        """Register the driver's state-snapshot callable."""
+        self._snapshot = snapshot
+
+    def due(self, completed_supersteps: int) -> bool:
+        """Whether a checkpoint is owed after ``completed_supersteps``."""
+        return completed_supersteps > 0 and completed_supersteps % self.interval == 0
+
+    def take(self, completed_supersteps: int) -> Checkpoint:
+        """Snapshot current state, covering ``completed_supersteps`` steps."""
+        state = self._snapshot() if self._snapshot is not None else None
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        checkpoint = Checkpoint(
+            superstep=completed_supersteps,
+            nbytes=float(len(blob)),
+            blob=blob,
+        )
+        self.last = checkpoint
+        self.checkpoints_taken += 1
+        self.total_bytes += checkpoint.nbytes
+        return checkpoint

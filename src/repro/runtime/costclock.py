@@ -14,6 +14,7 @@ of our experiment setting", Exp-6).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -36,7 +37,17 @@ class CostClock:
     superstep_latency: float = 1e-4
 
     def superstep_time(self, max_ops: float, max_bytes: float) -> float:
-        """Simulated wall-clock seconds of one superstep."""
+        """Simulated wall-clock seconds of one superstep.
+
+        Rejects negative or NaN loads: a buggy algorithm feeding garbage
+        here would silently corrupt every downstream makespan comparison.
+        """
+        if max_ops < 0 or math.isnan(max_ops):
+            raise ValueError(f"max_ops must be a non-negative number, got {max_ops}")
+        if max_bytes < 0 or math.isnan(max_bytes):
+            raise ValueError(
+                f"max_bytes must be a non-negative number, got {max_bytes}"
+            )
         return (
             max_ops * self.op_cost
             + max_bytes * self.byte_cost

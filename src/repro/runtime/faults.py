@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the BSP simulator.
+
+The paper's measurements come from a 32-machine shared-nothing cluster
+(Section 7) where worker crashes, dropped packets, and stragglers are
+facts of life.  This module lets the simulator degrade its substrate the
+same way — *deterministically*, so a faulty run is exactly reproducible:
+
+* a :class:`FaultPlan` declares what goes wrong (crash worker ``w`` at
+  superstep ``s``, drop/duplicate a fraction of messages, slow a worker
+  by a straggler multiplier);
+* a :class:`FaultInjector` turns the plan into per-event decisions.
+  Message fates are drawn from a counter-keyed hash of the plan seed, so
+  the i-th message of a run always meets the same fate regardless of how
+  Python's RNG is used elsewhere.
+
+Faults never change *results*: the simulated transport detects drops and
+retransmits, and receivers deduplicate — exactly what a reliable BSP
+runtime (GRAPE, Giraph) does — so the observable effect is extra wire
+bytes and, for crashes, rollback-recovery time (see
+:mod:`repro.runtime.checkpoint` and :meth:`repro.runtime.bsp.Cluster.deliver`).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MessageFate(enum.Enum):
+    """What the simulated network does with one message."""
+
+    DELIVER = "deliver"
+    DROP = "drop"  # lost, detected, retransmitted (bytes paid twice)
+    DUPLICATE = "duplicate"  # sent twice, deduplicated at the receiver
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Worker ``worker`` fails at the end of superstep ``superstep``."""
+
+    worker: int
+    superstep: int
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError(f"crash worker must be >= 0, got {self.worker}")
+        if self.superstep < 0:
+            raise ValueError(
+                f"crash superstep must be >= 0, got {self.superstep}"
+            )
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Worker ``worker`` runs ``factor``× slower on supersteps in range.
+
+    ``start`` is inclusive and ``until`` exclusive; ``until=None`` means
+    the slowdown lasts for the rest of the run.
+    """
+
+    worker: int
+    factor: float
+    start: int = 0
+    until: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError(f"straggler worker must be >= 0, got {self.worker}")
+        if not (self.factor >= 1.0) or math.isinf(self.factor):
+            raise ValueError(
+                f"straggler factor must be a finite value >= 1, got {self.factor}"
+            )
+
+    def active(self, superstep: int) -> bool:
+        """Whether the slowdown applies at ``superstep``."""
+        return self.start <= superstep and (
+            self.until is None or superstep < self.until
+        )
+
+
+def _check_rate(name: str, rate: float) -> None:
+    if not (0.0 <= rate < 1.0):
+        raise ValueError(f"{name} must be in [0, 1), got {rate}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seeded schedule of substrate faults.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the counter-keyed hash from which per-message fates are
+        drawn.  Two runs with the same plan see identical faults.
+    crashes:
+        Worker failures; each fires once, at the end of its superstep.
+    drop_rate / duplicate_rate:
+        Fraction of remote messages lost (then retransmitted) or sent
+        twice (then deduplicated).  Both in ``[0, 1)``.
+    stragglers:
+        Per-worker slowdown multipliers.
+    """
+
+    seed: int = 0
+    crashes: Tuple[CrashFault, ...] = ()
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    stragglers: Tuple[StragglerFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate lists for ergonomic construction.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        if self.drop_rate + self.duplicate_rate >= 1.0:
+            raise ValueError(
+                "drop_rate + duplicate_rate must stay below 1, got "
+                f"{self.drop_rate} + {self.duplicate_rate}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.crashes
+            and self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and not self.stragglers
+        )
+
+
+def _unit_hash(seed: int, tag: str, index: int) -> float:
+    """Deterministic uniform draw in [0, 1) keyed by (seed, tag, index)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{tag}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass
+class FaultInjector:
+    """Stateful interpreter of a :class:`FaultPlan` for one cluster run.
+
+    One injector belongs to one :class:`~repro.runtime.bsp.Cluster`; it
+    keeps the message counter that makes fates reproducible and tallies
+    what it injected (``messages_dropped``, ``messages_duplicated``,
+    ``crashes_injected``).
+    """
+
+    plan: FaultPlan
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    crashes_injected: int = 0
+    _message_counter: int = 0
+    _fired: List[CrashFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._crashes_by_step: Dict[int, List[CrashFault]] = {}
+        for crash in self.plan.crashes:
+            self._crashes_by_step.setdefault(crash.superstep, []).append(crash)
+
+    # ------------------------------------------------------------------
+    def crashes_at(self, superstep: int) -> List[CrashFault]:
+        """Crashes that fire at the end of ``superstep`` (each fires once)."""
+        due = [
+            c
+            for c in self._crashes_by_step.get(superstep, [])
+            if c not in self._fired
+        ]
+        self._fired.extend(due)
+        self.crashes_injected += len(due)
+        return due
+
+    def message_fate(self, superstep: int, src: int, dst: int) -> MessageFate:
+        """Fate of the next remote message (deterministic in send order)."""
+        draw = _unit_hash(self.plan.seed, "msg", self._message_counter)
+        self._message_counter += 1
+        if draw < self.plan.drop_rate:
+            self.messages_dropped += 1
+            return MessageFate.DROP
+        if draw < self.plan.drop_rate + self.plan.duplicate_rate:
+            self.messages_duplicated += 1
+            return MessageFate.DUPLICATE
+        return MessageFate.DELIVER
+
+    def straggler_factor(self, worker: int, superstep: int) -> float:
+        """Combined slowdown multiplier for ``worker`` at ``superstep``."""
+        factor = 1.0
+        for straggler in self.plan.stragglers:
+            if straggler.worker == worker and straggler.active(superstep):
+                factor *= straggler.factor
+        return factor

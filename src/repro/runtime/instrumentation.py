@@ -7,12 +7,28 @@ Profiles serve two consumers:
 * the cost-model learner reads ``comp_ops_by_copy`` and
   ``comm_bytes_by_master`` — the running log of Section 4 from which
   training samples ``[X(v), t]`` are extracted.
+
+When the run executes under fault injection
+(:mod:`repro.runtime.faults`) the profile additionally records failure
+events, rollback-recovery time, and checkpoint volume, so the price of
+protection is visible next to the makespan it protects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected failure and what recovering from it cost."""
+
+    kind: str  # "crash" (message drops/duplicates are counted, not logged)
+    worker: int
+    superstep: int
+    recovery_time: float = 0.0
+    replayed_supersteps: int = 0
 
 
 @dataclass
@@ -23,6 +39,9 @@ class SuperstepRecord:
     ops_by_worker: Dict[int, float]
     bytes_by_worker: Dict[int, float]
     time: float
+    failures: List[FailureEvent] = field(default_factory=list)
+    recovery_time: float = 0.0
+    checkpoint_bytes: float = 0.0
 
     @property
     def max_ops(self) -> float:
@@ -46,11 +65,21 @@ class RunProfile:
     bytes_by_worker: Dict[int, float] = field(default_factory=dict)
     supersteps: List[SuperstepRecord] = field(default_factory=list)
     makespan: float = 0.0
+    failures: List[FailureEvent] = field(default_factory=list)
+    recovery_time: float = 0.0
+    checkpoint_bytes: float = 0.0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
 
     @property
     def num_supersteps(self) -> int:
         """Number of supersteps executed."""
         return len(self.supersteps)
+
+    @property
+    def num_failures(self) -> int:
+        """Number of injected failures the run recovered from."""
+        return len(self.failures)
 
     @property
     def total_ops(self) -> float:
@@ -71,8 +100,15 @@ class RunProfile:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"{self.num_supersteps} supersteps, "
             f"{self.total_ops:.3g} ops, {self.total_bytes:.3g} bytes, "
             f"makespan {self.makespan * 1e3:.3f} ms"
         )
+        if self.failures or self.checkpoint_bytes:
+            text += (
+                f" ({self.num_failures} failures, "
+                f"recovery {self.recovery_time * 1e3:.3f} ms, "
+                f"checkpoints {self.checkpoint_bytes:.3g} bytes)"
+            )
+        return text

@@ -1,0 +1,99 @@
+"""Property-based tests for master/mirror synchronization.
+
+``sync_by_master`` is the exchange every partition-transparent algorithm
+leans on; if it ever delivered different values to different copies of a
+vertex — or different values across reruns — partition transparency
+would silently break.  For random hybrid partitions we check both
+invariants directly, plus agreement with a sequential reference
+combine.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+from repro.runtime.bsp import Cluster
+from repro.runtime.sync import sync_by_master
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_hybrid_partitions(draw):
+    """A random graph plus a random hybrid partition of it.
+
+    Same recipe as the algorithm-transparency suite: start from a random
+    edge-cut and duplicate a few edges into extra fragments for genuine
+    hybrid structure.
+    """
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=1,
+            max_size=3 * n,
+        )
+    )
+    graph = Graph(n, edges, directed=draw(st.booleans()))
+    k = draw(st.integers(min_value=2, max_value=3))
+    assignment = {e: draw(st.integers(0, k - 1)) for e in graph.edges()}
+    partition = HybridPartition.from_edge_assignment(graph, assignment, k)
+    all_edges = list(graph.edges())
+    for _ in range(draw(st.integers(0, 5))):
+        edge = all_edges[draw(st.integers(0, len(all_edges) - 1))]
+        partition.add_edge_to(draw(st.integers(0, k - 1)), edge)
+    return graph, partition
+
+
+def partials_for(partition):
+    """Distinct per-copy partials: value identifies the (fid, vertex) copy."""
+    return {
+        fragment.fid: {v: fragment.fid * 1000 + v for v in fragment.vertices()}
+        for fragment in partition.fragments
+    }
+
+
+def run_sync(partition):
+    cluster = Cluster(partition)
+    out = sync_by_master(
+        cluster, partials_for(partition), combine=lambda a, b: a + b
+    )
+    return out, cluster.profile.makespan
+
+
+@given(random_hybrid_partitions())
+@SETTINGS
+def test_every_copy_sees_the_identical_combined_value(case):
+    _graph, partition = case
+    out, _makespan = run_sync(partition)
+    for v, hosts in partition.vertex_fragments():
+        values = [out[fid][v] for fid in hosts]
+        assert len(set(values)) == 1, f"copies of {v} disagree: {values}"
+
+
+@given(random_hybrid_partitions())
+@SETTINGS
+def test_combined_value_matches_sequential_reference(case):
+    _graph, partition = case
+    partials = partials_for(partition)
+    out, _makespan = run_sync(partition)
+    for v, hosts in partition.vertex_fragments():
+        expected = sum(partials[fid][v] for fid in hosts)
+        assert out[min(hosts)][v] == expected
+
+
+@given(random_hybrid_partitions())
+@SETTINGS
+def test_sync_is_deterministic_across_repeated_runs(case):
+    _graph, partition = case
+    first_out, first_makespan = run_sync(partition)
+    second_out, second_makespan = run_sync(partition)
+    assert first_out == second_out
+    assert first_makespan == second_makespan

@@ -6,13 +6,19 @@ from repro.graph.digraph import Graph
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.bsp import Cluster
 from repro.runtime.costclock import CostClock
+from repro.runtime.faults import CrashFault, FaultPlan, StragglerFault
+
+CLOCK = CostClock(op_cost=1.0, byte_cost=1.0, superstep_latency=0.5)
+
+
+def make_partition():
+    g = Graph(4, [(0, 1), (2, 3)])
+    return HybridPartition.from_vertex_assignment(g, [0, 0, 1, 1], 2)
 
 
 @pytest.fixture()
 def cluster():
-    g = Graph(4, [(0, 1), (2, 3)])
-    p = HybridPartition.from_vertex_assignment(g, [0, 0, 1, 1], 2)
-    return Cluster(p, clock=CostClock(op_cost=1.0, byte_cost=1.0, superstep_latency=0.5))
+    return Cluster(make_partition(), clock=CLOCK)
 
 
 class TestCharging:
@@ -99,3 +105,154 @@ class TestProfile:
         cluster.deliver()
         clock = cluster.clock
         assert cluster.profile.worker_time(0, clock) == pytest.approx(14.0)
+
+
+class TestValidation:
+    def test_charge_rejects_out_of_range_worker(self, cluster):
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.charge(2, 1)
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.charge(-1, 1)
+
+    def test_send_rejects_out_of_range_endpoints(self, cluster):
+        with pytest.raises(ValueError, match="source"):
+            cluster.send(5, 0, "m", nbytes=1)
+        with pytest.raises(ValueError, match="destination"):
+            cluster.send(0, 5, "m", nbytes=1)
+
+    def test_empty_partition_rejected(self):
+        class Fake:
+            num_fragments = 0
+
+        with pytest.raises(ValueError, match="at least one fragment"):
+            Cluster(Fake())
+
+    def test_crash_plan_must_name_existing_worker(self):
+        plan = FaultPlan(crashes=(CrashFault(worker=9, superstep=0),))
+        with pytest.raises(ValueError, match="only 2 workers"):
+            Cluster(make_partition(), clock=CLOCK, faults=plan)
+
+
+def faulty_cluster(plan, **kwargs):
+    return Cluster(make_partition(), clock=CLOCK, faults=plan, **kwargs)
+
+
+class TestFaultInjection:
+    def test_empty_plan_keeps_default_path(self):
+        cluster = faulty_cluster(FaultPlan())
+        assert cluster.faults is None
+
+    def test_dropped_message_still_delivered_but_bytes_doubled(self):
+        # seed chosen so the first draw falls below the drop rate
+        plan = FaultPlan(seed=0, drop_rate=0.999)
+        cluster = faulty_cluster(plan)
+        cluster.send(0, 1, "m", nbytes=10)
+        inboxes = cluster.deliver()
+        assert inboxes[1] == ["m"]
+        assert cluster.profile.bytes_by_worker[0] == 20
+        assert cluster.profile.messages_dropped == 1
+
+    def test_duplicated_message_delivered_once_bytes_doubled(self):
+        plan = FaultPlan(seed=0, duplicate_rate=0.999)
+        cluster = faulty_cluster(plan)
+        cluster.send(0, 1, "m", nbytes=10)
+        inboxes = cluster.deliver()
+        assert inboxes[1] == ["m"]
+        assert cluster.profile.bytes_by_worker[1] == 20
+        assert cluster.profile.messages_duplicated == 1
+
+    def test_local_messages_never_fault(self):
+        plan = FaultPlan(seed=0, drop_rate=0.999)
+        cluster = faulty_cluster(plan)
+        cluster.send(0, 0, "self", nbytes=100)
+        inboxes = cluster.deliver()
+        assert inboxes[0] == ["self"]
+        assert cluster.profile.messages_dropped == 0
+
+    def test_straggler_scales_superstep_time(self):
+        plan = FaultPlan(stragglers=(StragglerFault(worker=1, factor=3.0),))
+        cluster = faulty_cluster(plan)
+        cluster.charge(0, 10)
+        cluster.charge(1, 4)
+        cluster.deliver()
+        # worker 1's 4 ops stretch to 12, overtaking worker 0's 10
+        assert cluster.profile.makespan == pytest.approx(12 * 1.0 + 0.5)
+
+    def test_unit_straggler_matches_plain_path(self):
+        plan = FaultPlan(stragglers=(StragglerFault(worker=1, factor=1.0),))
+        faulty = faulty_cluster(plan)
+        plain = Cluster(make_partition(), clock=CLOCK)
+        for c in (faulty, plain):
+            c.charge(0, 10)
+            c.send(0, 1, "m", nbytes=3)
+            c.deliver()
+        assert faulty.profile.makespan == plain.profile.makespan
+
+
+class TestCrashRecovery:
+    def test_crash_without_checkpoint_replays_from_start(self):
+        plan = FaultPlan(crashes=(CrashFault(worker=0, superstep=2),))
+        cluster = faulty_cluster(plan)
+        times = []
+        for step in range(3):
+            cluster.charge(0, 10 * (step + 1))
+            cluster.deliver()
+            times.append(cluster.profile.supersteps[step].time)
+        record = cluster.profile.supersteps[2]
+        crashed_step = 30 * 1.0 + 0.5
+        # replay of steps 0 and 1 plus re-execution of the crashed step
+        expected_recovery = times[0] + times[1] + crashed_step
+        assert record.recovery_time == pytest.approx(expected_recovery)
+        assert record.time == pytest.approx(crashed_step + expected_recovery)
+        assert cluster.profile.recovery_time == pytest.approx(expected_recovery)
+        assert [e.kind for e in cluster.profile.failures] == ["crash"]
+        assert cluster.profile.failures[0].replayed_supersteps == 3
+
+    def test_checkpoint_shortens_replay(self):
+        state = {"x": list(range(100))}
+        plan = FaultPlan(crashes=(CrashFault(worker=0, superstep=2),))
+        cluster = faulty_cluster(
+            plan, checkpoint_interval=2, snapshot=lambda: state
+        )
+        for _ in range(3):
+            cluster.charge(0, 10)
+            cluster.deliver()
+        checkpoint = cluster.checkpoints.last
+        assert checkpoint is not None and checkpoint.superstep == 2
+        record = cluster.profile.supersteps[2]
+        # restore bytes + re-execution of the crashed step only
+        crashed_step = 10 * 1.0 + 0.5
+        expected = checkpoint.nbytes * CLOCK.byte_cost + crashed_step
+        assert record.recovery_time == pytest.approx(expected)
+        assert cluster.profile.failures[0].replayed_supersteps == 1
+
+    def test_checkpoint_bytes_charged_to_makespan(self):
+        cluster = Cluster(
+            make_partition(),
+            clock=CLOCK,
+            checkpoint_interval=1,
+            snapshot=lambda: {"s": 1},
+        )
+        cluster.charge(0, 10)
+        cluster.deliver()
+        record = cluster.profile.supersteps[0]
+        assert record.checkpoint_bytes > 0
+        assert cluster.profile.checkpoint_bytes == record.checkpoint_bytes
+        assert record.time == pytest.approx(
+            10.5 + record.checkpoint_bytes * CLOCK.byte_cost
+        )
+
+    def test_crash_never_reached_is_not_charged(self):
+        plan = FaultPlan(crashes=(CrashFault(worker=0, superstep=50),))
+        cluster = faulty_cluster(plan)
+        cluster.charge(0, 1)
+        cluster.deliver()
+        assert cluster.profile.recovery_time == 0.0
+        assert cluster.profile.failures == []
+
+    def test_set_snapshot_feeds_checkpoints(self):
+        cluster = Cluster(make_partition(), clock=CLOCK, checkpoint_interval=1)
+        cluster.set_snapshot(lambda: {"labels": [1, 2]})
+        cluster.charge(0, 1)
+        cluster.deliver()
+        assert cluster.checkpoints.last.restore() == {"labels": [1, 2]}

@@ -1,0 +1,62 @@
+"""Tests for superstep checkpointing."""
+
+import pytest
+
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError, match="interval"):
+        CheckpointManager(0)
+    with pytest.raises(ValueError, match="interval"):
+        CheckpointManager(-3)
+
+
+def test_due_every_interval():
+    manager = CheckpointManager(3)
+    assert [s for s in range(10) if manager.due(s)] == [3, 6, 9]
+
+
+def test_never_due_at_step_zero():
+    assert not CheckpointManager(1).due(0)
+
+
+def test_take_serializes_snapshot_state():
+    state = {0: {1: 0.5, 2: 0.25}}
+    manager = CheckpointManager(2, snapshot=lambda: state)
+    checkpoint = manager.take(2)
+    assert checkpoint.superstep == 2
+    assert checkpoint.nbytes == len(checkpoint.blob) > 0
+    assert checkpoint.restore() == state
+    assert manager.last is checkpoint
+    assert manager.checkpoints_taken == 1
+    assert manager.total_bytes == checkpoint.nbytes
+
+
+def test_restore_returns_a_copy_not_an_alias():
+    state = {"labels": [1, 2, 3]}
+    manager = CheckpointManager(1, snapshot=lambda: state)
+    checkpoint = manager.take(1)
+    state["labels"].append(4)
+    assert checkpoint.restore() == {"labels": [1, 2, 3]}
+
+
+def test_snapshot_hook_can_be_registered_late():
+    manager = CheckpointManager(1)
+    assert manager.take(1).restore() is None
+    manager.set_snapshot_hook(lambda: "state")
+    assert manager.take(2).restore() == "state"
+
+
+def test_total_bytes_accumulates():
+    manager = CheckpointManager(1, snapshot=lambda: list(range(10)))
+    first = manager.take(1)
+    second = manager.take(2)
+    assert manager.checkpoints_taken == 2
+    assert manager.total_bytes == first.nbytes + second.nbytes
+
+
+def test_checkpoint_is_immutable():
+    checkpoint = CheckpointManager(1, snapshot=lambda: 1).take(1)
+    with pytest.raises(Exception):
+        checkpoint.nbytes = 0.0

@@ -28,3 +28,57 @@ def test_frozen():
     clock = CostClock()
     with pytest.raises(Exception):
         clock.op_cost = 5.0
+
+
+class TestMulticoreProfile:
+    def test_superstep_time_formula(self):
+        clock = CostClock.multicore()
+        expected = 1e4 * clock.op_cost + 1e6 * clock.byte_cost + clock.superstep_latency
+        assert clock.superstep_time(1e4, 1e6) == pytest.approx(expected)
+
+    def test_computation_dominates_communication(self):
+        # Equal op/byte loads: multicore charges compute far above comm.
+        clock = CostClock.multicore()
+        load = 1e6
+        assert load * clock.op_cost > 100 * (load * clock.byte_cost)
+
+    def test_zero_work_superstep_costs_multicore_latency_only(self):
+        clock = CostClock.multicore()
+        assert clock.superstep_time(0, 0) == pytest.approx(clock.superstep_latency)
+
+    def test_returns_fresh_frozen_instance(self):
+        assert CostClock.multicore() == CostClock.multicore()
+        assert CostClock.multicore() != CostClock()
+
+
+class TestZeroWorkSupersteps:
+    def test_latency_only_charge_through_cluster(self):
+        from repro.graph.digraph import Graph
+        from repro.partition.hybrid import HybridPartition
+        from repro.runtime.bsp import Cluster
+
+        g = Graph(2, [(0, 1)])
+        p = HybridPartition.from_vertex_assignment(g, [0, 1], 2)
+        cluster = Cluster(p, clock=CostClock())
+        cluster.deliver()  # empty superstep: no charges, no messages
+        assert cluster.profile.makespan == pytest.approx(
+            cluster.clock.superstep_latency
+        )
+        record = cluster.profile.supersteps[0]
+        assert record.max_ops == 0.0
+        assert record.max_bytes == 0.0
+
+
+class TestInputGuards:
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_rejects_bad_max_ops(self, bad):
+        with pytest.raises(ValueError, match="max_ops"):
+            CostClock().superstep_time(bad, 0.0)
+
+    @pytest.mark.parametrize("bad", [-0.5, float("nan")])
+    def test_rejects_bad_max_bytes(self, bad):
+        with pytest.raises(ValueError, match="max_bytes"):
+            CostClock().superstep_time(0.0, bad)
+
+    def test_zero_loads_still_accepted(self):
+        assert CostClock().superstep_time(0.0, 0.0) > 0.0

@@ -1,0 +1,117 @@
+"""Tests for deterministic fault injection."""
+
+import pytest
+
+from repro.runtime.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    MessageFate,
+    StragglerFault,
+)
+
+
+class TestPlanValidation:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty
+
+    def test_any_fault_makes_plan_nonempty(self):
+        assert not FaultPlan(crashes=(CrashFault(0, 1),)).is_empty
+        assert not FaultPlan(drop_rate=0.1).is_empty
+        assert not FaultPlan(duplicate_rate=0.1).is_empty
+        assert not FaultPlan(stragglers=(StragglerFault(0, 2.0),)).is_empty
+
+    def test_rates_must_be_fractions(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError, match="duplicate_rate"):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(ValueError, match="below 1"):
+            FaultPlan(drop_rate=0.6, duplicate_rate=0.6)
+
+    def test_crash_coordinates_validated(self):
+        with pytest.raises(ValueError, match="worker"):
+            CrashFault(worker=-1, superstep=0)
+        with pytest.raises(ValueError, match="superstep"):
+            CrashFault(worker=0, superstep=-2)
+
+    def test_straggler_factor_validated(self):
+        with pytest.raises(ValueError, match="factor"):
+            StragglerFault(worker=0, factor=0.5)
+        with pytest.raises(ValueError, match="factor"):
+            StragglerFault(worker=0, factor=float("nan"))
+        with pytest.raises(ValueError, match="factor"):
+            StragglerFault(worker=0, factor=float("inf"))
+
+    def test_plan_accepts_lists(self):
+        plan = FaultPlan(crashes=[CrashFault(0, 1)], stragglers=[StragglerFault(1, 2.0)])
+        assert isinstance(plan.crashes, tuple)
+        assert isinstance(plan.stragglers, tuple)
+
+
+class TestDeterminism:
+    def test_message_fates_reproducible(self):
+        plan = FaultPlan(seed=42, drop_rate=0.2, duplicate_rate=0.1)
+        injector_a = FaultInjector(plan)
+        injector_b = FaultInjector(plan)
+        fates_a = [injector_a.message_fate(s, 0, 1) for s in range(500)]
+        fates_b = [injector_b.message_fate(s, 0, 1) for s in range(500)]
+        assert fates_a == fates_b
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan(seed=1, drop_rate=0.5))
+        b = FaultInjector(FaultPlan(seed=2, drop_rate=0.5))
+        fates_a = [a.message_fate(0, 0, 1) for _ in range(200)]
+        fates_b = [b.message_fate(0, 0, 1) for _ in range(200)]
+        assert fates_a != fates_b
+
+    def test_rates_approximately_honoured(self):
+        injector = FaultInjector(FaultPlan(seed=3, drop_rate=0.3, duplicate_rate=0.2))
+        fates = [injector.message_fate(0, 0, 1) for _ in range(5000)]
+        drop = fates.count(MessageFate.DROP) / len(fates)
+        dup = fates.count(MessageFate.DUPLICATE) / len(fates)
+        assert drop == pytest.approx(0.3, abs=0.03)
+        assert dup == pytest.approx(0.2, abs=0.03)
+        assert injector.messages_dropped == fates.count(MessageFate.DROP)
+        assert injector.messages_duplicated == fates.count(MessageFate.DUPLICATE)
+
+    def test_zero_rates_always_deliver(self):
+        injector = FaultInjector(FaultPlan(seed=9))
+        assert all(
+            injector.message_fate(0, 0, 1) is MessageFate.DELIVER for _ in range(100)
+        )
+
+
+class TestCrashes:
+    def test_crash_fires_once(self):
+        plan = FaultPlan(crashes=(CrashFault(worker=2, superstep=5),))
+        injector = FaultInjector(plan)
+        assert injector.crashes_at(4) == []
+        assert injector.crashes_at(5) == [CrashFault(2, 5)]
+        assert injector.crashes_at(5) == []
+        assert injector.crashes_injected == 1
+
+    def test_multiple_crashes_same_step(self):
+        plan = FaultPlan(crashes=(CrashFault(0, 1), CrashFault(1, 1)))
+        assert len(FaultInjector(plan).crashes_at(1)) == 2
+
+
+class TestStragglers:
+    def test_factor_defaults_to_one(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.straggler_factor(0, 0) == 1.0
+
+    def test_factor_applies_to_window(self):
+        plan = FaultPlan(stragglers=(StragglerFault(1, 3.0, start=2, until=4),))
+        injector = FaultInjector(plan)
+        assert injector.straggler_factor(1, 1) == 1.0
+        assert injector.straggler_factor(1, 2) == 3.0
+        assert injector.straggler_factor(1, 3) == 3.0
+        assert injector.straggler_factor(1, 4) == 1.0
+        assert injector.straggler_factor(0, 2) == 1.0
+
+    def test_factors_compose(self):
+        plan = FaultPlan(
+            stragglers=(StragglerFault(0, 2.0), StragglerFault(0, 1.5))
+        )
+        assert FaultInjector(plan).straggler_factor(0, 7) == 3.0
