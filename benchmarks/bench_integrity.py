@@ -1,0 +1,105 @@
+"""Extension bench: guard overhead vs. invariant-check cadence.
+
+The guarded refinement pipeline trades safety for speed through one
+knob: ``check_interval``, the number of refinement moves between
+incremental watchdog checks (each clean check also refreshes the
+last-good rollback snapshot).  This bench refines the same edge-cut
+partition with E2H at a grid of cadences — plus the unguarded baseline
+and a chaotic run — and emits the overhead curve as JSON, the shape a
+deployment would use to pick a cadence for its trust in the move
+pipeline.
+
+Expected shape: overhead decreases monotonically in granted work as the
+interval grows (fewer checks, fewer snapshots); every guarded no-chaos
+run produces the exact same partition as the unguarded baseline; the
+chaotic run detects and repairs every injected corruption.
+"""
+
+import json
+
+from repro.core.e2h import E2H
+from repro.costmodel.trained import trained_cost_model
+from repro.eval.datasets import load_dataset
+from repro.integrity.chaos import ChaosPlan
+from repro.integrity.guard import GuardConfig
+from repro.partition.serialize import partition_to_dict
+from repro.partition.validation import check_partition
+from repro.partitioners.base import get_partitioner
+
+from benchmarks.conftest import run_once
+
+INTERVALS = (1, 4, 16, 64, 256)
+
+
+def test_guard_overhead_vs_cadence(benchmark, print_section):
+    graph = load_dataset("livejournal_like")
+    baseline = get_partitioner("fennel").partition(graph, 8)
+    model = trained_cost_model("pr")
+
+    def refine(guard_config):
+        refiner = E2H(model, guard_config=guard_config)
+        refined = refiner.refine(baseline)
+        return refined, refiner.last_stats
+
+    def run():
+        unguarded, ref_stats = refine(None)
+        reference = partition_to_dict(unguarded)
+        base_seconds = sum(ref_stats.phase_seconds.values())
+        curve = []
+        for interval in INTERVALS:
+            refined, stats = refine(GuardConfig(check_interval=interval))
+            total = sum(stats.phase_seconds.values())
+            curve.append(
+                {
+                    "check_interval": interval,
+                    "steps": stats.guard.steps,
+                    "checks": stats.guard.checks,
+                    "snapshots": stats.guard.snapshots,
+                    "guard_seconds": stats.guard.overhead_seconds,
+                    "refine_seconds": total,
+                    "overhead_fraction": (
+                        stats.guard.overhead_seconds / base_seconds
+                        if base_seconds > 0
+                        else 0.0
+                    ),
+                    "bit_identical": partition_to_dict(refined) == reference,
+                }
+            )
+        chaos_config = GuardConfig(
+            check_interval=8,
+            chaos=ChaosPlan(seed=29, corrupt_rate=0.05),
+        )
+        chaotic, chaos_stats = refine(chaos_config)
+        check_partition(chaotic)
+        return {
+            "unguarded_refine_seconds": base_seconds,
+            "curve": curve,
+            "chaos": {
+                "corrupt_rate": 0.05,
+                "seed": 29,
+                "corruptions_injected": chaos_stats.guard.corruptions_injected,
+                "repairs": chaos_stats.guard.repairs,
+                "rollbacks": chaos_stats.guard.rollbacks,
+                "unrepaired_violations": chaos_stats.guard.unrepaired_violations,
+            },
+        }
+
+    result = run_once(benchmark, run)
+    print_section(
+        "Extension: guard overhead vs check cadence (E2H + pr, fennel, n=8)",
+        json.dumps(result, indent=2),
+    )
+
+    by_interval = {p["check_interval"]: p for p in result["curve"]}
+    # Guards without chaos never change the output partition.
+    assert all(p["bit_identical"] for p in result["curve"])
+    # Checking every move does strictly more verification work than the
+    # sparsest cadence (same move sequence, more checks + snapshots).
+    assert by_interval[1]["checks"] > by_interval[256]["checks"]
+    assert by_interval[1]["guard_seconds"] >= by_interval[256]["guard_seconds"]
+    # The chaotic run survived: everything injected was detected and
+    # repaired, and the final partition passed check_partition above.
+    chaos = result["chaos"]
+    assert chaos["corruptions_injected"] > 0
+    assert chaos["repairs"] > 0
+    assert chaos["unrepaired_violations"] == 0

@@ -19,6 +19,13 @@ algorithm's simulated parallel runtime on the stored partition.
 ``--straggler W:F``, ``--faults-seed``) with superstep checkpointing and
 rollback recovery (``--checkpoint-interval``); results are unchanged,
 and the table gains failure/recovery/checkpoint columns.
+
+``partition --refine ALG`` accepts guarded-refinement flags
+(``--guard-interval``, ``--chaos-seed``, ``--corrupt-rate``,
+``--max-refine-seconds``): the refiner then runs under the
+:mod:`repro.integrity` watchdog, repairing or rolling back corrupted
+partition state and early-stopping with the best partition seen when
+the wall-clock budget runs out.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ from repro.costmodel.trained import trained_cost_model
 from repro.eval.reporting import format_table
 from repro.graph import generators
 from repro.graph.io import read_edge_list, read_metis, write_edge_list
+from repro.integrity.chaos import ChaosPlan
+from repro.integrity.guard import GuardConfig
 from repro.partition.quality import (
     cost_balance_factor,
     edge_balance_factor,
@@ -85,22 +94,59 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_guard_config(args: argparse.Namespace) -> Optional[GuardConfig]:
+    """Assemble a GuardConfig from partition's guard flags (None if unused)."""
+    wants_guard = (
+        args.guard_interval is not None
+        or args.chaos_seed is not None
+        or args.corrupt_rate > 0
+        or args.max_refine_seconds is not None
+    )
+    if not wants_guard:
+        return None
+    try:
+        chaos = None
+        if args.corrupt_rate > 0:
+            chaos = ChaosPlan(
+                seed=args.chaos_seed or 0, corrupt_rate=args.corrupt_rate
+            )
+        return GuardConfig(
+            check_interval=(
+                args.guard_interval if args.guard_interval is not None else 64
+            ),
+            chaos=chaos,
+            max_seconds=args.max_refine_seconds,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def cmd_partition(args: argparse.Namespace) -> int:
     """``partition``: cut a graph, optionally refine, save as JSON."""
+    guard_config = _build_guard_config(args)
+    if guard_config is not None and not args.refine:
+        print(
+            "error: guard flags require --refine (guards wrap the refiner)",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args.graph)
     partitioner = get_partitioner(args.partitioner)
     partition = partitioner.partition(graph, args.fragments)
     label = args.partitioner
+    stats = None
     if args.refine:
         model = trained_cost_model(args.refine)
         if partitioner.cut_type == "edge":
             from repro.core.e2h import E2H
 
-            partition = E2H(model).refine(partition, in_place=True)
+            refiner = E2H(model, guard_config=guard_config)
+            partition = refiner.refine(partition, in_place=True)
         elif partitioner.cut_type == "vertex":
             from repro.core.v2h import V2H
 
-            partition = V2H(model).refine(partition, in_place=True)
+            refiner = V2H(model, guard_config=guard_config)
+            partition = refiner.refine(partition, in_place=True)
         else:
             print(
                 f"error: cannot refine hybrid baseline {args.partitioner!r}",
@@ -108,7 +154,17 @@ def cmd_partition(args: argparse.Namespace) -> int:
             )
             return 2
         label += f" + {args.refine}-driven refinement"
+        stats = refiner.last_stats
     check_partition(partition)
+    if stats is not None and stats.guard is not None:
+        g = stats.guard
+        print(
+            f"guard: {g.checks} checks, {g.corruptions_injected} corruptions, "
+            f"{g.repairs} repairs, {g.rollbacks} rollbacks, "
+            f"{g.unrepaired_violations} unrepaired"
+            + (", early-stopped" if g.early_stopped else "")
+            + f" ({g.overhead_seconds * 1e3:.1f} ms overhead)"
+        )
     save_partition(partition, args.out)
     print(
         f"wrote {args.fragments}-way partition ({label}) of {graph} to {args.out}"
@@ -242,6 +298,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="refine for this algorithm's cost model",
     )
     part.add_argument("--out", required=True)
+    guard = part.add_argument_group(
+        "guarded refinement",
+        "run the refiner under the integrity watchdog (requires --refine)",
+    )
+    guard.add_argument(
+        "--guard-interval",
+        type=int,
+        metavar="STEPS",
+        help="refinement moves between incremental invariant checks",
+    )
+    guard.add_argument(
+        "--chaos-seed",
+        type=int,
+        help="seed for deterministic partition corruption",
+    )
+    guard.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.0,
+        help="per-step probability of injecting one corruption",
+    )
+    guard.add_argument(
+        "--max-refine-seconds",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; early-stop with the best partition seen",
+    )
     part.set_defaults(func=cmd_partition)
 
     ev = sub.add_parser("evaluate", help="run algorithms on a stored partition")

@@ -29,7 +29,14 @@ from repro.core.candidates import get_candidates
 from repro.core.massign import massign
 from repro.core.operations import emigrate, split_migrate_edge
 from repro.core.tracker import CostTracker
+from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
+from repro.integrity.guard import (
+    GuardConfig,
+    GuardStats,
+    RefinementBudgetExceeded,
+    RefinementGuard,
+)
 from repro.partition.hybrid import HybridPartition, NodeRole
 
 
@@ -49,6 +56,7 @@ class RefineStats:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     cost_before: float = 0.0
     cost_after: float = 0.0
+    guard: Optional[GuardStats] = None
 
 
 class E2H:
@@ -62,6 +70,12 @@ class E2H:
         Phase switches for the appendix ablation.
     budget_slack:
         Multiplier on the average-cost budget (1.0 = the paper's B).
+    guard_config:
+        Optional :class:`~repro.integrity.guard.GuardConfig` enabling the
+        guarded pipeline: invariant watchdog + repair/rollback at the
+        configured cadence, cost-model guardrails, and step/wall-clock
+        budgets with best-so-far early stop.  ``None`` (default) runs
+        unguarded with zero overhead.
     """
 
     phases = ("emigrate", "esplit", "massign")
@@ -74,6 +88,7 @@ class E2H:
         enable_massign: bool = True,
         budget_slack: float = 1.0,
         candidate_order: str = "bfs",
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
         if candidate_order not in ("bfs", "arbitrary"):
             raise ValueError("candidate_order must be 'bfs' or 'arbitrary'")
@@ -83,6 +98,7 @@ class E2H:
         self.enable_massign = enable_massign
         self.budget_slack = budget_slack
         self.candidate_order = candidate_order
+        self.guard_config = guard_config
         self.last_stats: Optional[RefineStats] = None
 
     # ------------------------------------------------------------------
@@ -96,9 +112,27 @@ class E2H:
         """
         if not in_place:
             partition = partition.copy()
-        tracker = CostTracker(partition, self.cost_model)
         stats = RefineStats()
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        tracker = CostTracker(partition, model)
         stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                # From-scratch evaluation: querying the tracker here
+                # would change its lazy-flush boundaries and perturb
+                # float accumulation order in the cached costs.
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
 
         budget = compute_budget(tracker, self.budget_slack)
         stats.budget = budget
@@ -117,18 +151,26 @@ class E2H:
             )
             stats.candidates += len(candidates[fid])
 
-        if self.enable_emigrate:
-            start = time.perf_counter()
-            self._phase_emigrate(tracker, budget, underloaded, candidates, stats)
-            stats.phase_seconds["emigrate"] = time.perf_counter() - start
-        if self.enable_esplit:
-            start = time.perf_counter()
-            self._phase_esplit(tracker, candidates, stats)
-            stats.phase_seconds["esplit"] = time.perf_counter() - start
-        if self.enable_massign:
-            start = time.perf_counter()
-            stats.master_moves = massign(tracker)
-            stats.phase_seconds["massign"] = time.perf_counter() - start
+        early_stopped = False
+        try:
+            if self.enable_emigrate:
+                start = time.perf_counter()
+                self._phase_emigrate(
+                    tracker, budget, underloaded, candidates, stats, guard
+                )
+                stats.phase_seconds["emigrate"] = time.perf_counter() - start
+            if self.enable_esplit:
+                start = time.perf_counter()
+                self._phase_esplit(tracker, candidates, stats, guard)
+                stats.phase_seconds["esplit"] = time.perf_counter() - start
+            if self.enable_massign:
+                start = time.perf_counter()
+                stats.master_moves = massign(tracker, guard=guard)
+                stats.phase_seconds["massign"] = time.perf_counter() - start
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
@@ -143,6 +185,7 @@ class E2H:
         underloaded: List[int],
         candidates: Dict[int, List],
         stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         """Fig. 3 lines 6-10: ship whole candidates to underloaded fragments."""
         partition = tracker.partition
@@ -166,6 +209,8 @@ class E2H:
                         emigrate(partition, v, src, dst)
                         stats.emigrated += 1
                         placed = True
+                        if guard is not None:
+                            guard.step()
                         break
                 if not placed:
                     remaining.append((v, _edges))
@@ -176,6 +221,7 @@ class E2H:
         tracker: CostTracker,
         candidates: Dict[int, List],
         stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         """Fig. 3 lines 11-14: split leftovers edge by edge to argmin C_h."""
         partition = tracker.partition
@@ -194,4 +240,6 @@ class E2H:
                         continue
                     split_migrate_edge(partition, v, edge, src, target)
                     stats.split_edges += 1
+                    if guard is not None:
+                        guard.step()
             candidates[src] = []

@@ -14,19 +14,24 @@ earlier phases achieved.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.core.tracker import CostTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.integrity.guard import RefinementGuard
 
 
 def massign(
     tracker: CostTracker,
     vertices: Optional[Iterable[int]] = None,
+    guard: Optional["RefinementGuard"] = None,
 ) -> int:
     """Reassign masters of border vertices by Eq. 5; return moves made.
 
     ``vertices`` restricts the pass (used by the batched parallel
     variant); default is every border vertex in ascending id order.
+    ``guard`` (the guarded pipeline) is stepped once per master move.
     """
     partition = tracker.partition
     model = tracker.cost_model
@@ -39,7 +44,14 @@ def massign(
     comm = [0.0] * partition.num_fragments
     moves = 0
     for v in vertices:
-        hosts = sorted(partition.placement(v))
+        # Ghost placement entries (index corruption awaiting the guard's
+        # repair cadence) have no copy to score; skip them so Eq. 5 only
+        # considers real hosting fragments.
+        hosts = sorted(
+            fid
+            for fid in partition.placement(v)
+            if partition.fragments[fid].has_vertex(v)
+        )
         if len(hosts) < 2:
             continue
         current = partition.master(v)
@@ -57,10 +69,16 @@ def massign(
                 best_gain = g_here
                 best_delta = h_delta
         if current != best_fid:
-            # Master-dependent computation moves with the master.
-            comp[current] -= model.comp_master_delta(partition, v, current, avg)
+            # Master-dependent computation moves with the master (a
+            # corrupted master pointing at a non-host carries none).
+            if partition.fragments[current].has_vertex(v):
+                comp[current] -= model.comp_master_delta(
+                    partition, v, current, avg
+                )
             partition.set_master(v, best_fid)
             moves += 1
+            if guard is not None:
+                guard.step()
         comp[best_fid] += best_delta if current != best_fid else 0.0
         comm[best_fid] += best_gain
     return moves

@@ -19,6 +19,7 @@ the composite replication ratio ``f_c`` low:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -27,7 +28,14 @@ from repro.core.candidates import bfs_order
 from repro.core.getdest import get_dest
 from repro.core.massign import massign
 from repro.core.tracker import CostTracker
+from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
+from repro.integrity.guard import (
+    GuardConfig,
+    GuardStats,
+    RefinementBudgetExceeded,
+    RefinementGuard,
+)
 from repro.partition.composite import CompositePartition
 from repro.partition.fragment import Edge
 from repro.partition.hybrid import HybridPartition
@@ -44,6 +52,51 @@ class CompositeStats:
     vassign_units: int = 0
     eassign_units: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    guard: Dict[str, GuardStats] = field(default_factory=dict)
+
+
+class _GuardSet:
+    """Per-output guards of a composite refinement.
+
+    The composite refiners build ``k`` output partitions *up* from
+    empty, so two semantics differ from the single-partition guard:
+    coverage invariants are deferred to the final check
+    (``coverage_checks=False``), and a budget exhaustion must not abort
+    — the remaining units still need homes for the outputs to be valid.
+    Exhaustion instead flips :attr:`exhausted`, which the phases read to
+    fall back to cheapest-fragment assignment (the degraded-but-valid
+    "best so far" of a constructive algorithm).
+    """
+
+    def __init__(
+        self,
+        outputs: Dict[str, HybridPartition],
+        config: Optional[GuardConfig],
+        stats: CompositeStats,
+    ) -> None:
+        self.guards: Dict[str, RefinementGuard] = {}
+        self.exhausted = False
+        if config is None:
+            return
+        config = dataclasses.replace(config, coverage_checks=False)
+        for name, output in outputs.items():
+            gstats = stats.guard.setdefault(name, GuardStats())
+            self.guards[name] = RefinementGuard(
+                output, config, stats=gstats, chaos_salt=name
+            )
+
+    def step(self, name: str) -> None:
+        guard = self.guards.get(name)
+        if guard is None or self.exhausted:
+            return
+        try:
+            guard.step()
+        except RefinementBudgetExceeded:
+            self.exhausted = True
+
+    def finish(self) -> None:
+        for guard in self.guards.values():
+            guard.finish(early_stopped=self.exhausted)
 
 
 class ME2H:
@@ -54,6 +107,7 @@ class ME2H:
         cost_models: Dict[str, CostModel],
         budget_slack: float = 1.2,
         use_getdest: bool = True,
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
         if not cost_models:
             raise ValueError("ME2H needs at least one cost model")
@@ -63,6 +117,7 @@ class ME2H:
         # algorithm's leftover independently (first feasible fragment),
         # forfeiting the set-cover sharing that keeps f_c low.
         self.use_getdest = use_getdest
+        self.guard_config = guard_config
         self.last_stats: Optional[CompositeStats] = None
 
     # ------------------------------------------------------------------
@@ -85,30 +140,44 @@ class ME2H:
         outputs: Dict[str, HybridPartition] = {
             name: HybridPartition(graph, n) for name in names
         }
+        models = dict(self.cost_models)
+        if self.guard_config is not None:
+            for name in names:
+                stats.guard[name] = GuardStats()
+                models[name] = guard_cost_model(
+                    models[name],
+                    on_intervention=stats.guard[name].note_cost_model_intervention,
+                )
         trackers: Dict[str, CostTracker] = {
-            name: CostTracker(outputs[name], self.cost_models[name])
-            for name in names
+            name: CostTracker(outputs[name], models[name]) for name in names
         }
+        guards = _GuardSet(outputs, self.guard_config, stats)
 
         units_by_fragment = self._units(partition)
 
         start = time.perf_counter()
-        leftovers = self._phase_init(units_by_fragment, trackers, stats)
+        leftovers = self._phase_init(units_by_fragment, trackers, stats, guards)
         stats.phase_seconds["init"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        residue = self._phase_vassign(leftovers, trackers, stats)
+        residue = self._phase_vassign(leftovers, trackers, stats, guards)
         stats.phase_seconds["vassign"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        self._phase_eassign(residue, trackers, stats)
+        self._phase_eassign(residue, trackers, stats, guards)
         stats.phase_seconds["eassign"] = time.perf_counter() - start
 
         start = time.perf_counter()
         for name in names:
-            massign(trackers[name])
+            if guards.exhausted:
+                break
+            try:
+                massign(trackers[name], guard=guards.guards.get(name))
+            except RefinementBudgetExceeded:
+                guards.exhausted = True
         stats.phase_seconds["massign"] = time.perf_counter() - start
 
+        guards.finish()
         for tracker in trackers.values():
             tracker.detach()
         self.last_stats = stats
@@ -152,21 +221,29 @@ class ME2H:
         units_by_fragment: List[List[Unit]],
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
+        guards: Optional[_GuardSet] = None,
     ) -> List[Tuple[int, Unit, Set[str]]]:
         """Procedure Init: shared BFS prefixes become the cores C_i.
 
         Returns leftovers as ``(origin fragment, unit, algorithms still
         needing a destination)``.
         """
+        if guards is None:
+            guards = _GuardSet({}, None, stats)
         leftovers: List[Tuple[int, Unit, Set[str]]] = []
         for fid, units in enumerate(units_by_fragment):
             for unit in units:
+                if guards.exhausted:
+                    # Budget gone: defer everything to the fast path.
+                    leftovers.append((fid, unit, set(trackers)))
+                    continue
                 pending: Set[str] = set()
                 accepted_all = True
                 for name, tracker in trackers.items():
                     price = self._price(trackers, name, unit)
                     if tracker.comp_cost(fid) + price <= stats.budgets[name]:
                         self._assign_unit(tracker.partition, unit, fid)
+                        guards.step(name)
                     else:
                         pending.add(name)
                         accepted_all = False
@@ -181,8 +258,11 @@ class ME2H:
         leftovers: List[Tuple[int, Unit, Set[str]]],
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
+        guards: Optional[_GuardSet] = None,
     ) -> List[Tuple[Unit, Set[str]]]:
         """VAssign (Fig. 6 lines 8-13): set-cover destinations for leftovers."""
+        if guards is None:
+            guards = _GuardSet({}, None, stats)
         n = next(iter(trackers.values())).partition.num_fragments
         underloaded: Dict[str, Set[int]] = {
             name: {
@@ -194,6 +274,9 @@ class ME2H:
         }
         residue: List[Tuple[Unit, Set[str]]] = []
         for _origin, unit, pending in leftovers:
+            if guards.exhausted:
+                residue.append((unit, set(pending)))
+                continue
             prices = {
                 name: self._price(trackers, name, unit) for name in pending
             }
@@ -216,6 +299,7 @@ class ME2H:
             for name, fid in destinations.items():
                 self._assign_unit(trackers[name].partition, unit, fid)
                 stats.vassign_units += 1
+                guards.step(name)
                 if trackers[name].comp_cost(fid) >= stats.budgets[name]:
                     underloaded[name].discard(fid)
             unplaced = pending - set(destinations)
@@ -228,6 +312,7 @@ class ME2H:
         residue: List[Tuple[Unit, Set[str]]],
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
+        guards: Optional[_GuardSet] = None,
     ) -> None:
         """EAssign (Fig. 6 lines 14-18): split leftover units edge by edge."""
         for unit, names in residue:
@@ -240,7 +325,11 @@ class ME2H:
                 if not edges:
                     target = min(range(n), key=tracker.comp_cost)
                     output.add_vertex_to(target, v)
+                    if guards is not None:
+                        guards.step(name)
                     continue
                 for edge in edges:
                     target = min(range(n), key=tracker.comp_cost)
                     output.add_edge_to(target, edge)
+                    if guards is not None:
+                        guards.step(name)

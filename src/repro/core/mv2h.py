@@ -18,11 +18,17 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.candidates import bfs_order
 from repro.core.getdest import get_dest
 from repro.core.massign import massign
-from repro.core.me2h import CompositeStats, Unit
+from repro.core.me2h import CompositeStats, Unit, _GuardSet
 from repro.core.tracker import CostTracker
 from repro.core.v2h import V2H
 from repro.costmodel.features import vertex_features
+from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
+from repro.integrity.guard import (
+    GuardConfig,
+    GuardStats,
+    RefinementBudgetExceeded,
+)
 from repro.partition.composite import CompositePartition
 from repro.partition.hybrid import HybridPartition
 
@@ -35,12 +41,14 @@ class MV2H:
         cost_models: Dict[str, CostModel],
         budget_slack: float = 1.2,
         vmerge_passes: int = 1,
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
         if not cost_models:
             raise ValueError("MV2H needs at least one cost model")
         self.cost_models = dict(cost_models)
         self.budget_slack = budget_slack
         self.vmerge_passes = vmerge_passes
+        self.guard_config = guard_config
         self.last_stats: Optional[CompositeStats] = None
 
     # ------------------------------------------------------------------
@@ -61,25 +69,35 @@ class MV2H:
         outputs: Dict[str, HybridPartition] = {
             name: HybridPartition(graph, n) for name in names
         }
+        models = dict(self.cost_models)
+        if self.guard_config is not None:
+            for name in names:
+                stats.guard[name] = GuardStats()
+                models[name] = guard_cost_model(
+                    models[name],
+                    on_intervention=stats.guard[name].note_cost_model_intervention,
+                )
         trackers: Dict[str, CostTracker] = {
-            name: CostTracker(outputs[name], self.cost_models[name])
-            for name in names
+            name: CostTracker(outputs[name], models[name]) for name in names
         }
+        guards = _GuardSet(outputs, self.guard_config, stats)
 
         units_by_fragment = self._units(partition)
 
         start = time.perf_counter()
-        leftovers = self._phase_init(units_by_fragment, trackers, stats)
+        leftovers = self._phase_init(units_by_fragment, trackers, stats, guards)
         stats.phase_seconds["init"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        self._phase_vassign(leftovers, trackers, stats)
+        self._phase_vassign(leftovers, trackers, stats, guards)
         stats.phase_seconds["vassign"] = time.perf_counter() - start
 
         start = time.perf_counter()
         for name in names:
+            if guards.exhausted:
+                break
             merger = V2H(
-                self.cost_models[name],
+                models[name],
                 enable_vmigrate=False,
                 enable_vmerge=True,
                 enable_massign=False,
@@ -90,9 +108,15 @@ class MV2H:
 
         start = time.perf_counter()
         for name in names:
-            massign(trackers[name])
+            if guards.exhausted:
+                break
+            try:
+                massign(trackers[name], guard=guards.guards.get(name))
+            except RefinementBudgetExceeded:
+                guards.exhausted = True
         stats.phase_seconds["massign"] = time.perf_counter() - start
 
+        guards.finish()
         for tracker in trackers.values():
             tracker.detach()
         self.last_stats = stats
@@ -164,11 +188,17 @@ class MV2H:
         units_by_fragment: List[List[Tuple[int, Unit]]],
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
+        guards: Optional[_GuardSet] = None,
     ) -> List[Tuple[int, Unit, Set[str]]]:
         """Shared BFS prefixes become the cores (Section 6.3 VAssign init)."""
+        if guards is None:
+            guards = _GuardSet({}, None, stats)
         leftovers: List[Tuple[int, Unit, Set[str]]] = []
         for units in units_by_fragment:
             for fid, unit in units:
+                if guards.exhausted:
+                    leftovers.append((fid, unit, set(trackers)))
+                    continue
                 pending: Set[str] = set()
                 accepted_all = True
                 for name, tracker in trackers.items():
@@ -176,6 +206,7 @@ class MV2H:
                     old = tracker.copy_comp_cost(unit[0], fid)
                     if tracker.comp_cost(fid) - old + price <= stats.budgets[name]:
                         self._assign_unit(tracker.partition, unit, fid)
+                        guards.step(name)
                     else:
                         pending.add(name)
                         accepted_all = False
@@ -190,6 +221,7 @@ class MV2H:
         leftovers: List[Tuple[int, Unit, Set[str]]],
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
+        guards: Optional[_GuardSet] = None,
     ) -> None:
         """Route leftover units through GetDest; split-free fallback.
 
@@ -198,6 +230,8 @@ class MV2H:
         under budget go to the currently cheapest fragment directly —
         there is no separate EAssign stage in Section 6.3.
         """
+        if guards is None:
+            guards = _GuardSet({}, None, stats)
         n = next(iter(trackers.values())).partition.num_fragments
         underloaded: Dict[str, Set[int]] = {
             name: {
@@ -214,7 +248,12 @@ class MV2H:
                 old = tracker.copy_comp_cost(unit[0], fid)
                 return tracker.comp_cost(fid) - old + price <= stats.budgets[name]
 
-            destinations = get_dest(pending, underloaded, fits)
+            if guards.exhausted:
+                # Budget gone: cheapest-fragment fallback keeps every
+                # unit placed (the outputs must still cover the graph).
+                destinations = {}
+            else:
+                destinations = get_dest(pending, underloaded, fits)
             for name in pending:
                 tracker = trackers[name]
                 fid = destinations.get(name)
@@ -224,5 +263,6 @@ class MV2H:
                 else:
                     stats.vassign_units += 1
                 self._assign_unit(tracker.partition, unit, fid)
+                guards.step(name)
                 if tracker.comp_cost(fid) >= stats.budgets[name]:
                     underloaded[name].discard(fid)

@@ -38,7 +38,14 @@ from repro.core.mv2h import MV2H
 from repro.core.operations import emigrate, split_migrate_edge, vmerge, vmigrate
 from repro.core.tracker import CostTracker
 from repro.core.v2h import V2H
+from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
+from repro.integrity.guard import (
+    GuardConfig,
+    GuardStats,
+    RefinementBudgetExceeded,
+    RefinementGuard,
+)
 from repro.partition.composite import CompositePartition
 from repro.partition.hybrid import HybridPartition, NodeRole
 from repro.runtime.bsp import Cluster
@@ -102,6 +109,7 @@ class ParE2H:
         enable_esplit: bool = True,
         enable_massign: bool = True,
         budget_slack: float = 1.0,
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
         self.cost_model = cost_model
         self.batch_size = batch_size
@@ -110,6 +118,7 @@ class ParE2H:
         self.enable_esplit = enable_esplit
         self.enable_massign = enable_massign
         self.budget_slack = budget_slack
+        self.guard_config = guard_config
 
     # ------------------------------------------------------------------
     def refine(
@@ -119,12 +128,29 @@ class ParE2H:
         wall_start = time.perf_counter()
         if not in_place:
             partition = partition.copy()
-        tracker = CostTracker(partition, self.cost_model)
+        stats = RefineStats()
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        tracker = CostTracker(partition, model)
         cluster = Cluster(partition, clock=self.clock)
         profile = RefinementProfile()
         meter = _PhaseMeter(cluster, profile)
-        stats = RefineStats()
         stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                # From-scratch: a tracker query here would shift its
+                # lazy-flush boundaries and the cached cost accumulation.
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
 
         budget = compute_budget(tracker, self.budget_slack)
         stats.budget = budget
@@ -142,23 +168,31 @@ class ParE2H:
             _sync_state(cluster)
 
         meter.run("setup", setup)
-        if self.enable_emigrate:
-            meter.run(
-                "emigrate",
-                lambda: self._parallel_emigrate(
-                    cluster, tracker, budget, underloaded, candidates, stats
-                ),
-            )
-        if self.enable_esplit:
-            meter.run(
-                "esplit",
-                lambda: self._parallel_esplit(cluster, tracker, candidates, stats),
-            )
-        if self.enable_massign:
-            meter.run(
-                "massign",
-                lambda: self._parallel_massign(cluster, tracker, stats),
-            )
+        early_stopped = False
+        try:
+            if self.enable_emigrate:
+                meter.run(
+                    "emigrate",
+                    lambda: self._parallel_emigrate(
+                        cluster, tracker, budget, underloaded, candidates, stats, guard
+                    ),
+                )
+            if self.enable_esplit:
+                meter.run(
+                    "esplit",
+                    lambda: self._parallel_esplit(
+                        cluster, tracker, candidates, stats, guard
+                    ),
+                )
+            if self.enable_massign:
+                meter.run(
+                    "massign",
+                    lambda: self._parallel_massign(cluster, tracker, stats, guard),
+                )
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
@@ -176,6 +210,7 @@ class ParE2H:
         underloaded: List[int],
         candidates: Dict[int, List],
         stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         """Round-robin batched candidate shipping (Section 5.3)."""
         partition = tracker.partition
@@ -210,6 +245,8 @@ class ParE2H:
                     if tracker.comp_cost(dst) + price <= budget:
                         emigrate(partition, v, src, dst)
                         stats.emigrated += 1
+                        if guard is not None:
+                            guard.step()
                     elif attempts + 1 < k:
                         queues[src].append((v, edges, attempts + 1))
                     else:
@@ -224,6 +261,7 @@ class ParE2H:
         tracker: CostTracker,
         candidates: Dict[int, List],
         stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         """Batched greedy edge splitting against shared cost state."""
         partition = tracker.partition
@@ -256,13 +294,19 @@ class ParE2H:
                     cluster.send(src, target, None, nbytes=24.0)
                     split_migrate_edge(partition, v, edge, src, target)
                     stats.split_edges += 1
+                    if guard is not None:
+                        guard.step()
             _sync_state(cluster)
 
     def _parallel_massign(
-        self, cluster: Cluster, tracker: CostTracker, stats: RefineStats
+        self,
+        cluster: Cluster,
+        tracker: CostTracker,
+        stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         """Batched Eq. 5 master assignment with shared accumulators."""
-        _parallel_massign_impl(cluster, tracker, stats, self.batch_size)
+        _parallel_massign_impl(cluster, tracker, stats, self.batch_size, guard)
 
 
 def _parallel_massign_impl(
@@ -270,6 +314,7 @@ def _parallel_massign_impl(
     tracker: CostTracker,
     stats: RefineStats,
     batch_size: int,
+    guard: Optional[RefinementGuard] = None,
 ) -> None:
     partition = tracker.partition
     model = tracker.cost_model
@@ -279,7 +324,12 @@ def _parallel_massign_impl(
     work: Dict[int, List[int]] = {fid: [] for fid in range(partition.num_fragments)}
     for v, hosts in partition.vertex_fragments():
         if len(hosts) > 1:
-            work[partition.master(v)].append(v)
+            master = partition.master(v)
+            # A corrupted master pointing outside [0, n) still needs a
+            # worker; fall back to the lowest host until repair runs.
+            if master not in work:
+                master = min(hosts)
+            work[master].append(v)
     for fid in work:
         work[fid].sort()
     comp = tracker.comp_costs()
@@ -288,7 +338,15 @@ def _parallel_massign_impl(
         for fid in range(partition.num_fragments):
             batch, work[fid] = work[fid][:batch_size], work[fid][batch_size:]
             for v in batch:
-                hosts = sorted(partition.placement(v))
+                # Only fragments actually holding a copy can be scored
+                # (ghost placement entries await the guard's repair).
+                hosts = sorted(
+                    h
+                    for h in partition.placement(v)
+                    if partition.fragments[h].has_vertex(v)
+                )
+                if len(hosts) < 2:
+                    continue
                 cluster.charge(fid, (C1_OPS + C2_OPS) * len(hosts))
                 current = partition.master(v)
                 best_fid, best_score = hosts[0], float("inf")
@@ -301,13 +359,19 @@ def _parallel_massign_impl(
                         best_score, best_fid = score, host
                         best_gain, best_delta = g_here, h_delta
                 if current != best_fid:
-                    comp[current] -= model.comp_master_delta(
-                        partition, v, current, avg
-                    )
+                    if (
+                        0 <= current < partition.num_fragments
+                        and partition.fragments[current].has_vertex(v)
+                    ):
+                        comp[current] -= model.comp_master_delta(
+                            partition, v, current, avg
+                        )
                     comp[best_fid] += best_delta
                     cluster.send(fid, best_fid, None, nbytes=12.0)
                     partition.set_master(v, best_fid)
                     stats.master_moves += 1
+                    if guard is not None:
+                        guard.step()
                 comm[best_fid] += best_gain
         _sync_state(cluster)
 
@@ -325,6 +389,7 @@ class ParV2H:
         enable_massign: bool = True,
         budget_slack: float = 1.0,
         vmerge_passes: int = 2,
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
         self.cost_model = cost_model
         self.batch_size = batch_size
@@ -334,6 +399,7 @@ class ParV2H:
         self.enable_massign = enable_massign
         self.budget_slack = budget_slack
         self.vmerge_passes = vmerge_passes
+        self.guard_config = guard_config
 
     def refine(
         self, partition: HybridPartition, in_place: bool = False
@@ -342,14 +408,31 @@ class ParV2H:
         wall_start = time.perf_counter()
         if not in_place:
             partition = partition.copy()
-        tracker = CostTracker(partition, self.cost_model)
+        stats = RefineStats()
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        tracker = CostTracker(partition, model)
         cluster = Cluster(partition, clock=self.clock)
         profile = RefinementProfile()
         meter = _PhaseMeter(cluster, profile)
-        stats = RefineStats()
         stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                # From-scratch: a tracker query here would shift its
+                # lazy-flush boundaries and the cached cost accumulation.
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
         helper = V2H(
-            self.cost_model,
+            model,
             budget_slack=self.budget_slack,
             vmerge_passes=self.vmerge_passes,
         )
@@ -370,27 +453,34 @@ class ParV2H:
             _sync_state(cluster)
 
         meter.run("setup", setup)
-        if self.enable_vmigrate:
-            meter.run(
-                "vmigrate",
-                lambda: self._parallel_vmigrate(
-                    cluster, tracker, helper, budget, underloaded, candidates, stats
-                ),
-            )
-        if self.enable_vmerge:
-            meter.run(
-                "vmerge",
-                lambda: self._parallel_vmerge(
-                    cluster, tracker, helper, budget, stats
-                ),
-            )
-        if self.enable_massign:
-            meter.run(
-                "massign",
-                lambda: _parallel_massign_impl(
-                    cluster, tracker, stats, self.batch_size
-                ),
-            )
+        early_stopped = False
+        try:
+            if self.enable_vmigrate:
+                meter.run(
+                    "vmigrate",
+                    lambda: self._parallel_vmigrate(
+                        cluster, tracker, helper, budget, underloaded,
+                        candidates, stats, guard
+                    ),
+                )
+            if self.enable_vmerge:
+                meter.run(
+                    "vmerge",
+                    lambda: self._parallel_vmerge(
+                        cluster, tracker, helper, budget, stats, guard
+                    ),
+                )
+            if self.enable_massign:
+                meter.run(
+                    "massign",
+                    lambda: _parallel_massign_impl(
+                        cluster, tracker, stats, self.batch_size, guard
+                    ),
+                )
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
@@ -409,6 +499,7 @@ class ParV2H:
         underloaded: List[int],
         candidates: Dict[int, List],
         stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         partition = tracker.partition
         queues: Dict[int, List] = {
@@ -440,6 +531,8 @@ class ParV2H:
                     if tracker.comp_cost(dst) - old_price + new_price <= budget:
                         vmigrate(partition, v, src, dst)
                         stats.vmigrated += 1
+                        if guard is not None:
+                            guard.step()
                     else:
                         queues[src].append((v, edges, attempts + 1))
             _sync_state(cluster)
@@ -451,6 +544,7 @@ class ParV2H:
         helper: V2H,
         budget: float,
         stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         partition = tracker.partition
         graph = partition.graph
@@ -507,6 +601,8 @@ class ParV2H:
                         vmerge(partition, v, fid, missing)
                         stats.vmerged += 1
                         merged_any = True
+                        if guard is not None:
+                            guard.step()
                 _sync_state(cluster)
             if not merged_any:
                 break
@@ -573,8 +669,11 @@ class ParME2H(_CompositeParallelMixin):
         batch_size: int = 32,
         clock: Optional[CostClock] = None,
         budget_slack: float = 1.2,
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
-        self.inner = ME2H(cost_models, budget_slack=budget_slack)
+        self.inner = ME2H(
+            cost_models, budget_slack=budget_slack, guard_config=guard_config
+        )
         self.batch_size = batch_size
         self.clock = clock or CostClock()
 
@@ -600,9 +699,13 @@ class ParMV2H(_CompositeParallelMixin):
         clock: Optional[CostClock] = None,
         budget_slack: float = 1.2,
         vmerge_passes: int = 1,
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
         self.inner = MV2H(
-            cost_models, budget_slack=budget_slack, vmerge_passes=vmerge_passes
+            cost_models,
+            budget_slack=budget_slack,
+            vmerge_passes=vmerge_passes,
+            guard_config=guard_config,
         )
         self.batch_size = batch_size
         self.clock = clock or CostClock()

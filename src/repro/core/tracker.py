@@ -75,6 +75,11 @@ class CostTracker:
             return
         new_copies: Dict[int, float] = {}
         for fid in hosts:
+            # A placement entry pointing at a fragment with no copy is
+            # index corruption awaiting the guard's repair; there is no
+            # copy to price, so skip it instead of crashing in role().
+            if not partition.fragments[fid].has_vertex(v):
+                continue
             if partition.cost_bearing(v, fid):
                 features = vertex_features(partition, v, fid, self.avg_degree)
                 contrib = self.cost_model.h_value(features)
@@ -84,11 +89,12 @@ class CostTracker:
         if new_copies:
             self._copy_contrib[v] = new_copies
         if partition.is_border(v):
-            master = partition.master(v)
-            features = vertex_features(partition, v, master, self.avg_degree)
-            contrib = self.cost_model.g_value(features)
-            self._comm_contrib[v] = (master, contrib)
-            self._comm[master] += contrib
+            master = partition._masters.get(v)
+            if master is not None and partition.fragments[master].has_vertex(v):
+                features = vertex_features(partition, v, master, self.avg_degree)
+                contrib = self.cost_model.g_value(features)
+                self._comm_contrib[v] = (master, contrib)
+                self._comm[master] += contrib
 
     def _flush(self) -> None:
         if not self._dirty:

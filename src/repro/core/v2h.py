@@ -26,7 +26,14 @@ from repro.core.massign import massign
 from repro.core.operations import vmerge, vmigrate
 from repro.core.tracker import CostTracker
 from repro.costmodel.features import vertex_features
+from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
+from repro.integrity.guard import (
+    GuardConfig,
+    GuardStats,
+    RefinementBudgetExceeded,
+    RefinementGuard,
+)
 from repro.partition.hybrid import HybridPartition, NodeRole
 
 
@@ -43,6 +50,7 @@ class V2H:
         enable_massign: bool = True,
         budget_slack: float = 1.0,
         vmerge_passes: int = 2,
+        guard_config: Optional[GuardConfig] = None,
     ) -> None:
         self.cost_model = cost_model
         self.enable_vmigrate = enable_vmigrate
@@ -50,6 +58,7 @@ class V2H:
         self.enable_massign = enable_massign
         self.budget_slack = budget_slack
         self.vmerge_passes = vmerge_passes
+        self.guard_config = guard_config
         self.last_stats: Optional[RefineStats] = None
 
     # ------------------------------------------------------------------
@@ -59,9 +68,26 @@ class V2H:
         """Refine a vertex-cut partition into a hybrid one."""
         if not in_place:
             partition = partition.copy()
-        tracker = CostTracker(partition, self.cost_model)
         stats = RefineStats()
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        tracker = CostTracker(partition, model)
         stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                # From-scratch: a tracker query here would shift its
+                # lazy-flush boundaries and the cached cost accumulation.
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
 
         budget = compute_budget(tracker, self.budget_slack)
         stats.budget = budget
@@ -73,18 +99,26 @@ class V2H:
             candidates[fid] = get_candidates(tracker, fid, budget, NodeRole.VCUT)
             stats.candidates += len(candidates[fid])
 
-        if self.enable_vmigrate:
-            start = time.perf_counter()
-            self._phase_vmigrate(tracker, budget, underloaded, candidates, stats)
-            stats.phase_seconds["vmigrate"] = time.perf_counter() - start
-        if self.enable_vmerge:
-            start = time.perf_counter()
-            self._phase_vmerge(tracker, budget, stats)
-            stats.phase_seconds["vmerge"] = time.perf_counter() - start
-        if self.enable_massign:
-            start = time.perf_counter()
-            stats.master_moves = massign(tracker)
-            stats.phase_seconds["massign"] = time.perf_counter() - start
+        early_stopped = False
+        try:
+            if self.enable_vmigrate:
+                start = time.perf_counter()
+                self._phase_vmigrate(
+                    tracker, budget, underloaded, candidates, stats, guard
+                )
+                stats.phase_seconds["vmigrate"] = time.perf_counter() - start
+            if self.enable_vmerge:
+                start = time.perf_counter()
+                self._phase_vmerge(tracker, budget, stats, guard)
+                stats.phase_seconds["vmerge"] = time.perf_counter() - start
+            if self.enable_massign:
+                start = time.perf_counter()
+                stats.master_moves = massign(tracker, guard=guard)
+                stats.phase_seconds["massign"] = time.perf_counter() - start
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
@@ -124,6 +158,7 @@ class V2H:
         underloaded: List[int],
         candidates: Dict[int, List],
         stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         """Fig. 4 lines 6-10: merge v-cut copies into co-located copies."""
         partition = tracker.partition
@@ -146,13 +181,19 @@ class V2H:
                         vmigrate(partition, v, src, dst)
                         stats.vmigrated += 1
                         placed = True
+                        if guard is not None:
+                            guard.step()
                         break
                 if not placed:
                     remaining.append((v, _edges))
             candidates[src] = remaining
 
     def _phase_vmerge(
-        self, tracker: CostTracker, budget: float, stats: RefineStats
+        self,
+        tracker: CostTracker,
+        budget: float,
+        stats: RefineStats,
+        guard: Optional[RefinementGuard] = None,
     ) -> None:
         """Fig. 4 lines 11-14: promote v-cut nodes to e-cut nodes."""
         partition = tracker.partition
@@ -195,5 +236,7 @@ class V2H:
                     vmerge(partition, v, fid, missing)
                     stats.vmerged += 1
                     merged_any = True
+                    if guard is not None:
+                        guard.step()
             if not merged_any:
                 break

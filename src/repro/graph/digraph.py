@@ -65,8 +65,15 @@ class Graph:
         else:
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
-        if len(src) and (src.min() < 0 or max(src.max(), dst.max()) >= num_vertices):
-            raise ValueError("edge endpoint out of range")
+        if len(src):
+            lo = int(min(src.min(), dst.min()))
+            hi = int(max(src.max(), dst.max()))
+            if lo < 0 or hi >= num_vertices:
+                bad = lo if lo < 0 else hi
+                raise ValueError(
+                    f"edge endpoint {bad} out of range for a graph with "
+                    f"{num_vertices} vertices (valid ids: 0..{num_vertices - 1})"
+                )
         self._src = src
         self._dst = dst
         self._edge_set = pairs

@@ -89,30 +89,82 @@ def read_metis(path: PathLike) -> Graph:
 
 
 def read_edge_list(path: PathLike) -> Graph:
-    """Read a graph written by :func:`write_edge_list` (or a bare list)."""
+    """Read a graph written by :func:`write_edge_list` (or a bare list).
+
+    The reader is strict: malformed lines, non-integer or negative
+    vertex ids, duplicate edges, and ids beyond a declared
+    ``num_vertices`` all raise :class:`ValueError` naming the offending
+    line — a partitioning run on a silently mangled graph wastes far
+    more time than a loud parse error.
+    """
     directed = True
     num_vertices = None
-    edges = []
+    entries = []  # (line number, u, v)
     max_id = -1
     with open(path, "r", encoding="ascii") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             if line.startswith("#"):
                 for token in line[1:].split():
                     key, _, value = token.partition("=")
+                    if key not in ("directed", "num_vertices"):
+                        continue
+                    try:
+                        parsed = int(value)
+                    except ValueError:
+                        raise ValueError(
+                            f"{path}: line {lineno}: header field "
+                            f"{key}={value!r} is not an integer"
+                        ) from None
                     if key == "directed":
-                        directed = bool(int(value))
-                    elif key == "num_vertices":
-                        num_vertices = int(value)
+                        directed = bool(parsed)
+                    else:
+                        num_vertices = parsed
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            u, v = int(parts[0]), int(parts[1])
-            edges.append((u, v))
+                raise ValueError(
+                    f"{path}: line {lineno}: malformed edge line: {line!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}: line {lineno}: non-integer vertex id in "
+                    f"edge line: {line!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise ValueError(
+                    f"{path}: line {lineno}: negative vertex id in "
+                    f"edge ({u}, {v})"
+                )
+            entries.append((lineno, u, v))
             max_id = max(max_id, u, v)
     if num_vertices is None:
         num_vertices = max_id + 1
-    return Graph(num_vertices, edges, directed=directed)
+    elif max_id >= num_vertices:
+        bad = next(
+            (lineno, u, v)
+            for lineno, u, v in entries
+            if u >= num_vertices or v >= num_vertices
+        )
+        raise ValueError(
+            f"{path}: line {bad[0]}: edge ({bad[1]}, {bad[2]}) references "
+            f"a vertex id >= declared num_vertices={num_vertices}"
+        )
+    # Duplicate detection honours the (header-declared) directedness:
+    # (u, v) and (v, u) are the same edge in an undirected file.
+    first_seen = {}
+    for lineno, u, v in entries:
+        key = (u, v) if directed or u <= v else (v, u)
+        if key in first_seen:
+            raise ValueError(
+                f"{path}: line {lineno}: duplicate edge ({u}, {v}) "
+                f"(first seen on line {first_seen[key]})"
+            )
+        first_seen[key] = lineno
+    return Graph(
+        num_vertices, [(u, v) for _, u, v in entries], directed=directed
+    )

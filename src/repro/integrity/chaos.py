@@ -1,0 +1,229 @@
+"""Deterministic partition corruption (the partition-side fault driver).
+
+:mod:`repro.runtime.faults` degrades the simulated *substrate*; this
+module degrades the *partition state itself*, modelling the buggy move
+sequences and memory corruption a guarded refinement pipeline must
+survive.  A :class:`ChaosPlan` declares what goes wrong and how often; a
+:class:`PartitionChaos` interpreter turns it into per-step decisions
+drawn from a counter-keyed hash of the plan seed, so a chaotic run is
+exactly reproducible.
+
+Corruption kinds:
+
+* ``placement`` — the cross-fragment placement index loses a hosting
+  fragment or gains a ghost entry;
+* ``masters`` — a vertex's master is pointed at a fragment holding no
+  copy of it;
+* ``roles`` — the cached full-copy index (which the e-cut / v-cut /
+  dummy role tags derive from) loses or gains an entry, silently
+  flipping roles and therefore costs;
+* ``edges`` — an edge disappears from **every** fragment holding it
+  (not in the default kinds: index repair cannot regrow lost edges, so
+  this forces the guard's rollback path).
+
+Every corruption fires the partition's listener channel for the touched
+vertices, exactly as the buggy mutations it simulates would — which is
+what makes incremental detection by the watchdog both possible and
+honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.partition.hybrid import HybridPartition
+
+CORRUPTION_KINDS = ("placement", "masters", "roles", "edges")
+DEFAULT_KINDS = ("placement", "masters", "roles")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A declarative, seeded schedule of partition corruption.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the counter-keyed hash all decisions are drawn from.
+    corrupt_rate:
+        Probability, per guarded refinement step, of injecting one
+        corruption.  In ``[0, 1]``.
+    kinds:
+        Which corruption kinds to draw from (default: the three index
+        corruptions, all locally repairable).
+    max_corruptions:
+        Optional cap on total injections per interpreter.
+    """
+
+    seed: int = 0
+    corrupt_rate: float = 0.0
+    kinds: Tuple[str, ...] = DEFAULT_KINDS
+    max_corruptions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        if not (0.0 <= self.corrupt_rate <= 1.0):
+            raise ValueError(
+                f"corrupt_rate must be in [0, 1], got {self.corrupt_rate}"
+            )
+        unknown = [k for k in self.kinds if k not in CORRUPTION_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown corruption kinds {unknown}; choose from {CORRUPTION_KINDS}"
+            )
+        if not self.kinds:
+            raise ValueError("kinds must not be empty")
+        if self.max_corruptions is not None and self.max_corruptions < 0:
+            raise ValueError("max_corruptions must be >= 0")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan can never inject anything."""
+        return self.corrupt_rate == 0.0 or self.max_corruptions == 0
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """Record of one injected corruption (for reports and tests)."""
+
+    kind: str
+    vertex: int
+    detail: str
+
+
+@dataclass
+class PartitionChaos:
+    """Stateful interpreter of a :class:`ChaosPlan` for one refinement.
+
+    ``salt`` decorrelates the draw streams of several interpreters
+    sharing one plan (the composite refiners guard k output partitions
+    at once).
+    """
+
+    plan: ChaosPlan
+    salt: str = ""
+    injected: List[Corruption] = field(default_factory=list)
+    _counter: int = 0
+
+    def _draw(self, tag: str) -> float:
+        """Deterministic uniform draw in [0, 1) keyed by (seed, salt, tag)."""
+        digest = hashlib.blake2b(
+            f"{self.plan.seed}:{self.salt}:{tag}:{self._counter}".encode(),
+            digest_size=8,
+        ).digest()
+        self._counter += 1
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    def _pick(self, tag: str, items: list):
+        return items[int(self._draw(tag) * len(items))]
+
+    # ------------------------------------------------------------------
+    def maybe_corrupt(self, partition: HybridPartition) -> Optional[Corruption]:
+        """Roll the per-step dice; inject one corruption if they come up."""
+        if self.plan.is_empty:
+            return None
+        if (
+            self.plan.max_corruptions is not None
+            and len(self.injected) >= self.plan.max_corruptions
+        ):
+            return None
+        if self._draw("gate") >= self.plan.corrupt_rate:
+            return None
+        return self.corrupt(partition)
+
+    def corrupt(self, partition: HybridPartition) -> Optional[Corruption]:
+        """Unconditionally inject one corruption (None if none applicable)."""
+        kinds = list(self.plan.kinds)
+        for _attempt in range(2 * len(kinds)):
+            kind = self._pick("kind", kinds)
+            corruption = getattr(self, f"_corrupt_{kind}")(partition)
+            if corruption is not None:
+                self.injected.append(corruption)
+                return corruption
+        return None
+
+    # ------------------------------------------------------------------
+    def _corrupt_placement(self, partition: HybridPartition) -> Optional[Corruption]:
+        placed = sorted(partition._placement)
+        if not placed:
+            return None
+        v = self._pick("placement-v", placed)
+        hosts = partition._placement[v]
+        outside = [
+            fid for fid in range(partition.num_fragments) if fid not in hosts
+        ]
+        drop = self._draw("placement-op") < 0.5
+        if (drop or not outside) and hosts:
+            fid = self._pick("placement-fid", sorted(hosts))
+            hosts.discard(fid)
+            detail = f"dropped fragment {fid} from placement of vertex {v}"
+        elif outside:
+            fid = self._pick("placement-fid", outside)
+            hosts.add(fid)
+            detail = f"added ghost fragment {fid} to placement of vertex {v}"
+        else:
+            return None
+        partition._notify(v)
+        return Corruption("placement", v, detail)
+
+    def _corrupt_masters(self, partition: HybridPartition) -> Optional[Corruption]:
+        candidates = sorted(
+            v
+            for v, hosts in partition._placement.items()
+            if len(hosts) < partition.num_fragments
+        )
+        if not candidates:
+            return None
+        v = self._pick("masters-v", candidates)
+        hosts = partition._placement[v]
+        outside = [
+            fid for fid in range(partition.num_fragments) if fid not in hosts
+        ]
+        fid = self._pick("masters-fid", outside)
+        partition._masters[v] = fid
+        partition._notify(v)
+        return Corruption(
+            "masters", v, f"master of vertex {v} pointed at non-host {fid}"
+        )
+
+    def _corrupt_roles(self, partition: HybridPartition) -> Optional[Corruption]:
+        placed = sorted(partition._placement)
+        if not placed:
+            return None
+        v = self._pick("roles-v", placed)
+        full = partition._full.setdefault(v, set())
+        hosts = partition._placement[v]
+        not_full = sorted(hosts - full)
+        drop = self._draw("roles-op") < 0.5
+        if (drop or not not_full) and full:
+            fid = self._pick("roles-fid", sorted(full))
+            full.discard(fid)
+            detail = f"cleared full-copy tag of vertex {v} at fragment {fid}"
+        elif not_full:
+            fid = self._pick("roles-fid", not_full)
+            full.add(fid)
+            detail = f"forged full-copy tag of vertex {v} at fragment {fid}"
+        else:
+            return None
+        partition._notify(v)
+        return Corruption("roles", v, detail)
+
+    def _corrupt_edges(self, partition: HybridPartition) -> Optional[Corruption]:
+        holders = [f for f in partition.fragments if f.num_edges > 0]
+        if not holders:
+            return None
+        fragment = self._pick("edges-frag", holders)
+        edge = self._pick("edges-edge", sorted(fragment.edges()))
+        # Remove the edge from every holder, bypassing index maintenance:
+        # the loss is undetectable from the indexes alone and cannot be
+        # repaired locally — the guard must roll back.
+        for holder in partition.fragments:
+            if holder.has_edge(edge):
+                holder._remove_edge(edge)
+        for w in {edge[0], edge[1]}:
+            partition._notify(w)
+        return Corruption(
+            "edges", edge[0], f"edge {edge} vanished from every fragment"
+        )

@@ -1,0 +1,98 @@
+"""Local repair of a hybrid partition's cross-fragment indexes.
+
+The placement, full-copy, and master indexes of a
+:class:`~repro.partition.hybrid.HybridPartition` are caches over the
+fragments' contents; fragment contents are the ground truth.  When a
+watchdog check reports index corruption, :func:`repair_indexes`
+re-derives all three indexes from the fragments — exactly, in one pass —
+and notifies the listener channel for every vertex whose entries
+changed, so incremental cost trackers re-price them.
+
+What repair *cannot* fix is corruption of the fragment contents
+themselves (a lost edge copy, a missing vertex): those violate the
+coverage invariants and require the guard's snapshot rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.partition.hybrid import HybridPartition
+
+
+def repair_indexes(
+    partition: HybridPartition,
+    reference_masters: Optional[Dict[int, int]] = None,
+) -> List[str]:
+    """Rebuild placement/full/master indexes from fragment contents.
+
+    ``reference_masters`` (typically the guard's last-good snapshot)
+    resolves the one genuinely ambiguous repair: a corrupted master has
+    no ground truth in the fragments, so the reference assignment is
+    restored when still valid, and the deterministic ``min(hosts)``
+    fallback is used otherwise.  Valid masters are never touched.
+
+    Returns human-readable descriptions of every entry changed (empty
+    list = nothing to repair).
+    """
+    repairs: List[str] = []
+    changed: Set[int] = set()
+    actual_hosts: Dict[int, Set[int]] = {}
+    for fragment in partition.fragments:
+        for v in fragment.vertices():
+            actual_hosts.setdefault(v, set()).add(fragment.fid)
+
+    for v in set(partition._placement) | set(actual_hosts):
+        hosts = actual_hosts.get(v, set())
+        current = partition._placement.get(v, set())
+        if current != hosts:
+            repairs.append(
+                f"placement[{v}]: {sorted(current)} -> {sorted(hosts)}"
+            )
+            changed.add(v)
+            if hosts:
+                partition._placement[v] = set(hosts)
+            else:
+                partition._placement.pop(v, None)
+
+    for v in set(partition._full) | set(actual_hosts):
+        hosts = actual_hosts.get(v, set())
+        total = partition.global_incident_count(v)
+        if total == 0:
+            expected = set(hosts)
+        else:
+            expected = {
+                fid
+                for fid in hosts
+                if partition.fragments[fid].incident_count(v) == total
+            }
+        current = partition._full.get(v, set())
+        if current != expected:
+            repairs.append(
+                f"full[{v}]: {sorted(current)} -> {sorted(expected)}"
+            )
+            changed.add(v)
+            if expected:
+                partition._full[v] = expected
+            else:
+                partition._full.pop(v, None)
+
+    for v in set(partition._masters) | set(actual_hosts):
+        hosts = actual_hosts.get(v)
+        current = partition._masters.get(v)
+        if not hosts:
+            if v in partition._masters:
+                repairs.append(f"master[{v}]: {current} -> dropped (no copies)")
+                changed.add(v)
+                del partition._masters[v]
+            continue
+        if current not in hosts:
+            reference = (reference_masters or {}).get(v)
+            repaired = reference if reference in hosts else min(hosts)
+            repairs.append(f"master[{v}]: {current} -> {repaired}")
+            changed.add(v)
+            partition._masters[v] = repaired
+
+    for v in changed:
+        partition._notify(v)
+    return repairs

@@ -1,0 +1,75 @@
+"""Incremental invariant watchdog.
+
+A full :func:`repro.partition.validation.check_partition` walks every
+fragment and every vertex — O(|V| + ΣE_i) per call, far too expensive to
+run after every refinement move.  :class:`InvariantWatchdog` subscribes
+to the partition's mutation events (the same listener channel the
+incremental cost trackers use) and re-verifies **only the vertices
+touched since the last check**, returning structured
+:class:`~repro.partition.validation.Violation` reports instead of
+raising on the first error.
+
+Corruptions modelled by :class:`~repro.integrity.chaos.PartitionChaos`
+fire the listener channel exactly like the buggy move sequences they
+simulate, so incremental checks see them; a periodic ``full=True``
+check (and the guard's final check) covers anything else.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.partition.hybrid import HybridPartition
+from repro.partition.validation import (
+    Violation,
+    collect_violations,
+    vertex_violations,
+)
+
+
+class InvariantWatchdog:
+    """Tracks dirty vertices and re-verifies them on demand."""
+
+    def __init__(self, partition: HybridPartition) -> None:
+        self.partition = partition
+        self._dirty: set = set()
+        self._attached = True
+        partition.add_listener(self._mark_dirty)
+
+    def detach(self) -> None:
+        """Stop listening to partition mutations (idempotent)."""
+        if self._attached:
+            self.partition.remove_listener(self._mark_dirty)
+            self._attached = False
+
+    def _mark_dirty(self, v: int) -> None:
+        self._dirty.add(v)
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of vertices awaiting re-verification."""
+        return len(self._dirty)
+
+    def clear(self) -> None:
+        """Drop the dirty set (after an external repair or rollback)."""
+        self._dirty.clear()
+
+    def check(self, full: bool = False, coverage: bool = True) -> List[Violation]:
+        """Verify touched fragments; return violations (empty = clean).
+
+        ``full=True`` falls back to a whole-partition
+        :func:`collect_violations` sweep — used for the guard's final
+        verification and as a periodic safety net.  Either way the dirty
+        set is consumed.  ``coverage=False`` restricts the incremental
+        checks to index consistency (for partitions under construction).
+        """
+        if full:
+            self._dirty.clear()
+            return collect_violations(self.partition)
+        dirty, self._dirty = sorted(self._dirty), set()
+        violations: List[Violation] = []
+        for v in dirty:
+            violations.extend(
+                vertex_violations(self.partition, v, coverage=coverage)
+            )
+        return violations

@@ -13,17 +13,33 @@ specific algorithm, which Table 3 reports as λ_CN.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.partition.hybrid import HybridPartition
 
 
 def _deviation(sizes: Sequence[float]) -> float:
-    total = float(sum(sizes))
-    if total <= 0 or not sizes:
+    """``max/avg - 1`` over non-negative sizes; 0.0 when degenerate.
+
+    Sizes are counts or costs, so negatives and non-finite values can
+    only come from a corrupted partition or a broken cost model — both
+    are rejected loudly rather than silently folded into the average
+    (e.g. ``[-5, 5]`` would otherwise report "perfectly balanced").
+    """
+    if not sizes:
         return 0.0
-    avg = total / len(sizes)
-    return max(0.0, max(sizes) / avg - 1.0)
+    values = [float(s) for s in sizes]
+    for value in values:
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite fragment size {value!r}")
+        if value < 0:
+            raise ValueError(f"negative fragment size {value!r}")
+    total = sum(values)
+    if total <= 0:
+        return 0.0
+    avg = total / len(values)
+    return max(0.0, max(values) / avg - 1.0)
 
 
 def vertex_replication_ratio(partition: HybridPartition) -> float:

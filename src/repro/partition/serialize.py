@@ -69,6 +69,49 @@ def partition_from_dict(data: Dict, graph: Graph) -> HybridPartition:
     return partition
 
 
+def restore_partition_state(partition: HybridPartition, data: Dict) -> None:
+    """Overwrite ``partition``'s contents in place from a serialized dict.
+
+    The inverse of :func:`partition_to_dict` that preserves object
+    identity: fragments, placement, full-copy, and master indexes are
+    rebuilt from the payload while registered listeners stay attached
+    (every restored vertex is re-notified so incremental cost trackers
+    reprice lazily).  This is the rollback primitive of the guarded
+    refinement pipeline (:mod:`repro.integrity.guard`).
+    """
+    if int(data["num_fragments"]) != partition.num_fragments:
+        raise ValueError(
+            "snapshot has "
+            f"{data['num_fragments']} fragments, partition has "
+            f"{partition.num_fragments}"
+        )
+    from repro.partition.fragment import Fragment
+
+    # Vertices placed before the restore must be re-priced even if the
+    # snapshot no longer places them (it always does — coverage holds in
+    # any snapshot of a valid partition — but corrupted pre-restore
+    # state may hold extras).
+    stale = {v for v, _hosts in partition.vertex_fragments()}
+    partition.fragments = [
+        Fragment(fid, partition.graph.directed)
+        for fid in range(partition.num_fragments)
+    ]
+    partition._placement.clear()
+    partition._full.clear()
+    partition._masters.clear()
+    for fid, payload in enumerate(data["fragments"]):
+        for edge in payload["edges"]:
+            partition.add_edge_to(fid, tuple(edge))
+        for v in payload["vertices"]:
+            partition.add_vertex_to(fid, int(v))
+    for v, fid in data["masters"].items():
+        partition._masters[int(v)] = int(fid)
+    for v, _hosts in list(partition.vertex_fragments()):
+        stale.add(v)
+    for v in stale:
+        partition._notify(v)
+
+
 def save_partition(partition: HybridPartition, path: PathLike) -> None:
     """Write a hybrid partition to ``path`` as JSON."""
     with open(path, "w", encoding="ascii") as handle:

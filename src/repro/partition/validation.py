@@ -5,91 +5,355 @@ edge-cut / vertex-cut special cases.  They are exercised directly in unit
 tests and as properties in the hypothesis test-suite: every partitioner
 and every refiner must leave the partition in a state where
 :func:`check_partition` passes.
+
+Two entry points share one implementation:
+
+* :func:`collect_violations` walks the partition and returns a
+  structured, non-raising report — the basis of the incremental
+  :class:`repro.integrity.watchdog.InvariantWatchdog` that guards the
+  refiners in production;
+* :func:`check_partition` raises :class:`PartitionInvariantError` on the
+  first violation, preserving the original fail-fast API (and its exact
+  messages) for tests.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.partition.hybrid import HybridPartition, NodeRole
+
+Edge = Tuple[int, int]
 
 
 class PartitionInvariantError(AssertionError):
     """Raised when a hybrid partition violates a structural invariant."""
 
 
-def check_partition(partition: HybridPartition) -> None:
-    """Validate all structural invariants; raise on the first violation.
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, reported instead of raised.
 
-    Invariants checked:
+    Attributes
+    ----------
+    kind:
+        Machine-readable category: ``placement-index`` (fragment holds a
+        vertex the index does not know about), ``placement-ghost`` (the
+        index lists a fragment without a copy), ``edge-graph`` (fragment
+        edge absent from G), ``endpoint`` (fragment edge without both
+        endpoints), ``vertex-coverage`` / ``edge-coverage`` (V = ∪V_i /
+        E = ∪E_i broken), ``master`` (master not a hosting fragment),
+        ``role`` (e-cut/v-cut copy classification broken), or
+        ``full-index`` (cached full-copy index disagrees with fragment
+        contents — the internal basis of the role tags).
+    fid / vertex / edge:
+        The fragment, vertex, and edge involved, where applicable.
+    message:
+        Human-readable description (what :func:`check_partition` raises).
+    """
+
+    kind: str
+    message: str
+    fid: Optional[int] = None
+    vertex: Optional[int] = None
+    edge: Optional[Edge] = None
+
+
+def _vertex_index_violations(partition: HybridPartition, v: int) -> List[Violation]:
+    """Master / role / full-index checks for one vertex (defensive).
+
+    Unlike the historical checker this never raises on corrupted
+    internal indexes: a placement entry pointing at a fragment without a
+    copy becomes a ``placement-ghost`` violation rather than a KeyError.
+    """
+    out: List[Violation] = []
+    hosts = partition.placement(v)
+    actual = frozenset(
+        fragment.fid
+        for fragment in partition.fragments
+        if fragment.has_vertex(v)
+    )
+    for fid in sorted(hosts - actual):
+        out.append(
+            Violation(
+                "placement-ghost",
+                f"placement index lists fragment {fid} without a copy of vertex {v}",
+                fid=fid,
+                vertex=v,
+            )
+        )
+    try:
+        master: Optional[int] = partition.master(v)
+    except KeyError:
+        master = None
+    if master not in hosts:
+        out.append(
+            Violation(
+                "master",
+                f"master of vertex {v} is fragment {master}, not a host",
+                fid=master,
+                vertex=v,
+            )
+        )
+    checkable = sorted(hosts & actual)
+    roles = [partition.role(v, fid) for fid in checkable]
+    ecut_copies = roles.count(NodeRole.ECUT)
+    if partition.is_ecut_vertex(v):
+        if ecut_copies != 1:
+            out.append(
+                Violation(
+                    "role",
+                    f"e-cut vertex {v} has {ecut_copies} e-cut copies",
+                    vertex=v,
+                )
+            )
+    else:
+        if ecut_copies != 0:
+            out.append(
+                Violation(
+                    "role",
+                    f"v-cut vertex {v} has an e-cut copy",
+                    vertex=v,
+                )
+            )
+        for fid, role in zip(checkable, roles):
+            count = partition.fragments[fid].incident_count(v)
+            if count > 0 and role is not NodeRole.VCUT:
+                out.append(
+                    Violation(
+                        "role",
+                        f"non-empty copy of v-cut vertex {v} at {fid} is {role}",
+                        fid=fid,
+                        vertex=v,
+                    )
+                )
+    total = partition.global_incident_count(v)
+    if total == 0:
+        expected = actual
+    else:
+        expected = frozenset(
+            fid
+            for fid in actual
+            if partition.fragments[fid].incident_count(v) == total
+        )
+    if partition.full_fragments(v) != expected:
+        out.append(
+            Violation(
+                "full-index",
+                f"full-copy index of vertex {v} is "
+                f"{sorted(partition.full_fragments(v))}, expected {sorted(expected)}",
+                vertex=v,
+            )
+        )
+    return out
+
+
+def _fragment_violations(
+    partition: HybridPartition, fragment
+) -> List[Violation]:
+    """Placement-index agreement and edge sanity for one fragment."""
+    graph = partition.graph
+    out: List[Violation] = []
+    for v in fragment.vertices():
+        hosts = partition.placement(v)
+        if fragment.fid not in hosts:
+            out.append(
+                Violation(
+                    "placement-index",
+                    f"placement index missing fragment {fragment.fid} for vertex {v}",
+                    fid=fragment.fid,
+                    vertex=v,
+                )
+            )
+    for edge in fragment.edges():
+        u, v = edge
+        if not graph.has_edge(u, v):
+            out.append(
+                Violation(
+                    "edge-graph",
+                    f"edge {edge} not in graph",
+                    fid=fragment.fid,
+                    edge=edge,
+                )
+            )
+        if not fragment.has_vertex(u) or not fragment.has_vertex(v):
+            out.append(
+                Violation(
+                    "endpoint",
+                    f"fragment {fragment.fid} holds edge {edge} without endpoints",
+                    fid=fragment.fid,
+                    edge=edge,
+                )
+            )
+    return out
+
+
+def vertex_violations(
+    partition: HybridPartition, v: int, coverage: bool = True
+) -> List[Violation]:
+    """Every invariant check scoped to one vertex.
+
+    The unit of work of the incremental watchdog: coverage of ``v`` and
+    its incident edges, placement-index agreement in both directions,
+    master/role/full-index consistency.  Never raises, even on corrupted
+    internal indexes.
+
+    With ``coverage=False`` the vertex/edge coverage checks are skipped —
+    the composite refiners build their output partitions incrementally,
+    so mid-construction states legitimately cover only part of the graph
+    while the index invariants must hold throughout.
+    """
+    graph = partition.graph
+    out: List[Violation] = []
+    host_fragments = [
+        fragment for fragment in partition.fragments if fragment.has_vertex(v)
+    ]
+    hosts = partition.placement(v)
+    if not host_fragments:
+        if coverage and 0 <= v < graph.num_vertices:
+            out.append(
+                Violation(
+                    "vertex-coverage",
+                    f"vertices not covered by any fragment: [{v}]",
+                    vertex=v,
+                )
+            )
+        for fid in sorted(hosts):
+            out.append(
+                Violation(
+                    "placement-ghost",
+                    f"placement index lists fragment {fid} without a copy of vertex {v}",
+                    fid=fid,
+                    vertex=v,
+                )
+            )
+        return out
+    for fragment in host_fragments:
+        if fragment.fid not in hosts:
+            out.append(
+                Violation(
+                    "placement-index",
+                    f"placement index missing fragment {fragment.fid} for vertex {v}",
+                    fid=fragment.fid,
+                    vertex=v,
+                )
+            )
+        for edge in fragment.incident(v):
+            u, w = edge
+            if not graph.has_edge(u, w):
+                out.append(
+                    Violation(
+                        "edge-graph",
+                        f"edge {edge} not in graph",
+                        fid=fragment.fid,
+                        edge=edge,
+                    )
+                )
+            if not fragment.has_vertex(u) or not fragment.has_vertex(w):
+                out.append(
+                    Violation(
+                        "endpoint",
+                        f"fragment {fragment.fid} holds edge {edge} without endpoints",
+                        fid=fragment.fid,
+                        edge=edge,
+                    )
+                )
+    if coverage:
+        for edge in graph.incident_edges(v):
+            if not any(fragment.has_edge(edge) for fragment in host_fragments):
+                out.append(
+                    Violation(
+                        "edge-coverage",
+                        f"edges not covered by any fragment: [{edge}]",
+                        vertex=v,
+                        edge=edge,
+                    )
+                )
+    out.extend(_vertex_index_violations(partition, v))
+    return out
+
+
+def collect_violations(
+    partition: HybridPartition,
+    fragments: Optional[Sequence[int]] = None,
+) -> List[Violation]:
+    """Collect every invariant violation without raising.
+
+    Invariants checked (Section 2):
 
     1. vertex coverage: ``V = ∪ V_i``;
     2. edge coverage: ``E = ∪ E_i`` and every local edge exists in G;
     3. endpoint presence: a fragment holding an edge holds both endpoints;
-    4. placement index agrees with fragment contents;
+    4. placement index agrees with fragment contents (both directions);
     5. master mapping points at a hosting fragment for every placed vertex;
     6. role consistency: an e-cut vertex has exactly one ECUT copy; a
        v-cut vertex has no ECUT copy and at least two VCUT copies is not
        required (one partial copy can coexist with pruned remainder), but
-       every non-empty copy of a v-cut vertex must be VCUT.
+       every non-empty copy of a v-cut vertex must be VCUT;
+    7. the cached full-copy index (which role tags derive from) agrees
+       with fragment contents.
+
+    With ``fragments`` (a sequence of fragment ids) the scan is scoped to
+    those fragments and the vertices they host; the *global* coverage
+    invariants (1-2), which cannot be decided from a subset, are skipped.
+    This is what makes the incremental watchdog cheap.
     """
     graph = partition.graph
+    scoped = fragments is not None
+    frag_list = (
+        partition.fragments
+        if not scoped
+        else [partition.fragments[fid] for fid in fragments]
+    )
+    violations: List[Violation] = []
     seen_vertices = set()
     seen_edges = set()
-    for fragment in partition.fragments:
-        for v in fragment.vertices():
-            seen_vertices.add(v)
-            hosts = partition.placement(v)
-            if fragment.fid not in hosts:
-                raise PartitionInvariantError(
-                    f"placement index missing fragment {fragment.fid} for vertex {v}"
-                )
-        for edge in fragment.edges():
-            u, v = edge
-            if not graph.has_edge(u, v):
-                raise PartitionInvariantError(f"edge {edge} not in graph")
-            if not fragment.has_vertex(u) or not fragment.has_vertex(v):
-                raise PartitionInvariantError(
-                    f"fragment {fragment.fid} holds edge {edge} without endpoints"
-                )
-            seen_edges.add(edge)
+    for fragment in frag_list:
+        violations.extend(_fragment_violations(partition, fragment))
+        seen_vertices.update(fragment.vertices())
+        seen_edges.update(fragment.edges())
 
-    missing_vertices = set(graph.vertices) - seen_vertices
-    if missing_vertices:
-        raise PartitionInvariantError(
-            f"vertices not covered by any fragment: {sorted(missing_vertices)[:5]}..."
-            if len(missing_vertices) > 5
-            else f"vertices not covered by any fragment: {sorted(missing_vertices)}"
-        )
-    missing_edges = set(graph.edges()) - seen_edges
-    if missing_edges:
-        sample = sorted(missing_edges)[:5]
-        raise PartitionInvariantError(f"edges not covered by any fragment: {sample}")
-
-    for v, hosts in partition.vertex_fragments():
-        master = partition.master(v)
-        if master not in hosts:
-            raise PartitionInvariantError(
-                f"master of vertex {v} is fragment {master}, not a host"
+    if not scoped:
+        missing_vertices = set(graph.vertices) - seen_vertices
+        if missing_vertices:
+            message = (
+                f"vertices not covered by any fragment: {sorted(missing_vertices)[:5]}..."
+                if len(missing_vertices) > 5
+                else f"vertices not covered by any fragment: {sorted(missing_vertices)}"
             )
-        roles = [partition.role(v, fid) for fid in sorted(hosts)]
-        ecut_copies = roles.count(NodeRole.ECUT)
-        if partition.is_ecut_vertex(v):
-            if ecut_copies != 1:
-                raise PartitionInvariantError(
-                    f"e-cut vertex {v} has {ecut_copies} e-cut copies"
+            violations.append(Violation("vertex-coverage", message))
+        missing_edges = set(graph.edges()) - seen_edges
+        if missing_edges:
+            sample = sorted(missing_edges)[:5]
+            violations.append(
+                Violation(
+                    "edge-coverage",
+                    f"edges not covered by any fragment: {sample}",
+                    edge=sample[0],
                 )
-        else:
-            if ecut_copies != 0:
-                raise PartitionInvariantError(
-                    f"v-cut vertex {v} has an e-cut copy"
-                )
-            for fid, role in zip(sorted(hosts), roles):
-                count = partition.fragments[fid].incident_count(v)
-                if count > 0 and role is not NodeRole.VCUT:
-                    raise PartitionInvariantError(
-                        f"non-empty copy of v-cut vertex {v} at {fid} is {role}"
-                    )
+            )
+        vertices: Iterable[int] = (
+            v for v, _hosts in partition.vertex_fragments()
+        )
+    else:
+        vertices = sorted(seen_vertices)
+
+    for v in vertices:
+        violations.extend(_vertex_index_violations(partition, v))
+    return violations
+
+
+def check_partition(partition: HybridPartition) -> None:
+    """Validate all structural invariants; raise on the first violation.
+
+    Thin raising wrapper over :func:`collect_violations`; the exception
+    message is the first violation's message, matching the historical
+    fail-fast behaviour.
+    """
+    violations = collect_violations(partition)
+    if violations:
+        raise PartitionInvariantError(violations[0].message)
 
 
 def is_edge_cut(partition: HybridPartition) -> bool:

@@ -33,8 +33,16 @@ class TestConstruction:
         assert g.num_edges == 2
 
     def test_out_of_range_endpoint_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="endpoint 5 out of range"):
             Graph(2, [(0, 5)])
+
+    def test_negative_endpoint_rejected(self):
+        # (0, -1) has a non-negative source, so a src-only check would
+        # let it through to die inside np.bincount.
+        with pytest.raises(ValueError, match="endpoint -1 out of range"):
+            Graph(2, [(0, -1)])
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(-3, 1)])
 
     def test_negative_vertex_count_rejected(self):
         with pytest.raises(ValueError):

@@ -50,3 +50,57 @@ def test_blank_lines_skipped(tmp_path):
     path = tmp_path / "g.txt"
     path.write_text("\n0 1\n\n1 2\n")
     assert read_edge_list(path).num_edges == 2
+
+
+def test_malformed_line_reports_line_number(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1\n2\n")
+    with pytest.raises(ValueError, match="line 2"):
+        read_edge_list(path)
+
+
+def test_non_integer_token_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1\n1 x\n")
+    with pytest.raises(ValueError, match="line 2.*non-integer"):
+        read_edge_list(path)
+
+
+def test_negative_vertex_id_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 -1\n")
+    with pytest.raises(ValueError, match="negative vertex id"):
+        read_edge_list(path)
+
+
+def test_duplicate_edge_rejected(tmp_path):
+    path = tmp_path / "dup.txt"
+    path.write_text("0 1\n1 2\n0 1\n")
+    with pytest.raises(ValueError, match="line 3.*duplicate edge"):
+        read_edge_list(path)
+
+
+def test_duplicate_edge_undirected_reversed(tmp_path):
+    # In an undirected file (1, 0) duplicates (0, 1).
+    path = tmp_path / "dup.txt"
+    path.write_text("# directed=0 num_vertices=3\n0 1\n1 0\n")
+    with pytest.raises(ValueError, match="duplicate edge"):
+        read_edge_list(path)
+    # The same pair is two distinct edges in a directed file.
+    ok = tmp_path / "ok.txt"
+    ok.write_text("# directed=1 num_vertices=3\n0 1\n1 0\n")
+    assert read_edge_list(ok).num_edges == 2
+
+
+def test_id_beyond_declared_num_vertices_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# directed=1 num_vertices=2\n0 1\n1 5\n")
+    with pytest.raises(ValueError, match="line 3.*num_vertices=2"):
+        read_edge_list(path)
+
+
+def test_malformed_header_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# directed=yes\n0 1\n")
+    with pytest.raises(ValueError, match="line 1.*not an integer"):
+        read_edge_list(path)

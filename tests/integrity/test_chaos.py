@@ -1,0 +1,80 @@
+"""Tests for the deterministic partition-corruption driver."""
+
+import pytest
+
+from repro.integrity.chaos import (
+    CORRUPTION_KINDS,
+    ChaosPlan,
+    PartitionChaos,
+)
+from repro.partition.validation import collect_violations
+
+from tests.conftest import make_edge_cut
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError, match="corrupt_rate"):
+        ChaosPlan(corrupt_rate=1.5)
+    with pytest.raises(ValueError, match="unknown corruption kinds"):
+        ChaosPlan(corrupt_rate=0.1, kinds=("placement", "bitflip"))
+    with pytest.raises(ValueError, match="kinds"):
+        ChaosPlan(corrupt_rate=0.1, kinds=())
+    with pytest.raises(ValueError, match="max_corruptions"):
+        ChaosPlan(corrupt_rate=0.1, max_corruptions=-1)
+    assert ChaosPlan(corrupt_rate=0.0).is_empty
+    assert ChaosPlan(corrupt_rate=0.5, max_corruptions=0).is_empty
+    assert not ChaosPlan(corrupt_rate=0.5).is_empty
+
+
+def test_same_seed_same_corruptions(power_graph):
+    plan = ChaosPlan(seed=42, corrupt_rate=0.5)
+    runs = []
+    for _ in range(2):
+        partition = make_edge_cut(power_graph, 4)
+        chaos = PartitionChaos(plan)
+        for _step in range(50):
+            chaos.maybe_corrupt(partition)
+        runs.append(chaos.injected)
+    assert runs[0] == runs[1]
+    assert len(runs[0]) > 0
+
+
+def test_salt_decorrelates_streams(power_graph):
+    plan = ChaosPlan(seed=42, corrupt_rate=0.5)
+    runs = []
+    for salt in ("pr", "wcc"):
+        partition = make_edge_cut(power_graph, 4)
+        chaos = PartitionChaos(plan, salt=salt)
+        for _step in range(50):
+            chaos.maybe_corrupt(partition)
+        runs.append(chaos.injected)
+    assert runs[0] != runs[1]
+
+
+@pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+def test_each_kind_produces_a_detectable_violation(power_graph, kind):
+    partition = make_edge_cut(power_graph, 4)
+    assert collect_violations(partition) == []
+    chaos = PartitionChaos(ChaosPlan(seed=3, corrupt_rate=1.0, kinds=(kind,)))
+    corruption = chaos.corrupt(partition)
+    assert corruption is not None
+    assert corruption.kind == kind
+    assert collect_violations(partition) != []
+
+
+def test_max_corruptions_cap(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    plan = ChaosPlan(seed=1, corrupt_rate=1.0, max_corruptions=3)
+    chaos = PartitionChaos(plan)
+    for _step in range(20):
+        chaos.maybe_corrupt(partition)
+    assert len(chaos.injected) == 3
+
+
+def test_empty_plan_never_injects(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    chaos = PartitionChaos(ChaosPlan(seed=1, corrupt_rate=0.0))
+    for _step in range(20):
+        assert chaos.maybe_corrupt(partition) is None
+    assert chaos.injected == []
+    assert collect_violations(partition) == []

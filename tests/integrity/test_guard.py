@@ -1,0 +1,150 @@
+"""Tests for the RefinementGuard harness: cadence, budgets, rollback."""
+
+import pytest
+
+from repro.integrity.chaos import ChaosPlan
+from repro.integrity.guard import (
+    GuardConfig,
+    RefinementBudgetExceeded,
+    RefinementGuard,
+)
+from repro.partition.serialize import partition_to_dict
+from repro.partition.validation import collect_violations
+
+from tests.conftest import make_edge_cut
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="check_interval"):
+        GuardConfig(check_interval=0)
+    with pytest.raises(ValueError, match="snapshot_interval"):
+        GuardConfig(snapshot_interval=0)
+    with pytest.raises(ValueError, match="max_steps"):
+        GuardConfig(max_steps=0)
+    with pytest.raises(ValueError, match="max_seconds"):
+        GuardConfig(max_seconds=0.0)
+
+
+def test_check_cadence(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    guard = RefinementGuard(partition, GuardConfig(check_interval=4))
+    for _ in range(10):
+        guard.step()
+    assert guard.stats.steps == 10
+    assert guard.stats.checks == 2  # at steps 4 and 8
+    guard.finish()
+    assert guard.stats.checks == 3  # finish always runs a full check
+
+
+def test_chaos_detect_and_repair(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    config = GuardConfig(
+        check_interval=2,
+        chaos=ChaosPlan(seed=9, corrupt_rate=0.8),
+    )
+    guard = RefinementGuard(partition, config)
+    for _ in range(40):
+        guard.step()
+    stats = guard.finish()
+    assert stats.corruptions_injected > 0
+    assert stats.repairs > 0
+    assert stats.unrepaired_violations == 0
+    assert collect_violations(partition) == []
+
+
+def test_lost_edges_force_rollback(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    config = GuardConfig(
+        check_interval=1,
+        chaos=ChaosPlan(seed=9, corrupt_rate=1.0, kinds=("edges",)),
+    )
+    guard = RefinementGuard(partition, config)
+    for _ in range(5):
+        guard.step()
+    stats = guard.finish()
+    assert stats.rollbacks > 0
+    assert stats.unrepaired_violations == 0
+    assert collect_violations(partition) == []
+
+
+def test_step_budget_raises(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    guard = RefinementGuard(partition, GuardConfig(max_steps=3))
+    guard.step()
+    guard.step()
+    with pytest.raises(RefinementBudgetExceeded):
+        guard.step()
+
+
+def test_wall_clock_budget_raises(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    guard = RefinementGuard(partition, GuardConfig(max_seconds=1e-9))
+    with pytest.raises(RefinementBudgetExceeded):
+        guard.step()
+
+
+def test_early_stop_restores_best_snapshot(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    best_state = partition_to_dict(partition)
+    costs = iter([1.0, 5.0, 5.0, 5.0, 5.0])
+    guard = RefinementGuard(
+        partition,
+        GuardConfig(check_interval=1),
+        cost_fn=lambda: next(costs),
+    )
+    # Make a real move so the current state differs from the best one.
+    v = next(
+        v for v, hosts in partition.vertex_fragments() if len(hosts) > 1
+    )
+    other = next(
+        fid for fid in sorted(partition.placement(v)) if fid != partition.master(v)
+    )
+    partition.set_master(v, other)
+    guard.step()  # clean check at cost 5.0: snapshots, best stays at 1.0
+    assert partition_to_dict(partition) != best_state
+    guard.finish(early_stopped=True)
+    assert guard.stats.early_stopped
+    assert partition_to_dict(partition) == best_state
+
+
+def test_no_restore_without_early_stop(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    costs = iter([1.0, 5.0, 5.0, 5.0, 5.0])
+    guard = RefinementGuard(
+        partition,
+        GuardConfig(check_interval=1),
+        cost_fn=lambda: next(costs),
+    )
+    v = next(
+        v for v, hosts in partition.vertex_fragments() if len(hosts) > 1
+    )
+    other = next(
+        fid for fid in sorted(partition.placement(v)) if fid != partition.master(v)
+    )
+    partition.set_master(v, other)
+    guard.step()
+    moved_state = partition_to_dict(partition)
+    guard.finish()  # normal completion keeps the refiner's final state
+    assert partition_to_dict(partition) == moved_state
+
+
+def test_finish_is_idempotent(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    guard = RefinementGuard(partition, GuardConfig())
+    guard.step()
+    stats = guard.finish()
+    checks = stats.checks
+    assert guard.finish() is stats
+    assert stats.checks == checks
+
+
+def test_guard_without_chaos_only_reads(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    before = partition_to_dict(partition)
+    guard = RefinementGuard(partition, GuardConfig(check_interval=1))
+    for _ in range(10):
+        guard.step()
+    guard.finish()
+    assert partition_to_dict(partition) == before
+    assert guard.stats.repairs == 0
+    assert guard.stats.rollbacks == 0

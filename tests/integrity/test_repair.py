@@ -1,0 +1,81 @@
+"""Tests for local index repair: fragment contents are ground truth."""
+
+import pytest
+
+from repro.integrity.chaos import ChaosPlan, PartitionChaos
+from repro.integrity.repair import repair_indexes
+from repro.partition.serialize import partition_to_dict
+from repro.partition.validation import collect_violations
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+
+def test_clean_partition_needs_no_repair(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    assert repair_indexes(partition) == []
+
+
+@pytest.mark.parametrize("kind", ["placement", "roles"])
+def test_index_corruption_repaired_exactly(power_graph, kind):
+    # Placement and full-copy indexes are fully determined by fragment
+    # contents, so repair restores the pre-corruption state bit for bit.
+    partition = make_edge_cut(power_graph, 4)
+    pristine = partition_to_dict(partition)
+    chaos = PartitionChaos(ChaosPlan(seed=5, corrupt_rate=1.0, kinds=(kind,)))
+    for _ in range(5):
+        chaos.corrupt(partition)
+    assert collect_violations(partition) != []
+    repairs = repair_indexes(partition)
+    assert repairs != []
+    assert collect_violations(partition) == []
+    assert partition_to_dict(partition) == pristine
+
+
+def test_master_corruption_repaired_with_reference(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    pristine = partition_to_dict(partition)
+    reference = {int(v): int(fid) for v, fid in pristine["masters"].items()}
+    chaos = PartitionChaos(
+        ChaosPlan(seed=5, corrupt_rate=1.0, kinds=("masters",))
+    )
+    for _ in range(5):
+        chaos.corrupt(partition)
+    assert collect_violations(partition) != []
+    repair_indexes(partition, reference_masters=reference)
+    assert collect_violations(partition) == []
+    assert partition_to_dict(partition) == pristine
+
+
+def test_master_corruption_repaired_without_reference(power_graph):
+    # No reference: the deterministic min(hosts) fallback restores
+    # validity (though not necessarily the original assignment).
+    partition = make_edge_cut(power_graph, 4)
+    chaos = PartitionChaos(
+        ChaosPlan(seed=5, corrupt_rate=1.0, kinds=("masters",))
+    )
+    corruption = chaos.corrupt(partition)
+    repair_indexes(partition)
+    assert collect_violations(partition) == []
+    v = corruption.vertex
+    assert partition.master(v) in partition.placement(v)
+
+
+def test_valid_masters_never_touched(power_graph):
+    # A bogus reference must not override masters that are still valid.
+    partition = make_edge_cut(power_graph, 4)
+    pristine = partition_to_dict(partition)
+    bogus = {int(v): -1 for v in pristine["masters"]}
+    assert repair_indexes(partition, reference_masters=bogus) == []
+    assert partition_to_dict(partition) == pristine
+
+
+def test_lost_edges_not_repairable(power_graph):
+    # Fragment contents are the ground truth; when they are lost, repair
+    # cannot regrow them — coverage violations remain (rollback's job).
+    partition = make_vertex_cut(power_graph, 4)
+    chaos = PartitionChaos(ChaosPlan(seed=5, corrupt_rate=1.0, kinds=("edges",)))
+    assert chaos.corrupt(partition) is not None
+    repair_indexes(partition)
+    remaining = collect_violations(partition)
+    assert remaining != []
+    assert all(v.kind == "edge-coverage" for v in remaining)

@@ -1,0 +1,103 @@
+"""Tests for the incremental invariant watchdog."""
+
+from repro.integrity.watchdog import InvariantWatchdog
+
+from tests.conftest import make_edge_cut
+
+
+def test_clean_partition_has_no_violations(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    watchdog = InvariantWatchdog(partition)
+    assert watchdog.check() == []
+    assert watchdog.check(full=True) == []
+    watchdog.detach()
+
+
+def test_mutations_mark_vertices_dirty(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    watchdog = InvariantWatchdog(partition)
+    assert watchdog.dirty_count == 0
+    v = next(
+        v for v, hosts in partition.vertex_fragments() if len(hosts) > 1
+    )
+    other = next(
+        fid for fid in sorted(partition.placement(v)) if fid != partition.master(v)
+    )
+    partition.set_master(v, other)
+    assert watchdog.dirty_count >= 1
+    watchdog.check()
+    assert watchdog.dirty_count == 0  # check consumes the dirty set
+    watchdog.detach()
+
+
+def test_incremental_check_detects_ghost_placement(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    watchdog = InvariantWatchdog(partition)
+    v = next(
+        v
+        for v, hosts in partition.vertex_fragments()
+        if len(hosts) < partition.num_fragments
+    )
+    ghost = next(
+        fid
+        for fid in range(partition.num_fragments)
+        if fid not in partition.placement(v)
+    )
+    partition._placement[v].add(ghost)
+    partition._notify(v)
+    violations = watchdog.check()
+    assert any(
+        vio.kind == "placement-ghost" and vio.vertex == v for vio in violations
+    )
+    watchdog.detach()
+
+
+def test_silent_corruption_caught_by_full_check(power_graph):
+    # Corruption that bypasses the listener channel is invisible to the
+    # incremental path but must be caught by the full sweep.
+    partition = make_edge_cut(power_graph, 4)
+    watchdog = InvariantWatchdog(partition)
+    v = next(v for v, _hosts in partition.vertex_fragments())
+    saved = partition._masters.pop(v)
+    assert watchdog.check() == []  # nothing marked dirty
+    assert any(vio.kind == "master" for vio in watchdog.check(full=True))
+    partition._masters[v] = saved
+    watchdog.detach()
+
+
+def test_detach_stops_tracking(power_graph):
+    partition = make_edge_cut(power_graph, 4)
+    watchdog = InvariantWatchdog(partition)
+    watchdog.detach()
+    v = next(
+        v for v, hosts in partition.vertex_fragments() if len(hosts) > 1
+    )
+    other = next(
+        fid for fid in sorted(partition.placement(v)) if fid != partition.master(v)
+    )
+    partition.set_master(v, other)
+    assert watchdog.dirty_count == 0
+    watchdog.detach()  # idempotent
+
+
+def test_coverage_flag_scopes_incremental_checks(power_graph):
+    # A vertex placed nowhere is a coverage violation only when the
+    # partition is supposed to cover the graph already.
+    partition = make_edge_cut(power_graph, 4)
+    watchdog = InvariantWatchdog(partition)
+    isolated = next(
+        v for v in power_graph.vertices if power_graph.degree(v) == 0
+    )
+    for fragment in partition.fragments:
+        if fragment.has_vertex(isolated):
+            fragment._remove_vertex(isolated)
+    partition._placement.pop(isolated, None)
+    partition._full.pop(isolated, None)
+    partition._masters.pop(isolated, None)
+    partition._notify(isolated)
+    assert any(
+        vio.kind == "vertex-coverage" for vio in watchdog.check()
+    )
+    partition._notify(isolated)
+    assert watchdog.check(coverage=False) == []
+    watchdog.detach()

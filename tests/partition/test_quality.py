@@ -72,3 +72,41 @@ def test_empty_graph_ratios():
     assert vertex_replication_ratio(p) == 1.0
     assert edge_replication_ratio(p) == 1.0
     assert vertex_balance_factor(p) == 0.0
+
+
+def test_deviation_degenerate_inputs():
+    from repro.partition.quality import _deviation
+
+    assert _deviation([]) == 0.0
+    assert _deviation([0, 0, 0]) == 0.0  # all-empty fragments: balanced
+    assert _deviation([2, 2, 2]) == 0.0
+
+
+def test_deviation_rejects_negative_sizes():
+    from repro.partition.quality import _deviation
+
+    # [-5, 5] must not report "perfectly balanced" (total == 0 path).
+    with pytest.raises(ValueError, match="negative"):
+        _deviation([-5, 5])
+    with pytest.raises(ValueError, match="negative"):
+        _deviation([-1, 3])
+
+
+def test_deviation_rejects_non_finite_sizes():
+    from repro.partition.quality import _deviation
+
+    with pytest.raises(ValueError, match="non-finite"):
+        _deviation([float("nan"), 1.0])
+    with pytest.raises(ValueError, match="non-finite"):
+        _deviation([float("inf"), 1.0])
+
+
+def test_cost_balance_factor_rejects_broken_model(chain):
+    p = HybridPartition.from_vertex_assignment(chain, [0, 0, 0, 1], 2)
+
+    class BrokenModel:
+        def fragment_cost(self, partition, fid):
+            return float("nan")
+
+    with pytest.raises(ValueError, match="non-finite"):
+        cost_balance_factor(p, BrokenModel())

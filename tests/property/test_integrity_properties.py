@@ -1,0 +1,176 @@
+"""Property-based tests for the guarded refinement pipeline.
+
+Random graphs, random initial partitions, and seeded chaos plans: the
+guard must (1) never change the output when idle, (2) always hand back
+a valid partition under corruption, (3) repair index corruption exactly
+when checked immediately, and (4) terminate within budgets with a
+valid best-so-far partition.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.e2h import E2H
+from repro.core.v2h import V2H
+from repro.costmodel.library import builtin_cost_model
+from repro.graph.digraph import Graph
+from repro.integrity.chaos import ChaosPlan, PartitionChaos
+from repro.integrity.guard import GuardConfig, RefinementGuard
+from repro.integrity.repair import repair_indexes
+from repro.partition.hybrid import HybridPartition
+from repro.partition.serialize import partition_to_dict
+from repro.partition.validation import check_partition, collect_violations
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def partitioned_graphs(draw, vertex_cut=False):
+    n = draw(st.integers(min_value=3, max_value=14))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            min_size=1,
+            max_size=4 * n,
+        )
+    )
+    graph = Graph(n, edges, directed=draw(st.booleans()))
+    k = draw(st.integers(min_value=2, max_value=3))
+    if vertex_cut:
+        assignment = {e: draw(st.integers(0, k - 1)) for e in graph.edges()}
+        partition = HybridPartition.from_edge_assignment(graph, assignment, k)
+    else:
+        assignment = [draw(st.integers(0, k - 1)) for _ in range(n)]
+        partition = HybridPartition.from_vertex_assignment(graph, assignment, k)
+    return graph, partition
+
+
+chaos_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(
+    partitioned_graphs(vertex_cut=False),
+    st.sampled_from([1, 3, 17]),
+    st.sampled_from(["cn", "pr", "wcc"]),
+)
+@SETTINGS
+def test_idle_guard_is_invisible(case, interval, alg):
+    """Any cadence, no chaos: guarded output equals unguarded output."""
+    _graph, partition = case
+    model = builtin_cost_model(alg)
+    plain = E2H(model).refine(partition)
+    guarded = E2H(
+        model, guard_config=GuardConfig(check_interval=interval)
+    ).refine(partition)
+    assert partition_to_dict(guarded) == partition_to_dict(plain)
+
+
+@given(partitioned_graphs(vertex_cut=False), chaos_seeds)
+@SETTINGS
+def test_e2h_always_survives_chaos(case, seed):
+    _graph, partition = case
+    refiner = E2H(
+        builtin_cost_model("pr"),
+        guard_config=GuardConfig(
+            check_interval=2,
+            chaos=ChaosPlan(seed=seed, corrupt_rate=0.5),
+        ),
+    )
+    refined = refiner.refine(partition)
+    check_partition(refined)
+    assert refiner.last_stats.guard.unrepaired_violations == 0
+
+
+@given(partitioned_graphs(vertex_cut=True), chaos_seeds)
+@SETTINGS
+def test_v2h_always_survives_chaos(case, seed):
+    _graph, partition = case
+    refiner = V2H(
+        builtin_cost_model("tc"),
+        guard_config=GuardConfig(
+            check_interval=2,
+            chaos=ChaosPlan(seed=seed, corrupt_rate=0.5),
+        ),
+    )
+    refined = refiner.refine(partition)
+    check_partition(refined)
+    assert refiner.last_stats.guard.unrepaired_violations == 0
+
+
+@given(
+    partitioned_graphs(vertex_cut=False),
+    chaos_seeds,
+    st.sampled_from(["placement", "roles"]),
+)
+@SETTINGS
+def test_index_corruption_repaired_exactly(case, seed, kind):
+    """Placement/role indexes are fully determined by fragment contents:
+    repair after each corruption restores the exact prior state."""
+    _graph, partition = case
+    pristine = partition_to_dict(partition)
+    chaos = PartitionChaos(
+        ChaosPlan(seed=seed, corrupt_rate=1.0, kinds=(kind,))
+    )
+    for _ in range(3):
+        chaos.corrupt(partition)
+        repair_indexes(partition)
+    assert collect_violations(partition) == []
+    assert partition_to_dict(partition) == pristine
+
+
+@given(partitioned_graphs(vertex_cut=False), chaos_seeds)
+@SETTINGS
+def test_master_corruption_repaired_to_validity(case, seed):
+    """Masters are ambiguous without a reference: repair restores a
+    valid (not necessarily original) assignment."""
+    _graph, partition = case
+    chaos = PartitionChaos(
+        ChaosPlan(seed=seed, corrupt_rate=1.0, kinds=("masters",))
+    )
+    for _ in range(3):
+        chaos.corrupt(partition)
+        repair_indexes(partition)
+    assert collect_violations(partition) == []
+
+
+@given(
+    partitioned_graphs(vertex_cut=False),
+    st.integers(min_value=1, max_value=6),
+)
+@SETTINGS
+def test_step_budget_terminates_with_valid_output(case, max_steps):
+    _graph, partition = case
+    refiner = E2H(
+        builtin_cost_model("pr"),
+        guard_config=GuardConfig(check_interval=1, max_steps=max_steps),
+    )
+    refined = refiner.refine(partition)
+    check_partition(refined)
+    stats = refiner.last_stats.guard
+    assert stats.steps <= max_steps
+
+
+@given(partitioned_graphs(vertex_cut=False), chaos_seeds)
+@SETTINGS
+def test_guard_harness_leaves_partition_valid(case, seed):
+    """Driving a bare guard directly (no refiner): after finish() the
+    partition is always valid, whatever the chaos did."""
+    _graph, partition = case
+    guard = RefinementGuard(
+        partition,
+        GuardConfig(
+            check_interval=1,
+            chaos=ChaosPlan(seed=seed, corrupt_rate=0.7),
+        ),
+    )
+    for _ in range(10):
+        guard.step()
+    stats = guard.finish()
+    assert collect_violations(partition) == []
+    assert stats.unrepaired_violations == 0
