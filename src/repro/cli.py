@@ -137,15 +137,20 @@ def cmd_partition(args: argparse.Namespace) -> int:
     stats = None
     if args.refine:
         model = trained_cost_model(args.refine)
+        use_gain_cache = not args.no_gain_cache
         if partitioner.cut_type == "edge":
             from repro.core.e2h import E2H
 
-            refiner = E2H(model, guard_config=guard_config)
+            refiner = E2H(
+                model, guard_config=guard_config, use_gain_cache=use_gain_cache
+            )
             partition = refiner.refine(partition, in_place=True)
         elif partitioner.cut_type == "vertex":
             from repro.core.v2h import V2H
 
-            refiner = V2H(model, guard_config=guard_config)
+            refiner = V2H(
+                model, guard_config=guard_config, use_gain_cache=use_gain_cache
+            )
             partition = refiner.refine(partition, in_place=True)
         else:
             print(
@@ -156,6 +161,13 @@ def cmd_partition(args: argparse.Namespace) -> int:
         label += f" + {args.refine}-driven refinement"
         stats = refiner.last_stats
     check_partition(partition)
+    if stats is not None and stats.gain_cache is not None:
+        c = stats.gain_cache
+        print(
+            f"gain cache: {c.hits} hits / {c.misses} misses "
+            f"({c.hit_rate:.0%} hit rate), {c.invalidations} invalidations, "
+            f"{c.evictions} evictions"
+        )
     if stats is not None and stats.guard is not None:
         g = stats.guard
         print(
@@ -298,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="refine for this algorithm's cost model",
     )
     part.add_argument("--out", required=True)
+    part.add_argument(
+        "--no-gain-cache",
+        action="store_true",
+        help="refine on the uncached reference path (bit-identical, slower)",
+    )
     guard = part.add_argument_group(
         "guarded refinement",
         "run the refiner under the integrity watchdog (requires --refine)",

@@ -20,6 +20,13 @@ a hybrid partition tailored to algorithm ``A``:
 from repro.core.tracker import CostTracker
 from repro.core.budget import compute_budget, classify_fragments
 from repro.core.candidates import get_candidates
+from repro.core.gaincache import (
+    FragmentCostIndex,
+    GainCache,
+    GainCacheStats,
+    MemoizedCostModel,
+    memoize_cost_model,
+)
 from repro.core.massign import massign
 from repro.core.e2h import E2H
 from repro.core.v2h import V2H
@@ -35,6 +42,11 @@ __all__ = [
     "compute_budget",
     "classify_fragments",
     "get_candidates",
+    "GainCache",
+    "GainCacheStats",
+    "FragmentCostIndex",
+    "MemoizedCostModel",
+    "memoize_cost_model",
     "massign",
     "E2H",
     "V2H",

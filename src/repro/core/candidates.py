@@ -27,7 +27,12 @@ def bfs_order(partition, fid: int) -> List[int]:
     fragment = partition.fragments[fid]
     order: List[int] = []
     visited = set()
-    for seed in fragment.vertices():
+    # Sorted seeds and sorted edge expansion: fragment.vertices() is
+    # insertion-ordered and incident() is a frozenset, both of which
+    # vary across Python builds/histories.  Ties break by vertex id so
+    # the traversal (and every refinement decision downstream) is
+    # reproducible.
+    for seed in sorted(fragment.vertices()):
         if seed in visited:
             continue
         queue = deque([seed])
@@ -35,7 +40,7 @@ def bfs_order(partition, fid: int) -> List[int]:
         while queue:
             v = queue.popleft()
             order.append(v)
-            for edge in fragment.incident(v):
+            for edge in sorted(fragment.incident(v)):
                 u = edge[0] if edge[1] == v else edge[1]
                 if u not in visited:
                     visited.add(u)
@@ -71,5 +76,5 @@ def get_candidates(
         if kept_cost + contribution <= budget:
             kept_cost += contribution
         else:
-            candidates.append((v, tuple(fragment.incident(v))))
+            candidates.append((v, tuple(sorted(fragment.incident(v)))))
     return candidates

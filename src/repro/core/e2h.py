@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.core.budget import classify_fragments, compute_budget
 from repro.core.candidates import get_candidates
+from repro.core.gaincache import GainCache, GainCacheStats
 from repro.core.massign import massign
 from repro.core.operations import emigrate, split_migrate_edge
 from repro.core.tracker import CostTracker
@@ -57,6 +58,7 @@ class RefineStats:
     cost_before: float = 0.0
     cost_after: float = 0.0
     guard: Optional[GuardStats] = None
+    gain_cache: Optional[GainCacheStats] = None
 
 
 class E2H:
@@ -70,6 +72,11 @@ class E2H:
         Phase switches for the appendix ablation.
     budget_slack:
         Multiplier on the average-cost budget (1.0 = the paper's B).
+    use_gain_cache:
+        Route candidate scoring through :class:`~repro.core.gaincache.
+        GainCache` (memoized cost-model evaluations, cached per-vertex
+        prices, bucketed fragment queue).  Bit-identical to the uncached
+        reference path; disable to run the reference oracle.
     guard_config:
         Optional :class:`~repro.integrity.guard.GuardConfig` enabling the
         guarded pipeline: invariant watchdog + repair/rollback at the
@@ -89,6 +96,7 @@ class E2H:
         budget_slack: float = 1.0,
         candidate_order: str = "bfs",
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         if candidate_order not in ("bfs", "arbitrary"):
             raise ValueError("candidate_order must be 'bfs' or 'arbitrary'")
@@ -99,6 +107,7 @@ class E2H:
         self.budget_slack = budget_slack
         self.candidate_order = candidate_order
         self.guard_config = guard_config
+        self.use_gain_cache = use_gain_cache
         self.last_stats: Optional[RefineStats] = None
 
     # ------------------------------------------------------------------
@@ -120,7 +129,17 @@ class E2H:
                 self.cost_model,
                 on_intervention=stats.guard.note_cost_model_intervention,
             )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            # The memo wraps the (possibly guarded) model: values are
+            # identical either way, and guardrail checks still apply to
+            # every distinct evaluation.
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
         tracker = CostTracker(partition, model)
+        if cache is not None:
+            cache.bind(tracker)
         stats.cost_before = tracker.parallel_cost()
         guard: Optional[RefinementGuard] = None
         if self.guard_config is not None:
@@ -156,16 +175,16 @@ class E2H:
             if self.enable_emigrate:
                 start = time.perf_counter()
                 self._phase_emigrate(
-                    tracker, budget, underloaded, candidates, stats, guard
+                    tracker, budget, underloaded, candidates, stats, guard, cache
                 )
                 stats.phase_seconds["emigrate"] = time.perf_counter() - start
             if self.enable_esplit:
                 start = time.perf_counter()
-                self._phase_esplit(tracker, candidates, stats, guard)
+                self._phase_esplit(tracker, candidates, stats, guard, cache)
                 stats.phase_seconds["esplit"] = time.perf_counter() - start
             if self.enable_massign:
                 start = time.perf_counter()
-                stats.master_moves = massign(tracker, guard=guard)
+                stats.master_moves = massign(tracker, guard=guard, cache=cache)
                 stats.phase_seconds["massign"] = time.perf_counter() - start
         except RefinementBudgetExceeded:
             early_stopped = True
@@ -174,6 +193,8 @@ class E2H:
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
+        if cache is not None:
+            cache.detach()
         self.last_stats = stats
         return partition
 
@@ -186,6 +207,7 @@ class E2H:
         candidates: Dict[int, List],
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         """Fig. 3 lines 6-10: ship whole candidates to underloaded fragments."""
         partition = tracker.partition
@@ -200,9 +222,14 @@ class E2H:
                 ):
                     remaining.append((v, _edges))
                     continue
-                price = tracker.price_as_ecut(v)
+                if cache is not None:
+                    price = cache.price_as_ecut(v)
+                    destinations = cache.index.ascending(underloaded)
+                else:
+                    price = tracker.price_as_ecut(v)
+                    destinations = sorted(underloaded, key=tracker.comp_cost)
                 placed = False
-                for dst in sorted(underloaded, key=tracker.comp_cost):
+                for dst in destinations:
                     if dst == src:
                         continue
                     if tracker.comp_cost(dst) + price <= budget:
@@ -222,6 +249,7 @@ class E2H:
         candidates: Dict[int, List],
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         """Fig. 3 lines 11-14: split leftovers edge by edge to argmin C_h."""
         partition = tracker.partition
@@ -231,11 +259,14 @@ class E2H:
                 fragment = partition.fragments[src]
                 if not fragment.has_vertex(v):
                     continue
-                edges = list(fragment.incident(v))
+                edges = sorted(fragment.incident(v))
                 if edges:
                     stats.split_vertices += 1
                 for edge in edges:
-                    target = min(range(n), key=tracker.comp_cost)
+                    if cache is not None:
+                        target = cache.index.cheapest()
+                    else:
+                        target = min(range(n), key=tracker.comp_cost)
                     if target == src:
                         continue
                     split_migrate_edge(partition, v, edge, src, target)

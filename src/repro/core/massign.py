@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from repro.core.tracker import CostTracker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.gaincache import GainCache
     from repro.integrity.guard import RefinementGuard
 
 
@@ -26,12 +27,15 @@ def massign(
     tracker: CostTracker,
     vertices: Optional[Iterable[int]] = None,
     guard: Optional["RefinementGuard"] = None,
+    cache: Optional["GainCache"] = None,
 ) -> int:
     """Reassign masters of border vertices by Eq. 5; return moves made.
 
     ``vertices`` restricts the pass (used by the batched parallel
     variant); default is every border vertex in ascending id order.
     ``guard`` (the guarded pipeline) is stepped once per master move.
+    ``cache`` serves the per-host ``(g, Δh)`` score pairs from the gain
+    cache; values are exactly what the direct evaluation produces.
     """
     partition = tracker.partition
     model = tracker.cost_model
@@ -60,8 +64,11 @@ def massign(
         best_gain = 0.0
         best_delta = 0.0
         for fid in hosts:
-            g_here = model.comm_cost_if_master_at(partition, v, fid, avg)
-            h_delta = model.comp_master_delta(partition, v, fid, avg)
+            if cache is not None:
+                g_here, h_delta = cache.massign_scores(v, fid)
+            else:
+                g_here = model.comm_cost_if_master_at(partition, v, fid, avg)
+                h_delta = model.comp_master_delta(partition, v, fid, avg)
             score = comp[fid] + comm[fid] + g_here + h_delta
             if score < best_score:
                 best_score = score
@@ -72,9 +79,14 @@ def massign(
             # Master-dependent computation moves with the master (a
             # corrupted master pointing at a non-host carries none).
             if partition.fragments[current].has_vertex(v):
-                comp[current] -= model.comp_master_delta(
-                    partition, v, current, avg
-                )
+                if cache is not None:
+                    # Scored in the loop above (pre-mutation), so this
+                    # is a cache hit with the identical value.
+                    comp[current] -= cache.massign_scores(v, current)[1]
+                else:
+                    comp[current] -= model.comp_master_delta(
+                        partition, v, current, avg
+                    )
             partition.set_master(v, best_fid)
             moves += 1
             if guard is not None:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.candidates import bfs_order
+from repro.core.gaincache import GainCache, GainCacheStats
 from repro.core.getdest import get_dest
 from repro.core.massign import massign
 from repro.core.tracker import CostTracker
@@ -53,6 +54,7 @@ class CompositeStats:
     eassign_units: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     guard: Dict[str, GuardStats] = field(default_factory=dict)
+    gain_cache: Dict[str, GainCacheStats] = field(default_factory=dict)
 
 
 class _GuardSet:
@@ -108,6 +110,7 @@ class ME2H:
         budget_slack: float = 1.2,
         use_getdest: bool = True,
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         if not cost_models:
             raise ValueError("ME2H needs at least one cost model")
@@ -118,6 +121,7 @@ class ME2H:
         # forfeiting the set-cover sharing that keeps f_c low.
         self.use_getdest = use_getdest
         self.guard_config = guard_config
+        self.use_gain_cache = use_gain_cache
         self.last_stats: Optional[CompositeStats] = None
 
     # ------------------------------------------------------------------
@@ -148,23 +152,33 @@ class ME2H:
                     models[name],
                     on_intervention=stats.guard[name].note_cost_model_intervention,
                 )
+        caches: Dict[str, GainCache] = {}
+        if self.use_gain_cache:
+            for name in names:
+                caches[name] = GainCache(outputs[name], models[name])
+                stats.gain_cache[name] = caches[name].stats
+                models[name] = caches[name].model
         trackers: Dict[str, CostTracker] = {
             name: CostTracker(outputs[name], models[name]) for name in names
         }
+        for name, cache in caches.items():
+            cache.bind(trackers[name])
         guards = _GuardSet(outputs, self.guard_config, stats)
 
         units_by_fragment = self._units(partition)
 
         start = time.perf_counter()
-        leftovers = self._phase_init(units_by_fragment, trackers, stats, guards)
+        leftovers = self._phase_init(
+            units_by_fragment, trackers, stats, guards, caches
+        )
         stats.phase_seconds["init"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        residue = self._phase_vassign(leftovers, trackers, stats, guards)
+        residue = self._phase_vassign(leftovers, trackers, stats, guards, caches)
         stats.phase_seconds["vassign"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        self._phase_eassign(residue, trackers, stats, guards)
+        self._phase_eassign(residue, trackers, stats, guards, caches)
         stats.phase_seconds["eassign"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -172,7 +186,11 @@ class ME2H:
             if guards.exhausted:
                 break
             try:
-                massign(trackers[name], guard=guards.guards.get(name))
+                massign(
+                    trackers[name],
+                    guard=guards.guards.get(name),
+                    cache=caches.get(name),
+                )
             except RefinementBudgetExceeded:
                 guards.exhausted = True
         stats.phase_seconds["massign"] = time.perf_counter() - start
@@ -180,6 +198,8 @@ class ME2H:
         guards.finish()
         for tracker in trackers.values():
             tracker.detach()
+        for cache in caches.values():
+            cache.detach()
         self.last_stats = stats
         return CompositePartition(outputs)
 
@@ -213,7 +233,11 @@ class ME2H:
             output.add_vertex_to(fid, v)
         output.set_master(v, fid)
 
-    def _price(self, trackers, name: str, unit: Unit) -> float:
+    def _price(self, trackers, name: str, unit: Unit, caches=None) -> float:
+        if caches:
+            cache = caches.get(name)
+            if cache is not None:
+                return cache.price_as_ecut(unit[0])
         return trackers[name].price_as_ecut(unit[0])
 
     def _phase_init(
@@ -222,6 +246,7 @@ class ME2H:
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
         guards: Optional[_GuardSet] = None,
+        caches: Optional[Dict[str, GainCache]] = None,
     ) -> List[Tuple[int, Unit, Set[str]]]:
         """Procedure Init: shared BFS prefixes become the cores C_i.
 
@@ -240,7 +265,7 @@ class ME2H:
                 pending: Set[str] = set()
                 accepted_all = True
                 for name, tracker in trackers.items():
-                    price = self._price(trackers, name, unit)
+                    price = self._price(trackers, name, unit, caches)
                     if tracker.comp_cost(fid) + price <= stats.budgets[name]:
                         self._assign_unit(tracker.partition, unit, fid)
                         guards.step(name)
@@ -259,6 +284,7 @@ class ME2H:
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
         guards: Optional[_GuardSet] = None,
+        caches: Optional[Dict[str, GainCache]] = None,
     ) -> List[Tuple[Unit, Set[str]]]:
         """VAssign (Fig. 6 lines 8-13): set-cover destinations for leftovers."""
         if guards is None:
@@ -278,7 +304,8 @@ class ME2H:
                 residue.append((unit, set(pending)))
                 continue
             prices = {
-                name: self._price(trackers, name, unit) for name in pending
+                name: self._price(trackers, name, unit, caches)
+                for name in pending
             }
 
             def fits(name: str, fid: int) -> bool:
@@ -313,23 +340,31 @@ class ME2H:
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
         guards: Optional[_GuardSet] = None,
+        caches: Optional[Dict[str, GainCache]] = None,
     ) -> None:
         """EAssign (Fig. 6 lines 14-18): split leftover units edge by edge."""
         for unit, names in residue:
             v, edges = unit
             for name in names:
                 tracker = trackers[name]
+                cache = caches.get(name) if caches else None
                 output = tracker.partition
                 n = output.num_fragments
                 stats.eassign_units += 1
                 if not edges:
-                    target = min(range(n), key=tracker.comp_cost)
+                    if cache is not None:
+                        target = cache.index.cheapest()
+                    else:
+                        target = min(range(n), key=tracker.comp_cost)
                     output.add_vertex_to(target, v)
                     if guards is not None:
                         guards.step(name)
                     continue
                 for edge in edges:
-                    target = min(range(n), key=tracker.comp_cost)
+                    if cache is not None:
+                        target = cache.index.cheapest()
+                    else:
+                        target = min(range(n), key=tracker.comp_cost)
                     output.add_edge_to(target, edge)
                     if guards is not None:
                         guards.step(name)

@@ -16,6 +16,7 @@ import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.candidates import bfs_order
+from repro.core.gaincache import GainCache
 from repro.core.getdest import get_dest
 from repro.core.massign import massign
 from repro.core.me2h import CompositeStats, Unit, _GuardSet
@@ -42,6 +43,7 @@ class MV2H:
         budget_slack: float = 1.2,
         vmerge_passes: int = 1,
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         if not cost_models:
             raise ValueError("MV2H needs at least one cost model")
@@ -49,6 +51,7 @@ class MV2H:
         self.budget_slack = budget_slack
         self.vmerge_passes = vmerge_passes
         self.guard_config = guard_config
+        self.use_gain_cache = use_gain_cache
         self.last_stats: Optional[CompositeStats] = None
 
     # ------------------------------------------------------------------
@@ -77,9 +80,17 @@ class MV2H:
                     models[name],
                     on_intervention=stats.guard[name].note_cost_model_intervention,
                 )
+        caches: Dict[str, GainCache] = {}
+        if self.use_gain_cache:
+            for name in names:
+                caches[name] = GainCache(outputs[name], models[name])
+                stats.gain_cache[name] = caches[name].stats
+                models[name] = caches[name].model
         trackers: Dict[str, CostTracker] = {
             name: CostTracker(outputs[name], models[name]) for name in names
         }
+        for name, cache in caches.items():
+            cache.bind(trackers[name])
         guards = _GuardSet(outputs, self.guard_config, stats)
 
         units_by_fragment = self._units(partition)
@@ -89,7 +100,7 @@ class MV2H:
         stats.phase_seconds["init"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        self._phase_vassign(leftovers, trackers, stats, guards)
+        self._phase_vassign(leftovers, trackers, stats, guards, caches)
         stats.phase_seconds["vassign"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -102,6 +113,7 @@ class MV2H:
                 enable_vmerge=True,
                 enable_massign=False,
                 vmerge_passes=self.vmerge_passes,
+                use_gain_cache=self.use_gain_cache,
             )
             merger.refine(outputs[name], in_place=True)
         stats.phase_seconds["vmerge"] = time.perf_counter() - start
@@ -111,7 +123,11 @@ class MV2H:
             if guards.exhausted:
                 break
             try:
-                massign(trackers[name], guard=guards.guards.get(name))
+                massign(
+                    trackers[name],
+                    guard=guards.guards.get(name),
+                    cache=caches.get(name),
+                )
             except RefinementBudgetExceeded:
                 guards.exhausted = True
         stats.phase_seconds["massign"] = time.perf_counter() - start
@@ -119,6 +135,8 @@ class MV2H:
         guards.finish()
         for tracker in trackers.values():
             tracker.detach()
+        for cache in caches.values():
+            cache.detach()
         self.last_stats = stats
         return CompositePartition(outputs)
 
@@ -137,8 +155,10 @@ class MV2H:
             claimed = set()
             units: List[Tuple[int, Unit]] = []
             for v in order:
+                # Sorted: incident() is a frozenset; unit edge order must
+                # be stable across builds for reproducible assignment.
                 edges = tuple(
-                    e for e in fragment.incident(v) if e not in claimed
+                    e for e in sorted(fragment.incident(v)) if e not in claimed
                 )
                 claimed.update(edges)
                 if edges or fragment.incident_count(v) == 0:
@@ -222,6 +242,7 @@ class MV2H:
         trackers: Dict[str, CostTracker],
         stats: CompositeStats,
         guards: Optional[_GuardSet] = None,
+        caches: Optional[Dict[str, GainCache]] = None,
     ) -> None:
         """Route leftover units through GetDest; split-free fallback.
 
@@ -256,9 +277,13 @@ class MV2H:
                 destinations = get_dest(pending, underloaded, fits)
             for name in pending:
                 tracker = trackers[name]
+                cache = caches.get(name) if caches else None
                 fid = destinations.get(name)
                 if fid is None:
-                    fid = min(range(n), key=tracker.comp_cost)
+                    if cache is not None:
+                        fid = cache.index.cheapest()
+                    else:
+                        fid = min(range(n), key=tracker.comp_cost)
                     stats.eassign_units += 1
                 else:
                     stats.vassign_units += 1

@@ -36,7 +36,9 @@ def emigrate(partition: HybridPartition, v: int, src: int, dst: int) -> None:
     if src == dst:
         raise ValueError("EMigrate source and destination must differ")
     src_fragment = partition.fragments[src]
-    edges = list(src_fragment.incident(v))
+    # Sorted: incident() is a frozenset whose iteration order is not
+    # stable across Python builds; the mutation sequence should be.
+    edges = sorted(src_fragment.incident(v))
     for edge in edges:
         partition.add_edge_to(dst, edge)
         u = edge[0] if edge[1] == v else edge[1]
@@ -81,7 +83,7 @@ def vmigrate(partition: HybridPartition, v: int, src: int, dst: int) -> None:
     if not partition.fragments[dst].has_vertex(v):
         raise ValueError(f"VMigrate destination {dst} holds no copy of vertex {v}")
     src_fragment = partition.fragments[src]
-    for edge in list(src_fragment.incident(v)):
+    for edge in sorted(src_fragment.incident(v)):
         partition.add_edge_to(dst, edge)
         partition.remove_edge_from(src, edge)
     if src_fragment.has_vertex(v) and src_fragment.incident_count(v) == 0:
@@ -114,14 +116,14 @@ def vmerge(
     for edge in missing:
         holders = [
             fid
-            for fid in partition.placement(v)
+            for fid in sorted(partition.placement(v))
             if fid != dst and partition.fragments[fid].has_edge(edge)
         ]
         if not holders:
             u = edge[0] if edge[1] == v else edge[1]
             holders = [
                 fid
-                for fid in partition.placement(u)
+                for fid in sorted(partition.placement(u))
                 if fid != dst and partition.fragments[fid].has_edge(edge)
             ]
         partition.add_edge_to(dst, edge)

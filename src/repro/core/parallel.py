@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.budget import classify_fragments, compute_budget
 from repro.core.candidates import get_candidates
 from repro.core.e2h import RefineStats
+from repro.core.gaincache import GainCache
 from repro.core.me2h import ME2H, CompositeStats
 from repro.core.mv2h import MV2H
 from repro.core.operations import emigrate, split_migrate_edge, vmerge, vmigrate
@@ -110,6 +111,7 @@ class ParE2H:
         enable_massign: bool = True,
         budget_slack: float = 1.0,
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         self.cost_model = cost_model
         self.batch_size = batch_size
@@ -119,6 +121,7 @@ class ParE2H:
         self.enable_massign = enable_massign
         self.budget_slack = budget_slack
         self.guard_config = guard_config
+        self.use_gain_cache = use_gain_cache
 
     # ------------------------------------------------------------------
     def refine(
@@ -136,7 +139,14 @@ class ParE2H:
                 self.cost_model,
                 on_intervention=stats.guard.note_cost_model_intervention,
             )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
         tracker = CostTracker(partition, model)
+        if cache is not None:
+            cache.bind(tracker)
         cluster = Cluster(partition, clock=self.clock)
         profile = RefinementProfile()
         meter = _PhaseMeter(cluster, profile)
@@ -174,20 +184,23 @@ class ParE2H:
                 meter.run(
                     "emigrate",
                     lambda: self._parallel_emigrate(
-                        cluster, tracker, budget, underloaded, candidates, stats, guard
+                        cluster, tracker, budget, underloaded, candidates,
+                        stats, guard, cache
                     ),
                 )
             if self.enable_esplit:
                 meter.run(
                     "esplit",
                     lambda: self._parallel_esplit(
-                        cluster, tracker, candidates, stats, guard
+                        cluster, tracker, candidates, stats, guard, cache
                     ),
                 )
             if self.enable_massign:
                 meter.run(
                     "massign",
-                    lambda: self._parallel_massign(cluster, tracker, stats, guard),
+                    lambda: self._parallel_massign(
+                        cluster, tracker, stats, guard, cache
+                    ),
                 )
         except RefinementBudgetExceeded:
             early_stopped = True
@@ -196,6 +209,8 @@ class ParE2H:
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
+        if cache is not None:
+            cache.detach()
         profile.total_time = cluster.profile.makespan
         profile.wall_seconds = time.perf_counter() - wall_start
         profile.stats = stats
@@ -211,6 +226,7 @@ class ParE2H:
         candidates: Dict[int, List],
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         """Round-robin batched candidate shipping (Section 5.3)."""
         partition = tracker.partition
@@ -241,7 +257,12 @@ class ParE2H:
                             continue
                     cluster.send(src, dst, None, nbytes=16.0 + 8.0 * len(edges))
                     cluster.charge(dst, C1_OPS)
-                    price = tracker.price_as_ecut(v)
+                    if cache is not None:
+                        # Bounced candidates re-price on every retry;
+                        # the cache serves repeats until v is mutated.
+                        price = cache.price_as_ecut(v)
+                    else:
+                        price = tracker.price_as_ecut(v)
                     if tracker.comp_cost(dst) + price <= budget:
                         emigrate(partition, v, src, dst)
                         stats.emigrated += 1
@@ -262,6 +283,7 @@ class ParE2H:
         candidates: Dict[int, List],
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         """Batched greedy edge splitting against shared cost state."""
         partition = tracker.partition
@@ -272,7 +294,7 @@ class ParE2H:
             for v, _snapshot in cand_list:
                 fragment = partition.fragments[src]
                 if fragment.has_vertex(v):
-                    local = list(fragment.incident(v))
+                    local = sorted(fragment.incident(v))
                     if local:
                         stats.split_vertices += 1
                     edges.extend((v, e) for e in local)
@@ -286,7 +308,10 @@ class ParE2H:
                 )
                 for v, edge in batch:
                     cluster.charge(src, C1_OPS)
-                    target = min(range(n), key=tracker.comp_cost)
+                    if cache is not None:
+                        target = cache.index.cheapest()
+                    else:
+                        target = min(range(n), key=tracker.comp_cost)
                     if target == src:
                         continue
                     if not partition.fragments[src].has_edge(edge):
@@ -304,9 +329,12 @@ class ParE2H:
         tracker: CostTracker,
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         """Batched Eq. 5 master assignment with shared accumulators."""
-        _parallel_massign_impl(cluster, tracker, stats, self.batch_size, guard)
+        _parallel_massign_impl(
+            cluster, tracker, stats, self.batch_size, guard, cache
+        )
 
 
 def _parallel_massign_impl(
@@ -315,6 +343,7 @@ def _parallel_massign_impl(
     stats: RefineStats,
     batch_size: int,
     guard: Optional[RefinementGuard] = None,
+    cache: Optional[GainCache] = None,
 ) -> None:
     partition = tracker.partition
     model = tracker.cost_model
@@ -352,8 +381,11 @@ def _parallel_massign_impl(
                 best_fid, best_score = hosts[0], float("inf")
                 best_gain, best_delta = 0.0, 0.0
                 for host in hosts:
-                    g_here = model.comm_cost_if_master_at(partition, v, host, avg)
-                    h_delta = model.comp_master_delta(partition, v, host, avg)
+                    if cache is not None:
+                        g_here, h_delta = cache.massign_scores(v, host)
+                    else:
+                        g_here = model.comm_cost_if_master_at(partition, v, host, avg)
+                        h_delta = model.comp_master_delta(partition, v, host, avg)
                     score = comp[host] + comm[host] + g_here + h_delta
                     if score < best_score:
                         best_score, best_fid = score, host
@@ -363,9 +395,14 @@ def _parallel_massign_impl(
                         0 <= current < partition.num_fragments
                         and partition.fragments[current].has_vertex(v)
                     ):
-                        comp[current] -= model.comp_master_delta(
-                            partition, v, current, avg
-                        )
+                        if cache is not None:
+                            # Scored pre-mutation above: a cache hit with
+                            # the identical value.
+                            comp[current] -= cache.massign_scores(v, current)[1]
+                        else:
+                            comp[current] -= model.comp_master_delta(
+                                partition, v, current, avg
+                            )
                     comp[best_fid] += best_delta
                     cluster.send(fid, best_fid, None, nbytes=12.0)
                     partition.set_master(v, best_fid)
@@ -390,6 +427,7 @@ class ParV2H:
         budget_slack: float = 1.0,
         vmerge_passes: int = 2,
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         self.cost_model = cost_model
         self.batch_size = batch_size
@@ -400,6 +438,7 @@ class ParV2H:
         self.budget_slack = budget_slack
         self.vmerge_passes = vmerge_passes
         self.guard_config = guard_config
+        self.use_gain_cache = use_gain_cache
 
     def refine(
         self, partition: HybridPartition, in_place: bool = False
@@ -416,7 +455,14 @@ class ParV2H:
                 self.cost_model,
                 on_intervention=stats.guard.note_cost_model_intervention,
             )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
         tracker = CostTracker(partition, model)
+        if cache is not None:
+            cache.bind(tracker)
         cluster = Cluster(partition, clock=self.clock)
         profile = RefinementProfile()
         meter = _PhaseMeter(cluster, profile)
@@ -460,21 +506,21 @@ class ParV2H:
                     "vmigrate",
                     lambda: self._parallel_vmigrate(
                         cluster, tracker, helper, budget, underloaded,
-                        candidates, stats, guard
+                        candidates, stats, guard, cache
                     ),
                 )
             if self.enable_vmerge:
                 meter.run(
                     "vmerge",
                     lambda: self._parallel_vmerge(
-                        cluster, tracker, helper, budget, stats, guard
+                        cluster, tracker, helper, budget, stats, guard, cache
                     ),
                 )
             if self.enable_massign:
                 meter.run(
                     "massign",
                     lambda: _parallel_massign_impl(
-                        cluster, tracker, stats, self.batch_size, guard
+                        cluster, tracker, stats, self.batch_size, guard, cache
                     ),
                 )
         except RefinementBudgetExceeded:
@@ -484,6 +530,8 @@ class ParV2H:
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
+        if cache is not None:
+            cache.detach()
         profile.total_time = cluster.profile.makespan
         profile.wall_seconds = time.perf_counter() - wall_start
         profile.stats = stats
@@ -500,6 +548,7 @@ class ParV2H:
         candidates: Dict[int, List],
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         partition = tracker.partition
         queues: Dict[int, List] = {
@@ -526,7 +575,15 @@ class ParV2H:
                     dst = hosts[attempts]
                     cluster.send(src, dst, None, nbytes=16.0 + 8.0 * len(edges))
                     cluster.charge(dst, C1_OPS)
-                    new_price = helper._merged_price(tracker, v, src, dst)
+                    if cache is not None:
+                        new_price = cache.merged_price(
+                            v,
+                            src,
+                            dst,
+                            lambda: helper._merged_price(tracker, v, src, dst),
+                        )
+                    else:
+                        new_price = helper._merged_price(tracker, v, src, dst)
                     old_price = tracker.copy_comp_cost(v, dst)
                     if tracker.comp_cost(dst) - old_price + new_price <= budget:
                         vmigrate(partition, v, src, dst)
@@ -545,6 +602,7 @@ class ParV2H:
         budget: float,
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         partition = tracker.partition
         graph = partition.graph
@@ -561,9 +619,14 @@ class ParV2H:
                     for v in fragment.vertices()
                     if partition.role(v, fid) is NodeRole.VCUT
                 ]
+                # Ties by vertex id: fragment insertion order is not
+                # stable across builds.
                 vcuts.sort(
-                    key=lambda v: partition.global_incident_count(v)
-                    - fragment.incident_count(v)
+                    key=lambda v: (
+                        partition.global_incident_count(v)
+                        - fragment.incident_count(v),
+                        v,
+                    )
                 )
                 work[fid] = vcuts
             while any(work.values()):
@@ -587,7 +650,10 @@ class ParV2H:
                             if not fragment.has_edge(edge)
                         ]
                         cluster.charge(fid, C1_OPS)
-                        new_price = tracker.price_as_ecut(v)
+                        if cache is not None:
+                            new_price = cache.price_as_ecut(v)
+                        else:
+                            new_price = tracker.price_as_ecut(v)
                         old_price = tracker.copy_comp_cost(v, fid)
                         if (
                             tracker.comp_cost(fid) - old_price + new_price
@@ -670,9 +736,13 @@ class ParME2H(_CompositeParallelMixin):
         clock: Optional[CostClock] = None,
         budget_slack: float = 1.2,
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         self.inner = ME2H(
-            cost_models, budget_slack=budget_slack, guard_config=guard_config
+            cost_models,
+            budget_slack=budget_slack,
+            guard_config=guard_config,
+            use_gain_cache=use_gain_cache,
         )
         self.batch_size = batch_size
         self.clock = clock or CostClock()
@@ -700,12 +770,14 @@ class ParMV2H(_CompositeParallelMixin):
         budget_slack: float = 1.2,
         vmerge_passes: int = 1,
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         self.inner = MV2H(
             cost_models,
             budget_slack=budget_slack,
             vmerge_passes=vmerge_passes,
             guard_config=guard_config,
+            use_gain_cache=use_gain_cache,
         )
         self.batch_size = batch_size
         self.clock = clock or CostClock()

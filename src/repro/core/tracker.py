@@ -17,7 +17,7 @@ endpoints of the touched edge.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.costmodel.features import vertex_features
 from repro.costmodel.model import CostModel
@@ -39,12 +39,26 @@ class CostTracker:
         self._copy_contrib: Dict[int, Dict[int, float]] = {}
         self._comm_contrib: Dict[int, Tuple[int, float]] = {}
         self._dirty: Set[int] = set()
+        self._cost_listeners: List[Callable[[int], None]] = []
         partition.add_listener(self._mark_dirty)
         self._rebuild()
 
     def detach(self) -> None:
         """Stop listening to partition mutations."""
         self.partition.remove_listener(self._mark_dirty)
+
+    def add_cost_listener(self, listener: Callable[[int], None]) -> None:
+        """Subscribe to fragment-cost changes: called with each fragment
+        id whose ``C_h`` contribution set changed during a reprice."""
+        self._cost_listeners.append(listener)
+
+    def remove_cost_listener(self, listener: Callable[[int], None]) -> None:
+        """Unsubscribe a previously added cost listener."""
+        self._cost_listeners.remove(listener)
+
+    def ensure_current(self) -> None:
+        """Flush pending reprices (public alias for the lazy flush)."""
+        self._flush()
 
     # ------------------------------------------------------------------
     def _mark_dirty(self, v: int) -> None:
@@ -62,6 +76,10 @@ class CostTracker:
     def _reprice(self, v: int) -> None:
         """Recompute all of v's contributions; apply deltas to the sums."""
         partition = self.partition
+        # Fragment-cost change notifications are only assembled when a
+        # listener is registered (the gain cache's fragment index); the
+        # plain path pays nothing.
+        listeners = self._cost_listeners
         old_copies = self._copy_contrib.pop(v, None)
         if old_copies:
             for fid, contrib in old_copies.items():
@@ -72,6 +90,8 @@ class CostTracker:
 
         hosts = partition.placement(v)
         if not hosts:
+            if listeners and old_copies:
+                self._notify_cost(set(old_copies))
             return
         new_copies: Dict[int, float] = {}
         for fid in hosts:
@@ -88,6 +108,13 @@ class CostTracker:
                     self._comp[fid] += contrib
         if new_copies:
             self._copy_contrib[v] = new_copies
+        if listeners and (old_copies or new_copies):
+            touched: Set[int] = set()
+            if old_copies:
+                touched.update(old_copies)
+            if new_copies:
+                touched.update(new_copies)
+            self._notify_cost(touched)
         if partition.is_border(v):
             master = partition._masters.get(v)
             if master is not None and partition.fragments[master].has_vertex(v):
@@ -95,6 +122,11 @@ class CostTracker:
                 contrib = self.cost_model.g_value(features)
                 self._comm_contrib[v] = (master, contrib)
                 self._comm[master] += contrib
+
+    def _notify_cost(self, fids: Set[int]) -> None:
+        for listener in self._cost_listeners:
+            for fid in fids:
+                listener(fid)
 
     def _flush(self) -> None:
         if not self._dirty:

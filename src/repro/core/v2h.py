@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.core.budget import classify_fragments, compute_budget
 from repro.core.candidates import get_candidates
 from repro.core.e2h import RefineStats
+from repro.core.gaincache import GainCache
 from repro.core.massign import massign
 from repro.core.operations import vmerge, vmigrate
 from repro.core.tracker import CostTracker
@@ -51,6 +52,7 @@ class V2H:
         budget_slack: float = 1.0,
         vmerge_passes: int = 2,
         guard_config: Optional[GuardConfig] = None,
+        use_gain_cache: bool = True,
     ) -> None:
         self.cost_model = cost_model
         self.enable_vmigrate = enable_vmigrate
@@ -59,6 +61,7 @@ class V2H:
         self.budget_slack = budget_slack
         self.vmerge_passes = vmerge_passes
         self.guard_config = guard_config
+        self.use_gain_cache = use_gain_cache
         self.last_stats: Optional[RefineStats] = None
 
     # ------------------------------------------------------------------
@@ -76,7 +79,14 @@ class V2H:
                 self.cost_model,
                 on_intervention=stats.guard.note_cost_model_intervention,
             )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
         tracker = CostTracker(partition, model)
+        if cache is not None:
+            cache.bind(tracker)
         stats.cost_before = tracker.parallel_cost()
         guard: Optional[RefinementGuard] = None
         if self.guard_config is not None:
@@ -104,16 +114,16 @@ class V2H:
             if self.enable_vmigrate:
                 start = time.perf_counter()
                 self._phase_vmigrate(
-                    tracker, budget, underloaded, candidates, stats, guard
+                    tracker, budget, underloaded, candidates, stats, guard, cache
                 )
                 stats.phase_seconds["vmigrate"] = time.perf_counter() - start
             if self.enable_vmerge:
                 start = time.perf_counter()
-                self._phase_vmerge(tracker, budget, stats, guard)
+                self._phase_vmerge(tracker, budget, stats, guard, cache)
                 stats.phase_seconds["vmerge"] = time.perf_counter() - start
             if self.enable_massign:
                 start = time.perf_counter()
-                stats.master_moves = massign(tracker, guard=guard)
+                stats.master_moves = massign(tracker, guard=guard, cache=cache)
                 stats.phase_seconds["massign"] = time.perf_counter() - start
         except RefinementBudgetExceeded:
             early_stopped = True
@@ -122,6 +132,8 @@ class V2H:
 
         stats.cost_after = tracker.parallel_cost()
         tracker.detach()
+        if cache is not None:
+            cache.detach()
         self.last_stats = stats
         return partition
 
@@ -149,7 +161,9 @@ class V2H:
         features["d_in_L"] += added_in
         features["d_out_L"] += added_out
         features["d_L"] += len(extra)
-        return self.cost_model.h_value(features)
+        # Evaluate through the tracker's model (identical values; when
+        # the gain cache is active this is the memoized model).
+        return tracker.cost_model.h_value(features)
 
     def _phase_vmigrate(
         self,
@@ -159,6 +173,7 @@ class V2H:
         candidates: Dict[int, List],
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         """Fig. 4 lines 6-10: merge v-cut copies into co-located copies."""
         partition = tracker.partition
@@ -172,10 +187,22 @@ class V2H:
                 ):
                     continue
                 placed = False
-                for dst in sorted(underloaded, key=tracker.comp_cost):
+                if cache is not None:
+                    destinations = cache.index.ascending(underloaded)
+                else:
+                    destinations = sorted(underloaded, key=tracker.comp_cost)
+                for dst in destinations:
                     if dst == src or not partition.fragments[dst].has_vertex(v):
                         continue
-                    new_price = self._merged_price(tracker, v, src, dst)
+                    if cache is not None:
+                        new_price = cache.merged_price(
+                            v,
+                            src,
+                            dst,
+                            lambda: self._merged_price(tracker, v, src, dst),
+                        )
+                    else:
+                        new_price = self._merged_price(tracker, v, src, dst)
                     old_price = tracker.copy_comp_cost(v, dst)
                     if tracker.comp_cost(dst) - old_price + new_price <= budget:
                         vmigrate(partition, v, src, dst)
@@ -194,15 +221,18 @@ class V2H:
         budget: float,
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
+        cache: Optional[GainCache] = None,
     ) -> None:
         """Fig. 4 lines 11-14: promote v-cut nodes to e-cut nodes."""
         partition = tracker.partition
         graph = partition.graph
+        n = partition.num_fragments
         for _pass in range(self.vmerge_passes):
             merged_any = False
-            order = sorted(
-                range(partition.num_fragments), key=tracker.comp_cost
-            )
+            if cache is not None:
+                order = cache.index.ascending(range(n))
+            else:
+                order = sorted(range(n), key=tracker.comp_cost)
             for fid in order:
                 if tracker.comp_cost(fid) > budget:
                     continue
@@ -212,10 +242,15 @@ class V2H:
                     for v in fragment.vertices()
                     if partition.role(v, fid) is NodeRole.VCUT
                 ]
-                # Cheapest promotions first: fewest missing edges.
+                # Cheapest promotions first: fewest missing edges, ties
+                # broken by vertex id (fragment insertion order is not
+                # stable across builds).
                 vcut_here.sort(
-                    key=lambda v: partition.global_incident_count(v)
-                    - fragment.incident_count(v)
+                    key=lambda v: (
+                        partition.global_incident_count(v)
+                        - fragment.incident_count(v),
+                        v,
+                    )
                 )
                 for v in vcut_here:
                     # Earlier merges may have pruned or promoted this copy.
@@ -229,7 +264,10 @@ class V2H:
                         for edge in graph.incident_edges(v)
                         if not fragment.has_edge(edge)
                     ]
-                    new_price = tracker.price_as_ecut(v)
+                    if cache is not None:
+                        new_price = cache.price_as_ecut(v)
+                    else:
+                        new_price = tracker.price_as_ecut(v)
                     old_price = tracker.copy_comp_cost(v, fid)
                     if tracker.comp_cost(fid) - old_price + new_price > budget:
                         continue

@@ -1,0 +1,106 @@
+"""Golden regression fixtures for the experiment pipelines.
+
+Tiny-config Exp-1 / Exp-2 runs are pinned to JSON fixtures in
+``tests/eval/golden/``; any change to partitioners, refiners, the BSP
+simulator, or the harness that shifts a reported number now fails
+loudly instead of drifting silently.
+
+The runs use the Table 5 builtin cost models instead of the default
+simulator-trained ones: training goes through ``numpy.linalg.lstsq``,
+whose low-order float bits vary across LAPACK builds, while the builtin
+polynomials (and everything downstream of them) are pure-Python
+deterministic.  Comparison is at 1e-9 relative tolerance.
+
+Regenerate after an *intentional* behaviour change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/eval/test_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.costmodel.library import builtin_cost_model
+from repro.eval import harness
+from repro.eval.experiments import exp1, exp2
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REL_TOL = 1e-9
+
+EXP1_CONFIG = dict(
+    algorithm="pr",
+    dataset="livejournal_like",
+    fragment_counts=(2,),
+    baselines=["fennel", "grid"],
+)
+EXP2_CONFIG = dict(
+    dataset="livejournal_like",
+    num_fragments=2,
+    baselines=("grid",),
+    batch=("pr", "wcc"),
+)
+
+
+@pytest.fixture(autouse=True)
+def _builtin_models(monkeypatch):
+    """Pin the harness to the deterministic Table 5 builtin models."""
+    monkeypatch.setattr(harness, "trained_cost_model", builtin_cost_model)
+
+
+def _compute_exp1():
+    series = exp1.figure9_series(**EXP1_CONFIG)
+    return {label: [list(point) for point in pts] for label, pts in series.items()}
+
+
+def _compute_exp2():
+    return exp2.table4(**EXP2_CONFIG)
+
+
+def _assert_close(expected, actual, path=""):
+    assert type(expected) is type(actual) or (
+        isinstance(expected, (int, float)) and isinstance(actual, (int, float))
+    ), f"{path}: type {type(expected).__name__} != {type(actual).__name__}"
+    if isinstance(expected, dict):
+        assert sorted(expected) == sorted(actual), f"{path}: key mismatch"
+        for key in expected:
+            _assert_close(expected[key], actual[key], f"{path}/{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: length mismatch"
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _assert_close(e, a, f"{path}[{i}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=REL_TOL), (
+            f"{path}: {actual!r} != golden {expected!r}"
+        )
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+def _check(name: str, compute):
+    path = GOLDEN_DIR / f"{name}.json"
+    actual = json.loads(json.dumps(compute()))  # normalize tuples/keys
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    expected = json.loads(path.read_text())
+    _assert_close(expected, actual, path=name)
+
+
+@pytest.mark.slow
+def test_exp1_figure9_matches_golden():
+    """Fig. 9 tiny config (PR on livejournal_like, n=2) is pinned."""
+    _check("exp1_tiny", _compute_exp1)
+
+
+@pytest.mark.slow
+def test_exp2_table4_matches_golden():
+    """Table 4 tiny config (grid baseline, pr+wcc batch) is pinned."""
+    _check("exp2_tiny", _compute_exp2)

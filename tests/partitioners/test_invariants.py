@@ -1,0 +1,120 @@
+"""Shared invariant suite for every baseline partitioner.
+
+Each of the 11 registered baselines (the paper's Table 3 roster) is run
+on a shared grid of generated graphs and checked for the three
+properties any partitioner must satisfy regardless of strategy:
+
+* **coverage** — the structural invariants of
+  :func:`~repro.partition.validation.check_partition` (every edge hosted,
+  placement/master indexes consistent, no orphan copies);
+* **balance** — the cut family's balance factor stays under an
+  empirically calibrated per-partitioner bound (measured worst case
+  across this grid with ~2x headroom, so a regression that doubles the
+  skew fails while normal jitter does not);
+* **determinism under seed** — two runs with identically seeded
+  instances produce byte-equal serialized partitions.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.graph.generators import chung_lu_power_law, road_grid
+from repro.partition.quality import edge_balance_factor, vertex_balance_factor
+from repro.partition.serialize import partition_to_dict
+from repro.partition.validation import check_partition
+from repro.partitioners.base import PARTITIONER_NAMES, get_partitioner
+
+ALL_NAMES = sorted(PARTITIONER_NAMES)
+
+#: Calibrated balance ceilings: (metric, bound).  Edge-cut partitioners
+#: balance vertices, vertex-cut partitioners balance edges, hybrids are
+#: held to the looser vertex-side bound their design targets.
+BALANCE_BOUNDS = {
+    "dbh": (edge_balance_factor, 0.5),
+    "fennel": (vertex_balance_factor, 0.75),
+    "ginger": (vertex_balance_factor, 1.5),
+    "grid": (edge_balance_factor, 0.5),
+    "hash": (vertex_balance_factor, 0.5),
+    "hdrf": (edge_balance_factor, 0.5),
+    "ldg": (vertex_balance_factor, 1.2),
+    "metis": (vertex_balance_factor, 0.75),
+    "ne": (edge_balance_factor, 0.5),
+    "topox": (vertex_balance_factor, 2.5),
+    "xtrapulp": (vertex_balance_factor, 1.2),
+}
+
+_GRAPHS = {
+    "powerlaw_directed": lambda: chung_lu_power_law(
+        300, 6.0, exponent=2.1, directed=True, seed=7
+    ),
+    "powerlaw_undirected": lambda: chung_lu_power_law(
+        200, 6.0, exponent=2.2, directed=False, seed=9
+    ),
+    "road_grid": lambda: road_grid(8, 8, seed=1),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(_GRAPHS))
+def invariant_graph(request):
+    """Shared graph grid every invariant below is checked against."""
+    return _GRAPHS[request.param]()
+
+
+@pytest.fixture(scope="module", params=(2, 4))
+def num_fragments(request):
+    return request.param
+
+
+def _seeded(name: str, seed: int):
+    """Instantiate ``name`` with an explicit seed where supported."""
+    factory_params = inspect.signature(
+        type(get_partitioner(name)).__init__
+    ).parameters
+    if "seed" in factory_params:
+        return get_partitioner(name, seed=seed)
+    return get_partitioner(name)
+
+
+def test_registry_matches_paper_roster():
+    assert ALL_NAMES == sorted(BALANCE_BOUNDS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_coverage(name, invariant_graph, num_fragments):
+    """Structural invariants hold: every edge hosted, indexes coherent."""
+    partition = get_partitioner(name).partition(invariant_graph, num_fragments)
+    check_partition(partition)
+    assert partition.num_fragments == num_fragments
+    hosted = sum(f.num_edges for f in partition.fragments)
+    assert hosted >= invariant_graph.num_edges  # replication only adds
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_balance_bound(name, invariant_graph, num_fragments):
+    """The cut family's balance factor stays under the calibrated ceiling."""
+    metric, bound = BALANCE_BOUNDS[name]
+    partition = get_partitioner(name).partition(invariant_graph, num_fragments)
+    factor = metric(partition)
+    assert factor <= bound, (
+        f"{name}: {metric.__name__}={factor:.3f} exceeds calibrated "
+        f"bound {bound}"
+    )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_deterministic_under_seed(name, invariant_graph, num_fragments):
+    """Identically seeded instances serialize to byte-equal partitions."""
+    first = _seeded(name, seed=42).partition(invariant_graph, num_fragments)
+    second = _seeded(name, seed=42).partition(invariant_graph, num_fragments)
+    assert partition_to_dict(first) == partition_to_dict(second)
+
+
+@pytest.mark.parametrize("name", sorted(BALANCE_BOUNDS))
+def test_default_instance_deterministic(name, invariant_graph):
+    """Even without explicit seeding, default instances are reproducible."""
+    first = get_partitioner(name).partition(invariant_graph, 4)
+    second = get_partitioner(name).partition(invariant_graph, 4)
+    assert partition_to_dict(first) == partition_to_dict(second)
