@@ -16,6 +16,12 @@ from benchmarks.conftest import run_once
 
 FRAGMENTS = (2, 4, 8)
 
+
+@pytest.fixture(autouse=True)
+def _shared_cache(eval_cache_engine):
+    """All panels read and write the shared artifact cache."""
+    yield
+
 PANELS = [
     ("a", "cn", "livejournal_like"),
     ("b", "cn", "twitter_like"),

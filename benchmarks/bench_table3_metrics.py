@@ -5,10 +5,18 @@ refined variant.  Paper shape: the refined variants trade slightly higher
 replication for dramatically lower λ_CN (xtraPuLP 7.2 → 1.4 in the paper).
 """
 
+import pytest
+
 from repro.eval.experiments import exp1
 from repro.eval.reporting import format_table
 
 from benchmarks.conftest import run_once
+
+
+@pytest.fixture(autouse=True)
+def _shared_cache(eval_cache_engine):
+    """Partition/refine cells come from the shared artifact cache."""
+    yield
 
 
 def test_table3(benchmark, print_section):

@@ -6,10 +6,18 @@ static partitions.  Paper shape: ParMHP within single-digit percent of
 ParHP; both beat the initial partitions on the batch total.
 """
 
+import pytest
+
 from repro.eval.experiments import exp2
 from repro.eval.reporting import format_table
 
 from benchmarks.conftest import run_once
+
+
+@pytest.fixture(autouse=True)
+def _shared_cache(eval_cache_engine):
+    """Composite/refine cells come from the shared artifact cache."""
+    yield
 
 
 def test_table4(benchmark, print_section):

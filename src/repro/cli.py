@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the library's pipeline without writing Python::
+Five subcommands cover the library's pipeline without writing Python::
 
     python -m repro.cli generate  --kind powerlaw --vertices 2000 \\
         --degree 8 --out graph.txt
@@ -9,6 +9,7 @@ Four subcommands cover the library's pipeline without writing Python::
     python -m repro.cli evaluate  --graph graph.txt --partition part.json \\
         --algorithms pr,wcc
     python -m repro.cli metrics   --graph graph.txt --partition part.json
+    python -m repro.cli sweep     --quick --jobs 4 --only exp1,exp3
 
 ``partition --refine ALG`` runs the application-driven refiner for that
 algorithm's cost model after the baseline; ``evaluate`` reports each
@@ -19,6 +20,12 @@ algorithm's simulated parallel runtime on the stored partition.
 ``--straggler W:F``, ``--faults-seed``) with superstep checkpointing and
 rollback recovery (``--checkpoint-interval``); results are unchanged,
 and the table gains failure/recovery/checkpoint columns.
+
+``sweep`` reproduces the paper's evaluation section (the experiment
+sweep of :mod:`repro.eval.run_all`) on the parallel evaluation engine:
+``--jobs N`` fans independent cells out over worker processes and
+``--cache-dir``/``--no-cache`` control the content-addressed artifact
+cache that later runs (and the benchmark scripts) replay from.
 
 ``partition --refine ALG`` accepts guarded-refinement flags
 (``--guard-interval``, ``--chaos-seed``, ``--corrupt-rate``,
@@ -257,6 +264,24 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``sweep``: the full experiment sweep on the evaluation engine."""
+    from repro.eval import run_all
+
+    argv: List[str] = []
+    if args.quick:
+        argv.append("--quick")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.only:
+        argv += ["--only", args.only]
+    return run_all.main(argv)
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """``metrics``: replication ratios and balance factors of a partition."""
     graph = _load_graph(args.graph)
@@ -388,6 +413,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="supersteps between state checkpoints (0 = off)",
     )
     ev.set_defaults(func=cmd_evaluate)
+
+    sweep = sub.add_parser(
+        "sweep", help="run the paper's experiment sweep on the evaluation engine"
+    )
+    sweep.add_argument("--quick", action="store_true", help="reduced sweep")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the warm phase (default: 1, serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="use an ephemeral cache deleted after the run",
+    )
+    sweep.add_argument(
+        "--only",
+        metavar="NAMES",
+        help="comma-separated experiment subset (exp1..exp6, appendix)",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     met = sub.add_parser("metrics", help="partition quality metrics")
     met.add_argument("--graph", required=True)

@@ -136,21 +136,31 @@ class CostModel:
     # Fragment-level costs
     # ------------------------------------------------------------------
     def fragment_comp_cost(self, partition: HybridPartition, fid: int) -> float:
-        """``C_h(F_i)``: Eq. 2 over all non-dummy copies in the fragment."""
+        """``C_h(F_i)``: Eq. 2 over all non-dummy copies in the fragment.
+
+        Vertices are visited in sorted order so the float sum is
+        independent of the fragment's insertion history — a partition
+        reloaded from the evaluation cache prices identically to the
+        freshly computed one.
+        """
         avg = average_degree(partition.graph)
         fragment = partition.fragments[fid]
         return sum(
             self.h_value(vertex_features(partition, v, fid, avg))
-            for v in fragment.vertices()
+            for v in sorted(fragment.vertices())
             if partition.cost_bearing(v, fid)
         )
 
     def fragment_comm_cost(self, partition: HybridPartition, fid: int) -> float:
-        """``C_g(F_i)``: Eq. 3 over master border copies in the fragment."""
+        """``C_g(F_i)``: Eq. 3 over master border copies in the fragment.
+
+        Sorted iteration for the same insertion-order independence as
+        :meth:`fragment_comp_cost`.
+        """
         avg = average_degree(partition.graph)
         fragment = partition.fragments[fid]
         total = 0.0
-        for v in fragment.vertices():
+        for v in sorted(fragment.vertices()):
             if partition.is_border(v) and partition.master(v) == fid:
                 total += self.g_value(vertex_features(partition, v, fid, avg))
         return total

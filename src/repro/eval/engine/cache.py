@@ -1,0 +1,145 @@
+"""Content-addressed on-disk artifact cache.
+
+Artifacts are JSON files stored under ``<root>/<key[:2]>/<key>.json``
+where ``key`` is the cell's config digest (:mod:`repro.eval.engine.
+keys`).  Writes are atomic (temp file + ``os.replace``), so concurrent
+worker processes racing to store the same content-addressed artifact are
+benign: last writer wins with identical bytes.
+
+The cache keeps hit / miss / byte counters; the engine snapshots them
+per experiment so ``run_all`` can report what the cache saved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / byte counters of one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        """A copy of the current counters (for per-experiment deltas)."""
+        return CacheStats(self.hits, self.misses, self.bytes_read, self.bytes_written)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counter increments since ``since`` was snapshotted."""
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            bytes_read=self.bytes_read - since.bytes_read,
+            bytes_written=self.bytes_written - since.bytes_written,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-serializable counter dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.hits} hits / {self.misses} misses, "
+            f"{self.bytes_read / 1e6:.2f} MB read, "
+            f"{self.bytes_written / 1e6:.2f} MB written"
+        )
+
+
+class ArtifactCache:
+    """JSON artifact store addressed by config digest.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first write.
+    memory_entries:
+        Size of the in-process parsed-payload LRU sitting above the disk
+        store (an artifact read five times in one sweep is parsed once).
+        Memory hits and disk hits both count as cache hits — either way
+        the cell was not recomputed.
+    """
+
+    def __init__(self, root: PathLike, memory_entries: int = 128) -> None:
+        self.root = os.fspath(root)
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self._memory_entries = memory_entries
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or os.path.exists(self._path(key))
+
+    def _remember(self, key: str, payload: Dict) -> None:
+        if self._memory_entries <= 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    def get(self, key: str) -> Optional[Dict]:
+        """Return the payload stored under ``key``, or ``None`` on a miss.
+
+        A miss is *not* counted here — the caller may still find the
+        value elsewhere; :meth:`count_miss` charges the recomputation.
+        """
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        payload = json.loads(text)
+        self.stats.hits += 1
+        self.stats.bytes_read += len(text)
+        self._remember(key, payload)
+        return payload
+
+    def count_miss(self) -> None:
+        """Record that a cell had to be recomputed."""
+        self.stats.misses += 1
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.bytes_written += len(text)
+        self._remember(key, payload)

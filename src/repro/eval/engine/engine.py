@@ -1,0 +1,276 @@
+"""The evaluation engine facade: compute-or-load for experiment steps.
+
+:class:`EvalEngine` is the single entry point the harness talks to.  It
+has two modes:
+
+* **passthrough** (``cache=None``, the default) — every operation runs
+  the exact legacy in-process code path, no serialization, no disk.
+  This keeps unit tests and library callers byte-for-byte unchanged.
+* **cached** (an :class:`ArtifactCache`) — every operation is resolved
+  to a content-addressed cell key; artifacts are loaded on a hit and
+  computed via :mod:`repro.eval.engine.cells` on a miss.  Partitions are
+  always reconstructed from their serialized payload, so a cold run
+  builds exactly the objects a warm run loads, and measured wall-clock
+  seconds are replayed from the artifact rather than re-measured.
+
+``use_engine`` swaps the process-wide active engine; the harness routes
+through :func:`get_engine` so ``run_all --cache-dir`` changes behaviour
+without threading an engine handle through every experiment signature.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import weakref
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.eval.engine import cells, keys
+from repro.eval.engine.cache import ArtifactCache, CacheStats
+from repro.eval.engine.jobs import JobGraph
+
+
+class EvalEngine:
+    """Compute-or-load facade over the artifact cache.
+
+    Parameters
+    ----------
+    cache:
+        Artifact store; ``None`` selects passthrough mode.
+    virtual:
+        Replace measured wall-clock with deterministic proxies (golden
+        tests); tags every cache key so virtual artifacts never mix with
+        real measurements.
+    """
+
+    def __init__(
+        self, cache: Optional[ArtifactCache] = None, virtual: bool = False
+    ) -> None:
+        self.cache = cache
+        self.virtual = virtual
+        # partition object -> content digest of its serialized payload,
+        # recorded whenever this engine produces a partition so run cells
+        # can be keyed without re-serializing.
+        self._digests: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def caching(self) -> bool:
+        """Whether this engine loads/stores artifacts."""
+        return self.cache is not None
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cache counters (all-zero in passthrough mode)."""
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _digest_and_payload(self, partition) -> Tuple[str, Optional[Dict]]:
+        """Content digest of ``partition`` (+ its payload when serialized).
+
+        Engine-produced partitions have a memoized digest; foreign ones
+        are serialized here (and the payload reused on a miss).
+        """
+        digest = self._digests.get(partition)
+        if digest is not None:
+            return digest, None
+        from repro.partition.serialize import partition_to_dict
+
+        payload = partition_to_dict(partition)
+        digest = keys.payload_digest(payload)
+        self._digests[partition] = digest
+        return digest, payload
+
+    def _load_or_compute(self, key: str, compute) -> Dict:
+        payload = self.cache.get(key)
+        if payload is None:
+            self.cache.count_miss()
+            payload = compute()
+            self.cache.put(key, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def initial_partition(self, graph, baseline: str, n: int):
+        """Baseline partition of ``graph``; returns ``(partition, seconds)``."""
+        if self.cache is None:
+            import time
+
+            from repro.partitioners.base import get_partitioner
+
+            start = time.perf_counter()
+            partition = get_partitioner(baseline).partition(graph, n)
+            return partition, time.perf_counter() - start
+
+        from repro.partition.serialize import partition_from_dict
+
+        key = keys.partition_key(graph.digest(), baseline, n, self.virtual)
+        payload = self._load_or_compute(
+            key, lambda: cells.compute_partition_cell(graph, baseline, n, self.virtual)
+        )
+        partition = partition_from_dict(payload["partition"], graph)
+        self._digests[partition] = payload["content"]
+        return partition, payload["seconds"]
+
+    def refine_partition(
+        self, partition, algorithm: str, cut_type: str, model, **refiner_kwargs
+    ):
+        """ParE2H / ParV2H refinement; returns ``(refined, profile)``."""
+        if self.cache is None:
+            from repro.core.parallel import ParE2H, ParV2H
+
+            if cut_type == "edge":
+                refiner = ParE2H(model, **refiner_kwargs)
+            elif cut_type == "vertex":
+                refiner = ParV2H(model, **refiner_kwargs)
+            else:
+                raise ValueError(f"cannot refine a {cut_type!r} baseline")
+            return refiner.refine(partition)
+
+        from repro.partition.serialize import partition_from_dict, partition_to_dict
+
+        model_payload = keys.model_payload(model)
+        content, initial_payload = self._digest_and_payload(partition)
+        key = keys.refine_key(
+            content,
+            algorithm,
+            cut_type,
+            keys.payload_digest(model_payload),
+            refiner_kwargs,
+            self.virtual,
+        )
+
+        def compute() -> Dict:
+            initial = (
+                initial_payload
+                if initial_payload is not None
+                else partition_to_dict(partition)
+            )
+            return cells.compute_refine_cell(
+                partition.graph,
+                initial,
+                algorithm,
+                cut_type,
+                model_payload,
+                refiner_kwargs,
+                self.virtual,
+            )
+
+        payload = self._load_or_compute(key, compute)
+        refined = partition_from_dict(payload["partition"], partition.graph)
+        self._digests[refined] = payload["content"]
+        return refined, cells.profile_from_payload(payload["profile"])
+
+    def run_algorithm(
+        self, partition, algorithm: str, params: Optional[Dict] = None
+    ) -> float:
+        """Simulated makespan of ``algorithm`` on ``partition`` (seconds)."""
+        if self.cache is None:
+            from repro.algorithms.registry import get_algorithm
+
+            result = get_algorithm(algorithm).run(partition, **(params or {}))
+            return result.makespan
+
+        from repro.partition.serialize import partition_to_dict
+
+        content, payload = self._digest_and_payload(partition)
+        key = keys.run_key(content, algorithm, params)
+
+        def compute() -> Dict:
+            serialized = (
+                payload if payload is not None else partition_to_dict(partition)
+            )
+            return cells.compute_run_cell(
+                partition.graph, serialized, algorithm, params
+            )
+
+        return self._load_or_compute(key, compute)["makespan"]
+
+    def composite_refine(self, partition, cut_type: str, batch: Sequence[str], models):
+        """ParME2H / ParMV2H over ``partition``; returns ``(composite, profile)``."""
+        if self.cache is None:
+            from repro.core.parallel import ParME2H, ParMV2H
+
+            if cut_type == "edge":
+                refiner = ParME2H(models)
+            elif cut_type == "vertex":
+                refiner = ParMV2H(models)
+            else:
+                raise ValueError(f"cannot composite-refine a {cut_type!r} baseline")
+            return refiner.refine(partition)
+
+        from repro.partition.composite import CompositePartition
+        from repro.partition.serialize import partition_from_dict, partition_to_dict
+
+        model_payloads = {name: keys.model_payload(models[name]) for name in batch}
+        content, initial_payload = self._digest_and_payload(partition)
+        key = keys.composite_key(
+            content,
+            batch,
+            {name: keys.payload_digest(p) for name, p in model_payloads.items()},
+            self.virtual,
+        )
+
+        def compute() -> Dict:
+            initial = (
+                initial_payload
+                if initial_payload is not None
+                else partition_to_dict(partition)
+            )
+            return cells.compute_composite_cell(
+                partition.graph, initial, cut_type, batch, model_payloads, self.virtual
+            )
+
+        payload = self._load_or_compute(key, compute)
+        views = {}
+        for name in batch:
+            view = partition_from_dict(payload["partitions"][name], partition.graph)
+            self._digests[view] = payload["views"][name]
+            views[name] = view
+        composite = CompositePartition(views)
+        return composite, cells.profile_from_payload(payload["profile"])
+
+    def memo(self, memo_kind: str, params: Optional[Dict] = None):
+        """Load-or-compute a whitelisted memo cell; returns its value."""
+        params = params or {}
+        if self.cache is None:
+            return cells.compute_memo_cell(memo_kind, params)["value"]
+        key = keys.memo_key(memo_kind, params, self.virtual)
+        return self._load_or_compute(
+            key, lambda: cells.compute_memo_cell(memo_kind, params)
+        )["value"]
+
+    def warm(self, job_graph: JobGraph, jobs: int = 1):
+        """Execute ``job_graph`` into the cache (cached engines only)."""
+        if self.cache is None:
+            raise ValueError("cannot warm a passthrough engine (no cache)")
+        from repro.eval.engine.executor import execute
+
+        return execute(job_graph, self.cache, jobs=jobs, virtual=self.virtual)
+
+
+# ----------------------------------------------------------------------
+# Process-wide active engine
+# ----------------------------------------------------------------------
+_ACTIVE = EvalEngine()
+
+
+def get_engine() -> EvalEngine:
+    """The engine the harness currently routes through."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_engine(engine: EvalEngine):
+    """Swap the active engine for the duration of a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = engine
+    try:
+        yield engine
+    finally:
+        _ACTIVE = previous

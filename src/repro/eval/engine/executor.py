@@ -1,0 +1,237 @@
+"""Job-graph execution: in-process, or fanned out over a process pool.
+
+The executor walks a :class:`~repro.eval.engine.jobs.JobGraph` in
+dependency order.  For every job it resolves the cell's *physical*
+cache key (which may depend on the content hash of its inputs), checks
+the artifact cache, and only computes on a miss — in-process when
+``jobs <= 1``, else on a spawn-safe :class:`ProcessPoolExecutor`.
+
+Workers receive plain JSON specs plus the cache root; they rebuild the
+graph from the dataset registry, load dependency artifacts from the
+cache, compute, and write their artifact back — returning only the
+light ``meta`` part to the parent.  Because artifacts are
+content-addressed and cells deterministic, concurrent duplicate
+computation is benign and results are independent of scheduling order:
+the table-rendering phase replays artifacts in deterministic key order,
+so ``--jobs N`` output is byte-identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.eval.engine import cells, keys
+from repro.eval.engine.cache import ArtifactCache
+from repro.eval.engine.jobs import Job, JobGraph
+
+
+@dataclass
+class ExecutionReport:
+    """What one warm-phase execution did."""
+
+    total: int = 0
+    hits: int = 0
+    computed: int = 0
+    meta: Dict[str, Dict] = field(default_factory=dict)
+
+
+def _graph_for(dataset: str):
+    from repro.eval.datasets import load_dataset
+
+    return load_dataset(dataset)
+
+
+def physical_key(job: Job, dep_meta: Optional[Dict], virtual: bool) -> str:
+    """Resolve the content-addressed cache key of ``job``."""
+    spec = job.spec
+    kind = job.kind
+    if kind == "partition":
+        graph_digest = _graph_for(spec["dataset"]).digest()
+        return keys.partition_key(graph_digest, spec["baseline"], spec["n"], virtual)
+    if kind == "refine":
+        return keys.refine_key(
+            dep_meta["content"],
+            spec["algorithm"],
+            spec["cut"],
+            keys.payload_digest(spec["model"]),
+            spec["kwargs"],
+            virtual,
+        )
+    if kind == "run":
+        return keys.run_key(
+            cells.cell_deps_content(spec, dep_meta), spec["algorithm"], spec["params"]
+        )
+    if kind == "composite":
+        return keys.composite_key(
+            dep_meta["content"],
+            spec["batch"],
+            {name: keys.payload_digest(m) for name, m in spec["models"].items()},
+            virtual,
+        )
+    if kind == "memo":
+        return keys.memo_key(spec["memo_kind"], spec["params"], virtual)
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+def compute_cell(spec: Dict, dep_payload: Optional[Dict], virtual: bool) -> Dict:
+    """Compute one cell's payload from its spec and dependency artifact."""
+    kind = spec["kind"]
+    if kind == "partition":
+        graph = _graph_for(spec["dataset"])
+        return cells.compute_partition_cell(graph, spec["baseline"], spec["n"], virtual)
+    if kind == "refine":
+        graph = _graph_for(spec["dataset"])
+        return cells.compute_refine_cell(
+            graph,
+            dep_payload["partition"],
+            spec["algorithm"],
+            spec["cut"],
+            spec["model"],
+            spec["kwargs"],
+            virtual,
+        )
+    if kind == "run":
+        graph = _graph_for(spec["dataset"])
+        view = spec.get("view")
+        partition = (
+            dep_payload["partitions"][view]
+            if view is not None
+            else dep_payload["partition"]
+        )
+        return cells.compute_run_cell(graph, partition, spec["algorithm"], spec["params"])
+    if kind == "composite":
+        graph = _graph_for(spec["dataset"])
+        return cells.compute_composite_cell(
+            graph,
+            dep_payload["partition"],
+            spec["cut"],
+            spec["batch"],
+            spec["models"],
+            virtual,
+        )
+    if kind == "memo":
+        return cells.compute_memo_cell(spec["memo_kind"], spec["params"])
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+def _worker(
+    spec: Dict, key: str, dep_key: Optional[str], cache_root: str, virtual: bool
+) -> Dict:
+    """Pool-worker entry point: compute one cell and store its artifact."""
+    cache = ArtifactCache(cache_root, memory_entries=8)
+    existing = cache.get(key)
+    if existing is not None:
+        return {
+            "meta": cells.payload_meta(existing),
+            "bytes_written": 0,
+            "computed": False,
+        }
+    dep_payload = cache.get(dep_key) if dep_key else None
+    payload = compute_cell(spec, dep_payload, virtual)
+    cache.put(key, payload)
+    return {
+        "meta": cells.payload_meta(payload),
+        "bytes_written": cache.stats.bytes_written,
+        "computed": True,
+    }
+
+
+def execute(
+    graph: JobGraph,
+    cache: ArtifactCache,
+    jobs: int = 1,
+    virtual: bool = False,
+) -> ExecutionReport:
+    """Execute every job of ``graph`` against ``cache``.
+
+    Returns per-job metas keyed by logical id.  With ``jobs > 1``,
+    independent cells run on a spawn-context process pool; dependents are
+    released as their inputs complete.
+    """
+    report = ExecutionReport(total=len(graph))
+    resolved: Dict[str, Dict] = {}  # jid -> {"key": ..., "meta": ...}
+
+    def dep_of(job: Job) -> Optional[Dict]:
+        return resolved[job.deps[0]] if job.deps else None
+
+    if jobs <= 1:
+        # Insertion order is a valid topological order: the planner adds
+        # dependencies before dependents.
+        for job in graph:
+            dep = dep_of(job)
+            key = physical_key(job, dep["meta"] if dep else None, virtual)
+            payload = cache.get(key)
+            if payload is None:
+                cache.count_miss()
+                dep_payload = cache.get(dep["key"]) if dep else None
+                payload = compute_cell(job.spec, dep_payload, virtual)
+                cache.put(key, payload)
+                report.computed += 1
+            else:
+                report.hits += 1
+            resolved[job.jid] = {"key": key, "meta": cells.payload_meta(payload)}
+        report.meta = {jid: r["meta"] for jid, r in resolved.items()}
+        return report
+
+    pending: Dict[str, int] = {}  # jid -> unresolved dep count
+    children: Dict[str, list] = {}
+    for job in graph:
+        pending[job.jid] = len(job.deps)
+        for dep in job.deps:
+            children.setdefault(dep, []).append(job.jid)
+    ready = [job.jid for job in graph if pending[job.jid] == 0]
+
+    context = multiprocessing.get_context("spawn")
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=jobs, mp_context=context
+    ) as pool:
+        inflight: Dict[concurrent.futures.Future, tuple] = {}
+
+        def finish(jid: str, key: str, meta: Dict) -> None:
+            resolved[jid] = {"key": key, "meta": meta}
+            for child in children.get(jid, ()):
+                pending[child] -= 1
+                if pending[child] == 0:
+                    ready.append(child)
+
+        while ready or inflight:
+            while ready:
+                jid = ready.pop(0)
+                job = graph.jobs[jid]
+                dep = dep_of(job)
+                key = physical_key(job, dep["meta"] if dep else None, virtual)
+                payload = cache.get(key)
+                if payload is not None:
+                    report.hits += 1
+                    finish(jid, key, cells.payload_meta(payload))
+                    continue
+                cache.count_miss()
+                future = pool.submit(
+                    _worker,
+                    job.spec,
+                    key,
+                    dep["key"] if dep else None,
+                    cache.root,
+                    virtual,
+                )
+                inflight[future] = (jid, key)
+            if not inflight:
+                continue
+            done, _ = concurrent.futures.wait(
+                inflight, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                jid, key = inflight.pop(future)
+                result = future.result()
+                cache.stats.bytes_written += result["bytes_written"]
+                if result["computed"]:
+                    report.computed += 1
+                else:
+                    report.hits += 1
+                finish(jid, key, result["meta"])
+
+    report.meta = {jid: r["meta"] for jid, r in resolved.items()}
+    return report

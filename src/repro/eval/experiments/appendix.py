@@ -11,14 +11,42 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.core.parallel import ParE2H, ParV2H
-from repro.costmodel.trained import trained_cost_model
 from repro.eval.datasets import load_dataset
-from repro.eval.harness import run_algorithm
-from repro.partitioners.base import get_partitioner
+from repro.eval.harness import (
+    algorithm_params,
+    initial_partition,
+    refine_for,
+    run_algorithm,
+)
 
 E2H_FLAGS = ("enable_emigrate", "enable_esplit", "enable_massign")
 V2H_FLAGS = ("enable_vmigrate", "enable_vmerge", "enable_massign")
+
+
+def _cut_and_flags(baseline: str):
+    cut = "edge" if baseline in ("xtrapulp", "fennel", "hash") else "vertex"
+    return cut, (E2H_FLAGS if cut == "edge" else V2H_FLAGS)
+
+
+def plan_phase_speedups(
+    planner,
+    dataset: str = "twitter_like",
+    baseline: str = "xtrapulp",
+    algorithms: Sequence[str] = ("cn", "tc", "wcc", "pr", "sssp"),
+    num_fragments: int = 8,
+) -> None:
+    """Plan every cell :func:`phase_speedups` will read (same loops)."""
+    cut, flags = _cut_and_flags(baseline)
+    part = planner.partition(dataset, baseline, num_fragments)
+    for algorithm in algorithms:
+        params = algorithm_params(algorithm, dataset)
+        planner.run(dataset, algorithm, part, params)
+        for k in range(1, len(flags) + 1):
+            kwargs = {flag: (idx < k) for idx, flag in enumerate(flags)}
+            refined = planner.refine(
+                dataset, baseline, num_fragments, algorithm, cut, **kwargs
+            )
+            planner.run(dataset, algorithm, refined, params)
 
 
 def phase_speedups(
@@ -33,19 +61,16 @@ def phase_speedups(
     baseline; phase k's marginal contribution is ``S_k − S_{k−1}``.
     """
     graph = load_dataset(dataset)
-    cut = "edge" if baseline in ("xtrapulp", "fennel", "hash") else "vertex"
-    flags = E2H_FLAGS if cut == "edge" else V2H_FLAGS
-    refiner_cls = ParE2H if cut == "edge" else ParV2H
-    initial = get_partitioner(baseline).partition(graph, num_fragments)
+    cut, flags = _cut_and_flags(baseline)
+    initial, _seconds = initial_partition(graph, baseline, num_fragments)
 
     out: Dict[str, List[float]] = {}
     for algorithm in algorithms:
-        model = trained_cost_model(algorithm)
         base_time = run_algorithm(initial, algorithm, dataset)
         speedups: List[float] = []
         for k in range(1, len(flags) + 1):
             kwargs = {flag: (idx < k) for idx, flag in enumerate(flags)}
-            refined, _profile = refiner_cls(model, **kwargs).refine(initial)
+            refined, _profile = refine_for(initial, algorithm, cut, **kwargs)
             refined_time = run_algorithm(refined, algorithm, dataset)
             speedups.append(base_time / refined_time if refined_time else 0.0)
         out[algorithm] = speedups

@@ -16,7 +16,12 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from repro.core.tracker import CostTracker
 from repro.costmodel.trained import trained_cost_model
 from repro.eval.datasets import load_dataset
-from repro.eval.harness import BASELINES, partition_and_refine, run_algorithm
+from repro.eval.harness import (
+    BASELINES,
+    algorithm_params,
+    partition_and_refine,
+    run_algorithm,
+)
 from repro.partition.quality import (
     cost_balance_factor,
     edge_balance_factor,
@@ -24,9 +29,40 @@ from repro.partition.quality import (
     vertex_balance_factor,
     vertex_replication_ratio,
 )
-from repro.partitioners.base import get_partitioner
 
 Series = Dict[str, List[Tuple[int, float]]]
+
+
+def plan_figure9(
+    planner,
+    algorithm: str,
+    dataset: str,
+    fragment_counts: Sequence[int] = (2, 4, 8),
+    baselines: Iterable[str] = BASELINES,
+) -> None:
+    """Plan every cell :func:`figure9_series` will read (same loops)."""
+    params = algorithm_params(algorithm, dataset)
+    for baseline in baselines:
+        cut_type, _refined_label = BASELINES[baseline]
+        for n in fragment_counts:
+            part = planner.partition(dataset, baseline, n)
+            planner.run(dataset, algorithm, part, params)
+            if cut_type in ("edge", "vertex"):
+                refined = planner.refine(dataset, baseline, n, algorithm, cut_type)
+                planner.run(dataset, algorithm, refined, params)
+
+
+def plan_table3(
+    planner,
+    dataset: str = "twitter_like",
+    num_fragments: int = 8,
+    cost_algorithm: str = "cn",
+) -> None:
+    """Plan the partition/refine cells :func:`table3_rows` will read."""
+    for baseline, (cut_type, _label) in BASELINES.items():
+        planner.partition(dataset, baseline, num_fragments)
+        if cut_type in ("edge", "vertex"):
+            planner.refine(dataset, baseline, num_fragments, cost_algorithm, cut_type)
 
 
 def figure9_series(

@@ -19,11 +19,36 @@ from repro.eval.datasets import load_dataset
 from repro.eval.harness import (
     BASELINES,
     BATCH,
+    algorithm_params,
     composite_refine,
+    initial_partition,
     partition_and_refine,
     run_algorithm,
 )
-from repro.partitioners.base import get_partitioner
+
+
+def plan_table4(
+    planner,
+    dataset: str = "twitter_like",
+    num_fragments: int = 8,
+    baselines: Sequence[str] = ("xtrapulp", "fennel", "grid", "ne"),
+    batch: Tuple[str, ...] = BATCH,
+) -> None:
+    """Plan every cell :func:`table4` will read (same loops)."""
+    for baseline in baselines:
+        cut_type, _label = BASELINES[baseline]
+        part = planner.partition(dataset, baseline, num_fragments)
+        composite = planner.composite(
+            dataset, baseline, num_fragments, batch, cut_type
+        )
+        for algorithm in batch:
+            params = algorithm_params(algorithm, dataset)
+            planner.run(dataset, algorithm, part, params)
+            refined = planner.refine(
+                dataset, baseline, num_fragments, algorithm, cut_type
+            )
+            planner.run(dataset, algorithm, refined, params)
+            planner.run(dataset, algorithm, composite, params, view=algorithm)
 
 
 def table4(
@@ -44,7 +69,7 @@ def table4(
         composite, _profile, _base_s = composite_refine(
             graph, baseline, num_fragments, batch
         )
-        initial = get_partitioner(baseline).partition(graph, num_fragments)
+        initial, _seconds = initial_partition(graph, baseline, num_fragments)
         for algorithm in batch:
             bundle = partition_and_refine(
                 graph, baseline, algorithm, num_fragments, dataset

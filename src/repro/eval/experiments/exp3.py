@@ -20,6 +20,21 @@ from repro.eval.datasets import load_dataset
 from repro.eval.harness import BASELINES, partition_and_refine
 
 
+def plan_figure9k(
+    planner,
+    dataset: str = "twitter_like",
+    algorithm: str = "tc",
+    fragment_counts: Sequence[int] = (2, 4, 8),
+    baselines: Sequence[str] = ("xtrapulp", "fennel", "grid", "ne"),
+) -> None:
+    """Plan the partition/refine cells :func:`figure9k` will read."""
+    for baseline in baselines:
+        cut_type, _label = BASELINES[baseline]
+        for n in fragment_counts:
+            planner.partition(dataset, baseline, n)
+            planner.refine(dataset, baseline, n, algorithm, cut_type)
+
+
 def figure9k(
     dataset: str = "twitter_like",
     algorithm: str = "tc",

@@ -23,8 +23,25 @@ from repro.eval.harness import (
     BASELINES,
     BATCH,
     composite_refine,
+    initial_partition,
     partition_and_refine,
 )
+
+
+def plan_figure10b(
+    planner,
+    dataset: str = "twitter_like",
+    num_fragments: int = 8,
+    baselines: Sequence[str] = ("xtrapulp", "fennel", "grid", "ne"),
+    batch: Tuple[str, ...] = BATCH,
+) -> None:
+    """Plan every cell :func:`figure10b` will read (same loops)."""
+    for baseline in baselines:
+        cut_type, _label = BASELINES[baseline]
+        planner.partition(dataset, baseline, num_fragments)
+        for algorithm in batch:
+            planner.refine(dataset, baseline, num_fragments, algorithm, cut_type)
+        planner.composite(dataset, baseline, num_fragments, batch, cut_type)
 
 
 def figure10b(
@@ -56,9 +73,7 @@ def figure10b(
         )
         # Storage of the single static initial partition, for the
         # "extra space over initial" comparison.
-        from repro.partitioners.base import get_partitioner
-
-        initial = get_partitioner(baseline).partition(graph, num_fragments)
+        initial, _seconds = initial_partition(graph, baseline, num_fragments)
         initial_ratio = (
             initial.total_vertex_copies() + initial.total_edge_copies()
         ) / graph_size

@@ -20,6 +20,26 @@ from repro.eval.harness import (
 )
 
 
+def plan_figure9l(
+    planner,
+    algorithm: str = "cn",
+    factors: Sequence[int] = (1, 2, 3, 4, 5),
+    num_fragments: int = 8,
+    baselines: Sequence[str] = ("xtrapulp", "fennel", "grid", "ne"),
+    composite: bool = False,
+) -> None:
+    """Plan the refine/composite cells :func:`figure9l` will read."""
+    for factor in factors:
+        dataset = f"scale_{factor}"
+        for baseline in baselines:
+            cut_type, _label = BASELINES[baseline]
+            planner.partition(dataset, baseline, num_fragments)
+            if composite:
+                planner.composite(dataset, baseline, num_fragments, BATCH, cut_type)
+            else:
+                planner.refine(dataset, baseline, num_fragments, algorithm, cut_type)
+
+
 def figure9l(
     algorithm: str = "cn",
     factors: Sequence[int] = (1, 2, 3, 4, 5),

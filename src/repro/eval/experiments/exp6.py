@@ -103,3 +103,74 @@ def gunrock_substitute_times(dataset_graph) -> Dict[str, float]:
         job()
         timings[name] = time.perf_counter() - start
     return timings
+
+
+# ----------------------------------------------------------------------
+# Engine integration.  Table 5 training and the reference timings are
+# memo cells: plain JSON in, plain JSON out, addressed by name so worker
+# processes can execute them and later sweeps replay the artifact
+# (including the measured training/wall seconds).
+# ----------------------------------------------------------------------
+def _table5_params(
+    algorithms: Sequence[str] = ("cn", "tc", "wcc", "pr", "sssp"),
+    num_graphs: int = 6,
+    scale: int = 1,
+    degree: int = 2,
+    seed: int = 0,
+) -> Dict:
+    return {
+        "algorithms": list(algorithms),
+        "num_graphs": num_graphs,
+        "scale": scale,
+        "degree": degree,
+        "seed": seed,
+    }
+
+
+def table5_payload(
+    algorithms: Sequence[str] = ("cn", "tc", "wcc", "pr", "sssp"),
+    num_graphs: int = 6,
+    scale: int = 1,
+    degree: int = 2,
+    seed: int = 0,
+) -> Dict:
+    """Memo-cell body: Table 5 as JSON-serializable printable rows."""
+    rows = table5(
+        algorithms=tuple(algorithms),
+        num_graphs=num_graphs,
+        scale=scale,
+        degree=degree,
+        seed=seed,
+    )
+    return {"rows": [row.as_row() for row in rows]}
+
+
+def table5_rows(**kwargs) -> List[List]:
+    """Printable Table 5 rows via the active engine (memoized)."""
+    from repro.eval.engine import get_engine
+
+    return get_engine().memo("exp6_table5", _table5_params(**kwargs))["rows"]
+
+
+def reference_times_payload(dataset: str) -> Dict:
+    """Memo-cell body: single-machine reference timings for ``dataset``."""
+    from repro.eval.datasets import load_dataset
+
+    return {"times": gunrock_substitute_times(load_dataset(dataset))}
+
+
+def reference_times(dataset: str) -> Dict[str, float]:
+    """Reference timings via the active engine (memoized)."""
+    from repro.eval.engine import get_engine
+
+    return get_engine().memo("exp6_reference_times", {"dataset": dataset})["times"]
+
+
+def plan_table5(planner, **kwargs) -> None:
+    """Plan the Table 5 training memo cell."""
+    planner.memo("exp6_table5", _table5_params(**kwargs))
+
+
+def plan_reference_times(planner, dataset: str) -> None:
+    """Plan the reference-timing memo cell."""
+    planner.memo("exp6_reference_times", {"dataset": dataset})

@@ -10,23 +10,28 @@ The harness fixes the roster the paper's tables iterate over:
 and provides the two measurements every experiment needs: the simulated
 parallel runtime of an algorithm over a partition, and the wall/simulated
 time of a refinement.
+
+Every measurement routes through the active evaluation engine
+(:mod:`repro.eval.engine`).  The default engine is a passthrough that
+computes in-process exactly as before; ``run_all --cache-dir`` installs
+a caching engine so identical (dataset, partitioner, n, model) cells are
+computed once, shared across experiments, and replayed from disk on
+later runs.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.algorithms.registry import get_algorithm
-from repro.core.parallel import ParE2H, ParMV2H, ParME2H, ParV2H, RefinementProfile
+from repro.core.parallel import RefinementProfile
 from repro.costmodel.model import CostModel
 from repro.costmodel.trained import trained_cost_model, trained_cost_models
 from repro.eval.datasets import CN_THETA
+from repro.eval.engine import get_engine
 from repro.graph.digraph import Graph
 from repro.partition.composite import CompositePartition
 from repro.partition.hybrid import HybridPartition
-from repro.partitioners.base import get_partitioner
 
 #: baseline name -> (cut type, refined-variant label)
 BASELINES: Dict[str, Tuple[str, Optional[str]]] = {
@@ -71,10 +76,16 @@ def run_algorithm(
     partition: HybridPartition, algorithm: str, dataset: str = ""
 ) -> float:
     """Simulated parallel runtime (seconds) of ``algorithm`` on the partition."""
-    result = get_algorithm(algorithm).run(
-        partition, **algorithm_params(algorithm, dataset)
+    return get_engine().run_algorithm(
+        partition, algorithm, algorithm_params(algorithm, dataset)
     )
-    return result.makespan
+
+
+def initial_partition(
+    graph: Graph, baseline: str, num_fragments: int
+) -> Tuple[HybridPartition, float]:
+    """Baseline partition and its wall-clock seconds (cache-shared)."""
+    return get_engine().initial_partition(graph, baseline, num_fragments)
 
 
 def refine_for(
@@ -91,13 +102,9 @@ def refine_for(
     # (cached across processes), not the Table 5 coefficients, which
     # describe the authors' cluster.
     model = cost_model or trained_cost_model(algorithm)
-    if cut_type == "edge":
-        refiner = ParE2H(model, **refiner_kwargs)
-    elif cut_type == "vertex":
-        refiner = ParV2H(model, **refiner_kwargs)
-    else:
-        raise ValueError(f"cannot refine a {cut_type!r} baseline")
-    return refiner.refine(partition)
+    return get_engine().refine_partition(
+        partition, algorithm, cut_type, model, **refiner_kwargs
+    )
 
 
 def partition_and_refine(
@@ -109,9 +116,7 @@ def partition_and_refine(
 ) -> PartitionBundle:
     """Build the baseline partition and, when applicable, refine it."""
     cut_type, _label = BASELINES[baseline]
-    start = time.perf_counter()
-    initial = get_partitioner(baseline).partition(graph, num_fragments)
-    partition_seconds = time.perf_counter() - start
+    initial, partition_seconds = initial_partition(graph, baseline, num_fragments)
     refined = None
     profile = None
     if cut_type in ("edge", "vertex"):
@@ -136,14 +141,8 @@ def composite_refine(
     """ParME2H / ParMV2H over a baseline; returns (composite, profile, base s)."""
     cut_type, _label = BASELINES[baseline]
     models = {name: trained_cost_model(name) for name in batch}
-    start = time.perf_counter()
-    initial = get_partitioner(baseline).partition(graph, num_fragments)
-    partition_seconds = time.perf_counter() - start
-    if cut_type == "edge":
-        refiner = ParME2H(models)
-    elif cut_type == "vertex":
-        refiner = ParMV2H(models)
-    else:
-        raise ValueError(f"cannot composite-refine a {cut_type!r} baseline")
-    composite, profile = refiner.refine(initial)
+    initial, partition_seconds = initial_partition(graph, baseline, num_fragments)
+    composite, profile = get_engine().composite_refine(
+        initial, cut_type, batch, models
+    )
     return composite, profile, partition_seconds

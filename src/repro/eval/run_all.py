@@ -2,8 +2,24 @@
 
 Usage::
 
-    python -m repro.eval.run_all            # full sweep (several minutes)
-    python -m repro.eval.run_all --quick    # reduced sweep (~1 minute)
+    python -m repro.eval.run_all                 # full sweep (serial)
+    python -m repro.eval.run_all --quick         # reduced sweep
+    python -m repro.eval.run_all --quick --jobs 4
+    python -m repro.eval.run_all --only exp1,exp3
+    python -m repro.eval.run_all --no-cache
+
+The sweep runs on the evaluation engine (:mod:`repro.eval.engine`):
+every experiment cell — initial partition, refinement, simulated run,
+composite refinement, model training — is keyed by a canonical config
+digest and stored in a content-addressed cache (``--cache-dir``, default
+``.repro-cache/``).  With ``--jobs N`` the independent cells are first
+executed on a process pool (the *warm phase*), then the tables are
+rendered serially from the cached artifacts — so the stdout tables are
+byte-identical to a serial run, and a warm cache replays the whole sweep
+(including measured wall-clock columns) without recomputing.
+
+Diagnostics (cache hit/miss counters per experiment, warm-phase summary,
+total wall time) go to stderr; stdout carries only the tables.
 
 The benchmarks under ``benchmarks/`` invoke the same experiment modules
 one table/figure at a time; this script is the one-shot reproduction of
@@ -14,12 +30,19 @@ numbers come from.
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+import tempfile
 import time
 
-from repro.eval.datasets import load_dataset
+from repro.eval.engine import ArtifactCache, EvalEngine, Planner, use_engine
 from repro.eval.experiments import appendix, exp1, exp2, exp3, exp4, exp5, exp6
 from repro.eval.reporting import format_table, series_block
+
+#: default on-disk artifact cache, shared with the benchmark scripts
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+SECTION_NAMES = ("exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "appendix")
 
 
 def _banner(title: str) -> None:
@@ -29,26 +52,74 @@ def _banner(title: str) -> None:
     print("=" * 78)
 
 
-def main(argv=None) -> int:
-    """Run every experiment; returns the process exit code."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true", help="reduced sweep")
-    args = parser.parse_args(argv)
-
-    ns = (4,) if args.quick else (2, 4, 8)
-    datasets = {
-        "cn": ["twitter_like"] if args.quick else ["livejournal_like", "twitter_like"],
-        "tc": ["livejournal_like"] if args.quick else ["livejournal_like", "twitter_like"],
-        "wcc": ["twitter_like"] if args.quick else ["twitter_like", "ukweb_like"],
-        "pr": ["twitter_like"] if args.quick else ["twitter_like", "ukweb_like"],
-        "sssp": ["twitter_like"] if args.quick else ["twitter_like", "ukweb_like", "traffic_like"],
+def _sweep_config(quick: bool) -> dict:
+    """Shared sweep parameters for planning and rendering."""
+    return {
+        "ns": (4,) if quick else (2, 4, 8),
+        "datasets": {
+            "cn": ["twitter_like"] if quick else ["livejournal_like", "twitter_like"],
+            "tc": ["livejournal_like"]
+            if quick
+            else ["livejournal_like", "twitter_like"],
+            "wcc": ["twitter_like"] if quick else ["twitter_like", "ukweb_like"],
+            "pr": ["twitter_like"] if quick else ["twitter_like", "ukweb_like"],
+            "sssp": ["twitter_like"]
+            if quick
+            else ["twitter_like", "ukweb_like", "traffic_like"],
+        },
+        "table_n": 4 if quick else 8,
+        "factors": (1, 2) if quick else (1, 2, 3, 4, 5),
+        "num_graphs": 3 if quick else 6,
+        "reference_dataset": "livejournal_like",
+        "appendix_baselines": ("xtrapulp", "grid"),
     }
-    start = time.perf_counter()
 
-    _banner("Exp-1: effectiveness (Fig. 9(a-j))")
-    for algorithm, names in datasets.items():
+
+# ----------------------------------------------------------------------
+# Planning: declare every cell a section will read (the warm phase
+# executes them in parallel before the serial table rendering).
+# ----------------------------------------------------------------------
+def _plan_exp1(planner: Planner, cfg: dict) -> None:
+    for algorithm, names in cfg["datasets"].items():
         for dataset in names:
-            series = exp1.figure9_series(algorithm, dataset, ns)
+            exp1.plan_figure9(planner, algorithm, dataset, cfg["ns"])
+    exp1.plan_table3(planner)
+
+
+def _plan_exp2(planner: Planner, cfg: dict) -> None:
+    exp2.plan_table4(planner, num_fragments=cfg["table_n"])
+
+
+def _plan_exp3(planner: Planner, cfg: dict) -> None:
+    exp3.plan_figure9k(planner, fragment_counts=cfg["ns"])
+
+
+def _plan_exp4(planner: Planner, cfg: dict) -> None:
+    exp4.plan_figure10b(planner, num_fragments=cfg["table_n"])
+
+
+def _plan_exp5(planner: Planner, cfg: dict) -> None:
+    exp5.plan_figure9l(planner, factors=cfg["factors"])
+
+
+def _plan_exp6(planner: Planner, cfg: dict) -> None:
+    exp6.plan_table5(planner, num_graphs=cfg["num_graphs"])
+    exp6.plan_reference_times(planner, cfg["reference_dataset"])
+
+
+def _plan_appendix(planner: Planner, cfg: dict) -> None:
+    for baseline in cfg["appendix_baselines"]:
+        appendix.plan_phase_speedups(planner, baseline=baseline)
+
+
+# ----------------------------------------------------------------------
+# Rendering: compute-or-load through the engine and print the tables.
+# ----------------------------------------------------------------------
+def _render_exp1(cfg: dict) -> None:
+    _banner("Exp-1: effectiveness (Fig. 9(a-j))")
+    for algorithm, names in cfg["datasets"].items():
+        for dataset in names:
+            series = exp1.figure9_series(algorithm, dataset, cfg["ns"])
             print()
             print(
                 series_block(
@@ -62,43 +133,149 @@ def main(argv=None) -> int:
     _banner("Table 3: partition metrics (twitter_like, n=8)")
     print(format_table(exp1.table3_headers(), exp1.table3_rows()))
 
+
+def _render_exp2(cfg: dict) -> None:
     _banner("Exp-2: composite effectiveness (Table 4 / Fig. 10(a))")
-    data = exp2.table4(num_fragments=4 if args.quick else 8)
+    data = exp2.table4(num_fragments=cfg["table_n"])
     baselines = list(data)
     print(format_table(exp2.table4_headers(baselines), exp2.table4_rows(data)))
     print("batch overhead of ParMHP vs ParHP:", {
         k: f"{v:.1%}" for k, v in exp2.composite_overhead(data).items()
     })
 
+
+def _render_exp3(cfg: dict) -> None:
     _banner("Exp-3: refiner efficiency (Fig. 9(k))")
-    eff = exp3.figure9k(fragment_counts=ns)
+    eff = exp3.figure9k(fragment_counts=cfg["ns"])
     print(format_table(exp3.HEADERS, exp3.rows(eff)))
 
+
+def _render_exp4(cfg: dict) -> None:
     _banner("Exp-4: composite efficiency (Fig. 10(b) + space)")
-    comp = exp4.figure10b(num_fragments=4 if args.quick else 8)
+    comp = exp4.figure10b(num_fragments=cfg["table_n"])
     print(format_table(exp4.HEADERS, exp4.rows(comp)))
 
+
+def _render_exp5(cfg: dict) -> None:
     _banner("Exp-5: scalability (Fig. 9(l))")
-    factors = (1, 2) if args.quick else (1, 2, 3, 4, 5)
-    scal = exp5.figure9l(factors=factors)
+    scal = exp5.figure9l(factors=cfg["factors"])
     print(format_table(exp5.headers(scal), exp5.rows(scal)))
 
+
+def _render_exp6(cfg: dict) -> None:
     _banner("Exp-6: cost model learning (Table 5)")
-    rows = exp6.table5(num_graphs=3 if args.quick else 6)
-    print(format_table(exp6.HEADERS, [r.as_row() for r in rows]))
-    reference_times = exp6.gunrock_substitute_times(load_dataset("livejournal_like"))
+    print(format_table(exp6.HEADERS, exp6.table5_rows(num_graphs=cfg["num_graphs"])))
+    reference_times = exp6.reference_times(cfg["reference_dataset"])
     print(
         "single-machine reference times (Gunrock substitute):",
         {k: f"{v:.2f}s" for k, v in reference_times.items()},
     )
 
+
+def _render_appendix(cfg: dict) -> None:
     _banner("Appendix: phase decomposition (Fig. 11)")
-    for baseline in ("xtrapulp", "grid"):
+    for baseline in cfg["appendix_baselines"]:
         decomposition = appendix.phase_speedups(baseline=baseline)
         print(f"\n[{'ParE2H' if baseline == 'xtrapulp' else 'ParV2H'} on {baseline}]")
         print(format_table(appendix.HEADERS, appendix.contribution_rows(decomposition)))
 
-    print(f"\nTotal: {time.perf_counter() - start:.1f}s")
+
+SECTIONS = {
+    "exp1": (_plan_exp1, _render_exp1),
+    "exp2": (_plan_exp2, _render_exp2),
+    "exp3": (_plan_exp3, _render_exp3),
+    "exp4": (_plan_exp4, _render_exp4),
+    "exp5": (_plan_exp5, _render_exp5),
+    "exp6": (_plan_exp6, _render_exp6),
+    "appendix": (_plan_appendix, _render_appendix),
+}
+
+
+def build_plan(selected, quick: bool) -> Planner:
+    """The job graph covering every cell the selected sections read."""
+    cfg = _sweep_config(quick)
+    planner = Planner()
+    for name in selected:
+        SECTIONS[name][0](planner, cfg)
+    return planner
+
+
+def _parse_only(spec: str, parser: argparse.ArgumentParser):
+    names = [token.strip() for token in spec.split(",") if token.strip()]
+    unknown = [name for name in names if name not in SECTIONS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(SECTION_NAMES)}"
+        )
+    # preserve canonical order regardless of how --only lists them
+    return [name for name in SECTION_NAMES if name in names]
+
+
+def main(argv=None) -> int:
+    """Run every experiment; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced sweep")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the warm phase (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"artifact cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="use an ephemeral cache deleted after the run",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="NAMES",
+        help=f"comma-separated subset of {','.join(SECTION_NAMES)}",
+    )
+    args = parser.parse_args(argv)
+
+    selected = _parse_only(args.only, parser) if args.only else list(SECTION_NAMES)
+    jobs = max(1, args.jobs)
+    cfg = _sweep_config(args.quick)
+    start = time.perf_counter()
+
+    # --no-cache still uses a (throwaway) disk cache: worker processes
+    # exchange artifacts through it, and cold-path object construction is
+    # identical either way.
+    ephemeral = None
+    cache_root = args.cache_dir
+    if args.no_cache:
+        ephemeral = tempfile.mkdtemp(prefix="repro-cache-")
+        cache_root = ephemeral
+
+    engine = EvalEngine(cache=ArtifactCache(cache_root))
+    try:
+        with use_engine(engine):
+            if jobs > 1:
+                planner = build_plan(selected, args.quick)
+                report = engine.warm(planner.graph, jobs=jobs)
+                print(
+                    f"[warm] {report.total} cells: {report.computed} computed, "
+                    f"{report.hits} from cache ({jobs} jobs)",
+                    file=sys.stderr,
+                )
+            for name in selected:
+                before = engine.stats.snapshot()
+                SECTIONS[name][1](cfg)
+                delta = engine.stats.delta(before)
+                print(f"[cache] {name}: {delta.describe()}", file=sys.stderr)
+    finally:
+        if ephemeral is not None:
+            shutil.rmtree(ephemeral, ignore_errors=True)
+
+    print(f"Total: {time.perf_counter() - start:.1f}s", file=sys.stderr)
     return 0
 
 

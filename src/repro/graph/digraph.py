@@ -14,6 +14,7 @@ construction (the paper's partition model treats the edge set as a set).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
@@ -45,6 +46,7 @@ class Graph:
         "_in_indptr",
         "_in_indices",
         "_edge_set",
+        "_digest",
     )
 
     def __init__(
@@ -77,6 +79,7 @@ class Graph:
         self._src = src
         self._dst = dst
         self._edge_set = pairs
+        self._digest: str = ""
 
         out_src = np.concatenate([src, dst]) if not directed else src
         out_dst = np.concatenate([dst, src]) if not directed else dst
@@ -135,6 +138,24 @@ class Graph:
         """Iterate over edges as ``(u, v)`` tuples (canonical order)."""
         for u, v in zip(self._src.tolist(), self._dst.tolist()):
             yield (u, v)
+
+    def digest(self) -> str:
+        """Content hash of the graph, stable across processes and hash seeds.
+
+        SHA-256 over the vertex count, directedness, and the canonical
+        (sorted) edge arrays in fixed little-endian 64-bit layout.  Two
+        graphs with the same structure always share a digest, which is
+        what lets the evaluation engine address cached partitions and
+        run profiles by the *content* of their inputs
+        (:mod:`repro.eval.engine`).
+        """
+        if not self._digest:
+            hasher = hashlib.sha256()
+            hasher.update(f"graph:{self._num_vertices}:{int(self._directed)}:".encode())
+            hasher.update(np.ascontiguousarray(self._src, dtype="<i8").tobytes())
+            hasher.update(np.ascontiguousarray(self._dst, dtype="<i8").tobytes())
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     def edge_array(self) -> np.ndarray:
         """Return an ``(m, 2)`` int64 array of edges (canonical order)."""

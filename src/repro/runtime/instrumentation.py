@@ -30,6 +30,27 @@ class FailureEvent:
     recovery_time: float = 0.0
     replayed_supersteps: int = 0
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation."""
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "superstep": self.superstep,
+            "recovery_time": self.recovery_time,
+            "replayed_supersteps": self.replayed_supersteps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FailureEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"],
+            worker=int(data["worker"]),
+            superstep=int(data["superstep"]),
+            recovery_time=float(data["recovery_time"]),
+            replayed_supersteps=int(data["replayed_supersteps"]),
+        )
+
 
 @dataclass
 class SuperstepRecord:
@@ -52,6 +73,33 @@ class SuperstepRecord:
     def max_bytes(self) -> float:
         """Largest per-worker byte count this superstep."""
         return max(self.bytes_by_worker.values(), default=0.0)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (int keys become strings)."""
+        return {
+            "index": self.index,
+            "ops_by_worker": {str(k): v for k, v in self.ops_by_worker.items()},
+            "bytes_by_worker": {str(k): v for k, v in self.bytes_by_worker.items()},
+            "time": self.time,
+            "failures": [f.to_dict() for f in self.failures],
+            "recovery_time": self.recovery_time,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SuperstepRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(data["index"]),
+            ops_by_worker={int(k): float(v) for k, v in data["ops_by_worker"].items()},
+            bytes_by_worker={
+                int(k): float(v) for k, v in data["bytes_by_worker"].items()
+            },
+            time=float(data["time"]),
+            failures=[FailureEvent.from_dict(f) for f in data.get("failures", [])],
+            recovery_time=float(data.get("recovery_time", 0.0)),
+            checkpoint_bytes=float(data.get("checkpoint_bytes", 0.0)),
+        )
 
 
 @dataclass
@@ -96,6 +144,66 @@ class RunProfile:
         return (
             self.comp_ops_by_worker.get(fid, 0.0) * clock.op_cost
             + self.bytes_by_worker.get(fid, 0.0) * clock.byte_cost
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation of the full profile.
+
+        Tuple keys of ``comp_ops_by_copy`` become ``"v,fid"`` strings and
+        int keys become strings; floats round-trip exactly through JSON.
+        This is what the evaluation engine's artifact cache stores for a
+        ``run`` cell (:mod:`repro.eval.engine`).
+        """
+        return {
+            "num_workers": self.num_workers,
+            "comp_ops_by_copy": {
+                f"{v},{fid}": ops for (v, fid), ops in self.comp_ops_by_copy.items()
+            },
+            "comm_bytes_by_master": {
+                str(v): b for v, b in self.comm_bytes_by_master.items()
+            },
+            "comp_ops_by_worker": {
+                str(k): v for k, v in self.comp_ops_by_worker.items()
+            },
+            "bytes_by_worker": {str(k): v for k, v in self.bytes_by_worker.items()},
+            "supersteps": [s.to_dict() for s in self.supersteps],
+            "makespan": self.makespan,
+            "failures": [f.to_dict() for f in self.failures],
+            "recovery_time": self.recovery_time,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunProfile":
+        """Inverse of :meth:`to_dict`."""
+
+        def copy_key(text: str) -> Tuple[int, int]:
+            v, fid = text.split(",")
+            return (int(v), int(fid))
+
+        return cls(
+            num_workers=int(data["num_workers"]),
+            comp_ops_by_copy={
+                copy_key(k): float(v) for k, v in data["comp_ops_by_copy"].items()
+            },
+            comm_bytes_by_master={
+                int(k): float(v) for k, v in data["comm_bytes_by_master"].items()
+            },
+            comp_ops_by_worker={
+                int(k): float(v) for k, v in data["comp_ops_by_worker"].items()
+            },
+            bytes_by_worker={
+                int(k): float(v) for k, v in data["bytes_by_worker"].items()
+            },
+            supersteps=[SuperstepRecord.from_dict(s) for s in data["supersteps"]],
+            makespan=float(data["makespan"]),
+            failures=[FailureEvent.from_dict(f) for f in data.get("failures", [])],
+            recovery_time=float(data.get("recovery_time", 0.0)),
+            checkpoint_bytes=float(data.get("checkpoint_bytes", 0.0)),
+            messages_dropped=int(data.get("messages_dropped", 0)),
+            messages_duplicated=int(data.get("messages_duplicated", 0)),
         )
 
     def summary(self) -> str:
