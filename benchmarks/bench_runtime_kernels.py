@@ -1,0 +1,216 @@
+"""Vectorized BSP kernel bench: FragmentPlan kernels vs. scalar loops.
+
+Runs all five algorithms (PR, WCC, SSSP, TC, CN) over a ladder of
+synthetic power-law graphs on both cut types (random edge-cut and random
+vertex-cut), once through the scalar reference loops
+(``use_kernels=False``) and once through the vectorized kernel path, and
+emits ``BENCH_kernels.json``: wall-clock seconds for the scalar path,
+the cold kernel run (includes :class:`FragmentPlan` compilation) and the
+warm kernel run (plan cached on the partition), plus the speedups.
+
+Every kernel run is verified bit-identical to its scalar twin — values,
+makespan, and the full :class:`RunProfile` dict — before any number is
+reported.  A speedup that changes the output would be a bug, not a
+result.
+
+Standalone usage (what CI's kernels-smoke step runs):
+
+    PYTHONPATH=src python benchmarks/bench_runtime_kernels.py --smoke
+
+The pytest wrapper runs the small+medium ladder under the bench harness.
+
+Acceptance bars (full mode): PR and WCC reach >= 5x cold on the medium
+graph, and no algorithm drops below 1x (warm) on any grid point.  Smoke
+mode keeps only the exactness checks and the >= 1x warm floor.  All
+timings are best-of-``REPEATS`` to damp scheduler noise.
+"""
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.algorithms.registry import get_algorithm
+from repro.graph.generators import chung_lu_power_law
+from repro.partition.hybrid import HybridPartition
+from repro.runtime.plan import get_plan
+
+NUM_FRAGMENTS = 8
+REPEATS = 3
+#: PR/WCC/SSSP ladder: (vertices, avg degree, directed, seed).  "medium"
+#: is the acceptance-criterion scale.
+LIGHT_SCALES = {
+    "small": (800, 8.0, True, 22),
+    "medium": (3000, 10.0, True, 22),
+}
+#: TC/CN ladder (wedge work is quadratic in degree, so smaller graphs).
+HEAVY_SCALES = {
+    "small": (300, 6.0, False, 22),
+    "medium": (800, 8.0, False, 22),
+}
+LIGHT_ALGORITHMS = ("pr", "wcc", "sssp")
+HEAVY_ALGORITHMS = ("tc", "cn")
+CUTS = ("ecut", "vcut")
+
+
+def _make_partition(graph, cut: str, seed: int) -> HybridPartition:
+    rng = np.random.default_rng(seed)
+    if cut == "ecut":
+        assignment = rng.integers(0, NUM_FRAGMENTS, size=graph.num_vertices)
+        return HybridPartition.from_vertex_assignment(
+            graph, assignment.tolist(), NUM_FRAGMENTS
+        )
+    assignment = {e: int(rng.integers(0, NUM_FRAGMENTS)) for e in graph.edges()}
+    return HybridPartition.from_edge_assignment(graph, assignment, NUM_FRAGMENTS)
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _invalidate_plan(partition) -> None:
+    """Drop the cached FragmentPlan so the next kernel run compiles cold."""
+    plan = getattr(partition, "_kernel_plan", None)
+    if plan is not None:
+        plan.valid = False
+
+
+def _run_cell(algorithm: str, partition) -> Dict:
+    alg = get_algorithm(algorithm)
+
+    scalar = alg.run(partition, use_kernels=False)
+    _invalidate_plan(partition)
+    kernel = alg.run(partition, use_kernels=True)
+    identical = (
+        scalar.values == kernel.values
+        and scalar.makespan == kernel.makespan
+        and scalar.profile.to_dict() == kernel.profile.to_dict()
+    )
+
+    scalar_s = _best_of(lambda: alg.run(partition, use_kernels=False))
+
+    def cold():
+        _invalidate_plan(partition)
+        alg.run(partition, use_kernels=True)
+
+    cold_s = _best_of(cold)
+    get_plan(partition)  # ensure the plan is compiled and cached
+    warm_s = _best_of(lambda: alg.run(partition, use_kernels=True))
+    return {
+        "bit_identical": identical,
+        "scalar_seconds": scalar_s,
+        "kernel_cold_seconds": cold_s,
+        "kernel_warm_seconds": warm_s,
+        "speedup_cold": scalar_s / cold_s if cold_s else float("inf"),
+        "speedup_warm": scalar_s / warm_s if warm_s else float("inf"),
+    }
+
+
+def run_bench(scales=("small", "medium")) -> Dict:
+    """Run the full scalar-vs-kernel grid; returns the report dict."""
+    report = {"num_fragments": NUM_FRAGMENTS, "repeats": REPEATS, "scales": {}}
+    for scale in scales:
+        entry = {}
+        for ladder, algorithms in (
+            (LIGHT_SCALES, LIGHT_ALGORITHMS),
+            (HEAVY_SCALES, HEAVY_ALGORITHMS),
+        ):
+            n, deg, directed, seed = ladder[scale]
+            graph = chung_lu_power_law(
+                n, deg, exponent=2.1, directed=directed, seed=seed
+            )
+            for cut in CUTS:
+                partition = _make_partition(graph, cut, seed=7)
+                for name in algorithms:
+                    cell = _run_cell(name, partition)
+                    cell["vertices"] = n
+                    cell["edges"] = graph.num_edges
+                    entry[f"{name}@{cut}"] = cell
+        report["scales"][scale] = entry
+    return report
+
+
+def check_report(report: Dict, smoke: bool = False) -> None:
+    """The bench's assertions: exactness everywhere, speedup where promised."""
+    for scale, cells in report["scales"].items():
+        for label, cell in cells.items():
+            assert cell["bit_identical"], f"{label}@{scale} output diverged"
+            assert cell["speedup_warm"] >= 1.0, (
+                f"{label}@{scale} kernel warm path is slower than scalar "
+                f"({cell['speedup_warm']:.2f}x)"
+            )
+    if smoke:
+        return
+    medium = report["scales"].get("medium")
+    if medium:
+        for name in ("pr", "wcc"):
+            for cut in CUTS:
+                speedup = medium[f"{name}@{cut}"]["speedup_cold"]
+                assert speedup >= 5.0, (
+                    f"{name}@{cut} cold speedup {speedup:.2f}x on medium "
+                    "is below the 5x acceptance bar"
+                )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scale only (fast CI smoke; skips the medium 5x check)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_kernels.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    scales = ("small",) if args.smoke else ("small", "medium")
+    report = run_bench(scales)
+    check_report(report, smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    for scale, cells in report["scales"].items():
+        for label, cell in cells.items():
+            print(
+                f"{scale:>6} {label:>9}: scalar {cell['scalar_seconds']:.3f}s, "
+                f"kernel cold {cell['kernel_cold_seconds']:.3f}s "
+                f"({cell['speedup_cold']:.1f}x), "
+                f"warm {cell['kernel_warm_seconds']:.3f}s "
+                f"({cell['speedup_warm']:.1f}x)"
+            )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_runtime_kernels(benchmark, print_section):
+    """Pytest wrapper: small+medium grid under the bench harness."""
+    from benchmarks.conftest import run_once
+
+    report = run_once(benchmark, lambda: run_bench(("small", "medium")))
+    check_report(report)
+    summary = {
+        scale: {
+            label: {
+                "bit_identical": cell["bit_identical"],
+                "speedup_cold": round(cell["speedup_cold"], 2),
+                "speedup_warm": round(cell["speedup_warm"], 2),
+            }
+            for label, cell in cells.items()
+        }
+        for scale, cells in report["scales"].items()
+    }
+    print_section(
+        "Extension: vectorized kernel speedups (5 algorithms x 2 cuts, n=8)",
+        json.dumps(summary, indent=2),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

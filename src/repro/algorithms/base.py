@@ -25,6 +25,29 @@ from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.instrumentation import RunProfile
 
 
+#: process-wide default for the vectorized kernel path; per-run
+#: ``use_kernels`` params override it.
+_KERNELS_DEFAULT = True
+
+
+def kernels_default() -> bool:
+    """Current process-wide default for ``use_kernels``."""
+    return _KERNELS_DEFAULT
+
+
+def set_kernels_default(enabled: bool) -> bool:
+    """Set the process-wide kernel default; returns the previous value.
+
+    ``evaluate --no-kernels`` and ``run_all --no-kernels`` use this to
+    select the scalar reference path without threading a flag through
+    every call site.
+    """
+    global _KERNELS_DEFAULT
+    previous = _KERNELS_DEFAULT
+    _KERNELS_DEFAULT = bool(enabled)
+    return previous
+
+
 @dataclass
 class AlgorithmResult:
     """Output of one partition-transparent run."""
@@ -106,6 +129,13 @@ class Algorithm(abc.ABC):
             faults=faults,
             checkpoint_interval=checkpoint_interval,
         )
+
+    @staticmethod
+    def _use_kernels(params: Optional[Dict[str, Any]] = None) -> bool:
+        """Resolve (and consume) the per-run ``use_kernels`` param."""
+        if params is not None and "use_kernels" in params:
+            return bool(params.pop("use_kernels"))
+        return kernels_default()
 
 
 def compute_edge_owners(

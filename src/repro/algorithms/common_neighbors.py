@@ -22,9 +22,16 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmResult
 from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.runtime.bsp import Cluster
 from repro.runtime.costclock import CostClock
+from repro.runtime.plan import ECUT as ROLE_ECUT
+from repro.runtime.plan import DUMMY as ROLE_DUMMY
+from repro.runtime.plan import VCUT as ROLE_VCUT
+from repro.runtime.plan import get_plan
 
 
 class CommonNeighbors(Algorithm):
@@ -47,8 +54,11 @@ class CommonNeighbors(Algorithm):
         return_pairs = bool(params.get("return_pairs", self.return_pairs))
         if theta is None:
             theta = math.inf
+        use_kernels = self._use_kernels(params)
         graph = partition.graph
         cluster = self._cluster(partition, clock, params)
+        if use_kernels:
+            return self._run_kernel(partition, cluster, theta, return_pairs)
 
         pair_counts: Dict[Tuple[int, int], int] = {}
         total = 0
@@ -101,6 +111,99 @@ class CommonNeighbors(Algorithm):
                 merged_fid[v] = fid
         for v, neighbors in merged.items():
             count_pairs(merged_fid[v], v, sorted(neighbors))
+        cluster.deliver()
+
+        profile = cluster.finish()
+        values: Any = pair_counts if return_pairs else total
+        return AlgorithmResult(values=values, profile=profile)
+
+    def _run_kernel(
+        self,
+        partition: HybridPartition,
+        cluster: Cluster,
+        theta: float,
+        return_pairs: bool,
+    ) -> AlgorithmResult:
+        """Vectorized twin of the scalar path (bit-identical output).
+
+        The master-side merge of a v-cut vertex's partial in-neighbor
+        lists equals its *global* unique in-neighbor row: every in-edge
+        lives in some fragment, and a fragment holding one has the
+        target as a bearing (non-dummy) copy, so the shipped lists
+        jointly cover the global set.  E-cut homes hold all incident
+        edges, so their local list is the global row too.  Both cases
+        therefore read from one shared global in-neighbor CSR.
+        """
+        graph = partition.graph
+        plan = get_plan(partition)
+        gin = plan.global_in_csr()
+        in_degs = plan.in_degrees()
+
+        pair_counts: Dict[Tuple[int, int], int] = {}
+        total = 0
+        cluster.set_snapshot(lambda: (total, pair_counts))
+
+        def add_pairs(neighbors: List[int]) -> None:
+            for i in range(len(neighbors)):
+                for j in range(i + 1, len(neighbors)):
+                    key = (neighbors[i], neighbors[j])
+                    pair_counts[key] = pair_counts.get(key, 0) + 1
+
+        # Superstep 1: e-cut vertices count locally; v-cut copies ship
+        # their local in-neighbor lists to the master.
+        vcut_parts = []
+        for fragment in partition.fragments:
+            fid = fragment.fid
+            verts = plan.verts(fid)
+            if verts.size == 0:
+                continue
+            roles = plan.roles(fid)
+            eligible = (in_degs[verts] <= theta) & (roles != ROLE_DUMMY)
+            if not eligible.any():
+                continue
+            lin = plan.cn_local_in_counts(fid)
+            cluster.charge_bulk(fid, lin[eligible], vertices=verts[eligible])
+            ecut = eligible & (roles == ROLE_ECUT)
+            if ecut.any():
+                evs = verts[ecut]
+                k = gin.counts[evs]
+                ops = k * (k - 1) // 2
+                cluster.charge_bulk(fid, ops, vertices=evs)
+                total += int(ops.sum())
+                if return_pairs:
+                    for v in evs.tolist():
+                        start = int(gin.indptr[v])
+                        stop = int(gin.indptr[v + 1])
+                        if stop - start >= 2:
+                            add_pairs(gin.nbrs[start:stop].tolist())
+            vcut = eligible & (roles == ROLE_VCUT)
+            if vcut.any():
+                vs = verts[vcut]
+                cluster.send_batch(
+                    fid,
+                    plan.master_of[vs],
+                    8.0 * np.maximum(1, lin[vcut]),
+                    master_vertices=vs,
+                )
+                vcut_parts.append(vs)
+        cluster.deliver()
+
+        # Superstep 2: masters merge partial lists and count cross pairs.
+        if vcut_parts:
+            uvs = np.unique(np.concatenate(vcut_parts))
+            masters = plan.master_of[uvs]
+            k = gin.counts[uvs]
+            ops = k * (k - 1) // 2
+            for m in np.unique(masters):
+                sel = masters == m
+                cluster.charge_bulk(int(m), ops[sel], vertices=uvs[sel])
+            total += int(ops.sum())
+            if return_pairs:
+                for v in uvs.tolist():
+                    start = int(gin.indptr[v])
+                    stop = int(gin.indptr[v + 1])
+                    if stop - start >= 2:
+                        add_pairs(gin.nbrs[start:stop].tolist())
         cluster.deliver()
 
         profile = cluster.finish()

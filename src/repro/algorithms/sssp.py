@@ -15,10 +15,14 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Optional, Set
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmResult, global_or
 from repro.partition.hybrid import HybridPartition
+from repro.runtime.bsp import Cluster
 from repro.runtime.costclock import CostClock
-from repro.runtime.sync import sync_by_master
+from repro.runtime.plan import gather_segments, get_plan
+from repro.runtime.sync import sync_by_master, sync_by_master_arrays
 
 INF = math.inf
 
@@ -45,8 +49,11 @@ class SingleSourceShortestPath(Algorithm):
         """Run SSSP from ``source`` over the partition (see class docs)."""
         source = int(params.get("source", self.source))
         max_iterations = int(params.get("max_iterations", self.max_iterations))
+        use_kernels = self._use_kernels(params)
         graph = partition.graph
         cluster = self._cluster(partition, clock, params)
+        if use_kernels:
+            return self._run_kernel(partition, cluster, source, max_iterations)
 
         dist: Dict[int, Dict[int, float]] = {
             f.fid: {v: INF for v in f.vertices()} for f in partition.fragments
@@ -104,4 +111,86 @@ class SingleSourceShortestPath(Algorithm):
             v: dist[partition.master(v)][v]
             for v, _hosts in partition.vertex_fragments()
         }
+        return AlgorithmResult(values=values, profile=profile)
+
+    def _run_kernel(
+        self,
+        partition: HybridPartition,
+        cluster: Cluster,
+        source: int,
+        max_iterations: int,
+    ) -> AlgorithmResult:
+        """Vectorized twin of the scalar loop (bit-identical output)."""
+        plan = get_plan(partition)
+        dist: Dict[int, np.ndarray] = {
+            f.fid: np.full(plan.verts(f.fid).size, INF)
+            for f in partition.fragments
+        }
+        active: Dict[int, np.ndarray] = {
+            f.fid: np.zeros(plan.verts(f.fid).size, dtype=bool)
+            for f in partition.fragments
+        }
+
+        def snapshot():
+            return (
+                {
+                    fid: dict(zip(plan.verts(fid).tolist(), arr.tolist()))
+                    for fid, arr in dist.items()
+                },
+                {
+                    fid: set(plan.verts(fid)[mask].tolist())
+                    for fid, mask in active.items()
+                },
+            )
+
+        cluster.set_snapshot(snapshot)
+        for fid in partition.placement(source):
+            slot = plan.slot_of(fid)[source]
+            dist[fid][slot] = 0.0
+            active[fid][slot] = True
+
+        for _ in range(max_iterations):
+            partials = {}
+            for fragment in partition.fragments:
+                fid = fragment.fid
+                if not active[fid].any():
+                    continue
+                t = plan.sssp_out(fid)
+                sel = np.nonzero(active[fid] & t.bearing)[0]
+                if sel.size == 0:
+                    continue
+                idx, lens = gather_segments(t.indptr, sel)
+                cluster.charge_bulk(fid, lens, vertices=plan.verts(fid)[sel])
+                if idx.size == 0:
+                    continue
+                local = dist[fid]
+                best = np.full(local.size, INF)
+                np.minimum.at(best, t.targets[idx], np.repeat(local[sel], lens) + 1.0)
+                mask = best < local
+                if mask.any():
+                    partials[fid] = (plan.verts(fid)[mask], best[mask])
+
+            synced = sync_by_master_arrays(cluster, plan, partials, reduce="min")
+
+            changed = {fid: False for fid in range(cluster.num_workers)}
+            for fragment in partition.fragments:
+                fid = fragment.fid
+                ids, vals = synced[fid]
+                now_active = np.zeros(dist[fid].size, dtype=bool)
+                if ids.size:
+                    slots = plan.slot_of(fid)[ids]
+                    better = vals < dist[fid][slots]
+                    if better.any():
+                        dist[fid][slots[better]] = vals[better]
+                        now_active[slots[better]] = True
+                        changed[fid] = True
+                active[fid] = now_active
+            if not global_or(cluster, changed):
+                break
+
+        profile = cluster.finish()
+        values = {}
+        for v, _hosts in partition.vertex_fragments():
+            master = int(plan.master_of[v])
+            values[v] = float(dist[master][plan.slot_of(master)[v]])
         return AlgorithmResult(values=values, profile=profile)

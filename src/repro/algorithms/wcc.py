@@ -14,10 +14,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmResult, global_or
 from repro.partition.hybrid import HybridPartition
+from repro.runtime.bsp import Cluster
 from repro.runtime.costclock import CostClock
-from repro.runtime.sync import sync_by_master
+from repro.runtime.plan import get_plan
+from repro.runtime.sync import sync_by_master, sync_by_master_arrays
 
 
 class WeaklyConnectedComponents(Algorithm):
@@ -40,7 +44,10 @@ class WeaklyConnectedComponents(Algorithm):
     ) -> AlgorithmResult:
         """Run WCC to fixpoint over the partition (see class docs)."""
         max_iterations = int(params.get("max_iterations", self.max_iterations))
+        use_kernels = self._use_kernels(params)
         cluster = self._cluster(partition, clock, params)
+        if use_kernels:
+            return self._run_kernel(partition, cluster, max_iterations)
 
         labels: Dict[int, Dict[int, int]] = {
             f.fid: {v: v for v in f.vertices()} for f in partition.fragments
@@ -93,4 +100,70 @@ class WeaklyConnectedComponents(Algorithm):
             v: labels[partition.master(v)][v]
             for v, _hosts in partition.vertex_fragments()
         }
+        return AlgorithmResult(values=values, profile=profile)
+
+    def _run_kernel(
+        self,
+        partition: HybridPartition,
+        cluster: Cluster,
+        max_iterations: int,
+    ) -> AlgorithmResult:
+        """Vectorized twin of the scalar loop (bit-identical output)."""
+        plan = get_plan(partition)
+        labels: Dict[int, np.ndarray] = {
+            f.fid: plan.verts(f.fid).copy() for f in partition.fragments
+        }
+
+        def snapshot():
+            return {
+                fid: dict(zip(plan.verts(fid).tolist(), arr.tolist()))
+                for fid, arr in labels.items()
+            }
+
+        cluster.set_snapshot(snapshot)
+
+        for _ in range(max_iterations):
+            partials = {}
+            for fragment in partition.fragments:
+                fid = fragment.fid
+                verts = plan.verts(fid)
+                if verts.size == 0:
+                    continue
+                ent = plan.wcc_entries(fid)
+                lab = labels[fid]
+                best = lab.copy()
+                if ent.rel_v.size:
+                    np.minimum.at(best, ent.rel_v, lab[ent.rel_u])
+                cluster.charge_bulk(fid, ent.counts, vertices=verts)
+                improved = best < lab
+                border_extra = ent.border & ~improved
+                ids = np.concatenate([verts[improved], verts[border_extra]])
+                if ids.size:
+                    vals = np.concatenate(
+                        [best[improved], lab[border_extra]]
+                    ).astype(np.float64)
+                    partials[fid] = (ids, vals)
+
+            synced = sync_by_master_arrays(cluster, plan, partials, reduce="min")
+
+            changed = {fid: False for fid in range(cluster.num_workers)}
+            for fragment in partition.fragments:
+                fid = fragment.fid
+                ids, vals = synced[fid]
+                if ids.size == 0:
+                    continue
+                lab = labels[fid]
+                slots = plan.slot_of(fid)[ids]
+                better = vals < lab[slots]
+                if better.any():
+                    lab[slots[better]] = vals[better].astype(np.int64)
+                    changed[fid] = True
+            if not global_or(cluster, changed):
+                break
+
+        profile = cluster.finish()
+        values = {}
+        for v, _hosts in partition.vertex_fragments():
+            master = int(plan.master_of[v])
+            values[v] = int(labels[master][plan.slot_of(master)[v]])
         return AlgorithmResult(values=values, profile=profile)

@@ -232,13 +232,24 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     partition = load_partition(args.partition, graph)
     names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     rows = []
     for name in names:
         algorithm = get_algorithm(name).configure_faults(
             plan, args.checkpoint_interval
         )
         try:
-            result = algorithm.run(partition)
+            if profiler is not None:
+                profiler.enable()
+            try:
+                result = algorithm.run(partition, use_kernels=not args.no_kernels)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
         except ValueError as exc:
             # e.g. a crash naming a worker the partition doesn't have
             print(f"error: {exc}", file=sys.stderr)
@@ -261,6 +272,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     if faulty:
         headers += ["failures", "recovery ms", "ckpt bytes"]
     print(format_table(headers, rows))
+    if profiler is not None:
+        profiler.dump_stats(args.profile)
+        print(f"wrote cProfile stats to {args.profile}", file=sys.stderr)
     return 0
 
 
@@ -279,6 +293,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         argv.append("--no-cache")
     if args.only:
         argv += ["--only", args.only]
+    if args.no_kernels:
+        argv.append("--no-kernels")
     return run_all.main(argv)
 
 
@@ -373,6 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--graph", required=True)
     ev.add_argument("--partition", required=True)
     ev.add_argument("--algorithms", default="pr,wcc,sssp")
+    ev.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="use the scalar reference loops instead of the vectorized kernels",
+    )
+    ev.add_argument(
+        "--profile",
+        metavar="OUT.pstats",
+        help="dump cProfile stats for the algorithm runs to this file",
+    )
     faults = ev.add_argument_group(
         "fault injection", "degrade the simulated substrate (deterministic)"
     )
@@ -440,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="NAMES",
         help="comma-separated experiment subset (exp1..exp6, appendix)",
+    )
+    sweep.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="run algorithms via the scalar reference loops",
     )
     sweep.set_defaults(func=cmd_sweep)
 

@@ -62,7 +62,10 @@ def physical_key(job: Job, dep_meta: Optional[Dict], virtual: bool) -> str:
         )
     if kind == "run":
         return keys.run_key(
-            cells.cell_deps_content(spec, dep_meta), spec["algorithm"], spec["params"]
+            cells.cell_deps_content(spec, dep_meta),
+            spec["algorithm"],
+            spec["params"],
+            spec.get("use_kernels", True),
         )
     if kind == "composite":
         return keys.composite_key(
@@ -101,7 +104,13 @@ def compute_cell(spec: Dict, dep_payload: Optional[Dict], virtual: bool) -> Dict
             if view is not None
             else dep_payload["partition"]
         )
-        return cells.compute_run_cell(graph, partition, spec["algorithm"], spec["params"])
+        return cells.compute_run_cell(
+            graph,
+            partition,
+            spec["algorithm"],
+            spec["params"],
+            spec.get("use_kernels", True),
+        )
     if kind == "composite":
         graph = _graph_for(spec["dataset"])
         return cells.compute_composite_cell(

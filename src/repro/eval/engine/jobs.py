@@ -134,12 +134,18 @@ class Planner:
         view: Optional[str] = None,
     ) -> Job:
         """Plan a run cell over the output of ``on`` (optionally one view)."""
+        from repro.algorithms.base import kernels_default
+
         spec = {
             "kind": "run",
             "dataset": dataset,
             "algorithm": algorithm,
             "params": params or {},
             "view": view,
+            # Recorded at plan time so subprocess workers execute the
+            # same path the planning process selected (run_all
+            # --no-kernels flips the process-wide default first).
+            "use_kernels": kernels_default(),
         }
         return self.graph.add(Job(_jid("run", spec, (on.jid,)), "run", spec, (on.jid,)))
 

@@ -239,7 +239,20 @@ def main(argv=None) -> int:
         metavar="NAMES",
         help=f"comma-separated subset of {','.join(SECTION_NAMES)}",
     )
+    parser.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="run algorithms via the scalar reference loops (slower; "
+        "results are bit-identical to the kernel path)",
+    )
     args = parser.parse_args(argv)
+
+    if args.no_kernels:
+        # Flip the default before planning: run specs record the flag, so
+        # subprocess workers execute the scalar path too.
+        from repro.algorithms.base import set_kernels_default
+
+        set_kernels_default(False)
 
     selected = _parse_only(args.only, parser) if args.only else list(SECTION_NAMES)
     jobs = max(1, args.jobs)

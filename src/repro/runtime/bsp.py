@@ -35,7 +35,9 @@ so makespans stay bit-identical.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.checkpoint import CheckpointManager
@@ -72,6 +74,11 @@ class Cluster:
         self._step_bytes: Dict[int, float] = {f: 0.0 for f in range(self.num_workers)}
         self._outbox: Dict[int, List[Any]] = {f: [] for f in range(self.num_workers)}
         self._step_index = 0
+        # Bulk-path attribution accumulators: per-copy op counts and
+        # per-master byte counts land in dense arrays during the run and
+        # are folded into the profile dicts once, in finish().
+        self._copy_ops_acc: Dict[int, np.ndarray] = {}
+        self._master_bytes_acc: Optional[np.ndarray] = None
 
         self.faults: Optional[FaultInjector] = None
         if faults is not None:
@@ -133,6 +140,132 @@ class Cluster:
             self.profile.comp_ops_by_copy[key] = (
                 self.profile.comp_ops_by_copy.get(key, 0.0) + ops
             )
+
+    def charge_bulk(
+        self,
+        fid: int,
+        ops: np.ndarray,
+        vertices: Optional[np.ndarray] = None,
+    ) -> None:
+        """Account an array of op counts to worker ``fid`` in one shot.
+
+        Equivalent to ``charge(fid, ops[i], vertex=vertices[i])`` for
+        every ``i`` but with O(1) dict updates: totals are exact because
+        every charge in the runtime is integer-valued (dyadic), so the
+        NumPy sum equals the scalar accumulation bit for bit.  Per-copy
+        attribution lands in a dense accumulator folded into
+        ``profile.comp_ops_by_copy`` by :meth:`finish`.
+        """
+        self._check_fid(fid, "charged")
+        ops = np.asarray(ops, dtype=np.float64)
+        if ops.size == 0:
+            return
+        positive = ops > 0
+        if not positive.any():
+            return
+        kept = ops[positive]
+        total = float(kept.sum())
+        self._step_ops[fid] += total
+        self.profile.comp_ops_by_worker[fid] = (
+            self.profile.comp_ops_by_worker.get(fid, 0.0) + total
+        )
+        if vertices is not None:
+            acc = self._copy_ops_acc.get(fid)
+            if acc is None:
+                acc = np.zeros(self.partition.graph.num_vertices, dtype=np.float64)
+                self._copy_ops_acc[fid] = acc
+            np.add.at(acc, np.asarray(vertices, dtype=np.int64)[positive], kept)
+
+    def send_batch(
+        self,
+        src: int,
+        dsts: np.ndarray,
+        nbytes: np.ndarray,
+        master_vertices: Optional[np.ndarray] = None,
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> None:
+        """Post a batch of messages from ``src`` in array order.
+
+        Equivalent to ``send(src, dsts[i], payloads[i], nbytes[i],
+        master_vertex=master_vertices[i])`` for every ``i``.
+        ``master_vertices`` uses ``-1`` as the "no attribution" sentinel.
+        When ``payloads`` is omitted no inbox objects are enqueued (pure
+        accounting, for kernels that keep state in arrays).
+
+        Fault-stream contract: per-message fates are drawn one by one,
+        for exactly the remote nonzero-byte messages, **in array order**
+        — the same order the scalar loop would have issued the sends —
+        so a batched run consumes the seeded fate stream identically to
+        the scalar path and faulty runs stay bit-deterministic.
+        """
+        self._check_fid(src, "source")
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if dsts.size == 0:
+            return
+        if dsts.size and (dsts.min() < 0 or dsts.max() >= self.num_workers):
+            bad = dsts[(dsts < 0) | (dsts >= self.num_workers)][0]
+            self._check_fid(int(bad), "destination")
+        if payloads is not None:
+            for dst, payload in zip(dsts.tolist(), payloads):
+                self._outbox[dst].append(payload)
+        wire = np.array(np.broadcast_to(np.asarray(nbytes, dtype=np.float64), dsts.shape))
+        remote = (dsts != src) & (wire > 0)
+        if not remote.any():
+            return
+        if self.faults is not None:
+            step = self._step_index
+            for i in np.nonzero(remote)[0]:
+                fate = self.faults.message_fate(step, src, int(dsts[i]))
+                if fate is not MessageFate.DELIVER:
+                    wire[i] *= 2.0
+                    if fate is MessageFate.DROP:
+                        self.profile.messages_dropped += 1
+                    else:
+                        self.profile.messages_duplicated += 1
+        out_total = float(wire[remote].sum())
+        self._step_bytes[src] += out_total
+        self.profile.bytes_by_worker[src] = (
+            self.profile.bytes_by_worker.get(src, 0.0) + out_total
+        )
+        per_dst = np.bincount(
+            dsts[remote], weights=wire[remote], minlength=self.num_workers
+        )
+        for dst in np.nonzero(per_dst)[0]:
+            amount = float(per_dst[dst])
+            self._step_bytes[int(dst)] += amount
+            self.profile.bytes_by_worker[int(dst)] = (
+                self.profile.bytes_by_worker.get(int(dst), 0.0) + amount
+            )
+        if master_vertices is not None:
+            mv = np.asarray(master_vertices, dtype=np.int64)
+            attributed = remote & (mv >= 0)
+            if attributed.any():
+                if self._master_bytes_acc is None:
+                    self._master_bytes_acc = np.zeros(
+                        self.partition.graph.num_vertices, dtype=np.float64
+                    )
+                np.add.at(
+                    self._master_bytes_acc, mv[attributed], wire[attributed]
+                )
+
+    def _fold_bulk_attribution(self) -> None:
+        """Fold dense bulk accumulators into the profile's dicts."""
+        for fid in sorted(self._copy_ops_acc):
+            acc = self._copy_ops_acc[fid]
+            for v in np.nonzero(acc)[0]:
+                key = (fid, int(v))
+                self.profile.comp_ops_by_copy[key] = (
+                    self.profile.comp_ops_by_copy.get(key, 0.0) + float(acc[v])
+                )
+        self._copy_ops_acc = {}
+        if self._master_bytes_acc is not None:
+            acc = self._master_bytes_acc
+            for v in np.nonzero(acc)[0]:
+                vid = int(v)
+                self.profile.comm_bytes_by_master[vid] = (
+                    self.profile.comm_bytes_by_master.get(vid, 0.0) + float(acc[v])
+                )
+            self._master_bytes_acc = None
 
     def send(
         self,
@@ -281,4 +414,5 @@ class Cluster:
         )
         if pending:
             self.deliver()
+        self._fold_bulk_attribution()
         return self.profile

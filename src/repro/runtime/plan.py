@@ -1,0 +1,540 @@
+"""Fragment execution plans: NumPy views of a :class:`HybridPartition`.
+
+The scalar algorithm implementations walk Python sets and dicts edge by
+edge.  A :class:`FragmentPlan` compiles the same information once into
+flat NumPy arrays — per-fragment vertex/slot indices, owned-edge lists,
+role codes, local adjacency in CSR form, and the master/mirror routing
+tables used by :func:`repro.runtime.sync.sync_by_master_arrays` — so the
+vectorized kernels can replace inner interpreter loops with array
+reductions while reproducing the scalar path bit for bit.
+
+Bit-identity depends on two ordering contracts that every table here
+honors:
+
+* **Fragment iteration order is preserved.**  ``verts(fid)`` snapshots
+  ``Fragment.vertices()`` in its native iteration order and
+  ``edge_list(fid)`` snapshots ``Fragment.edges()`` likewise, so any
+  kernel that charges or sends "per vertex copy" does so in exactly the
+  order the scalar loop would have.
+* **Plans are immutable snapshots.**  The plan registers a mutation
+  listener on the partition; any vertex move flips ``valid`` to False
+  and :func:`get_plan` rebuilds from scratch.  A stale plan is never
+  partially updated, so scalar and kernel paths always observe the same
+  partition state.
+
+Plans are cached on the partition object itself (``_kernel_plan``) so
+repeated runs over the same partition pay the compilation cost once.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.partition.hybrid import HybridPartition, NodeRole
+
+#: integer role codes used in per-fragment ``roles`` arrays
+ECUT = 0
+VCUT = 1
+DUMMY = 2
+
+_ROLE_CODE = {NodeRole.ECUT: ECUT, NodeRole.VCUT: VCUT, NodeRole.DUMMY: DUMMY}
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def gather_segments(
+    indptr: np.ndarray, sel: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat data indices of the CSR rows ``sel``, concatenated in order.
+
+    Returns ``(idx, lens)`` where ``data[idx]`` lists the selected rows'
+    entries back to back (row-major in ``sel`` order) and ``lens[i]`` is
+    the length of row ``sel[i]``.
+    """
+    sel = np.asarray(sel, dtype=np.int64)
+    starts = indptr[sel]
+    lens = indptr[sel + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return _EMPTY, lens
+    offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, lens)
+    return idx, lens
+
+
+class FragmentPlan:
+    """Immutable array snapshot of a partition for kernel execution.
+
+    Global routing tables (master fids, replication counts, border
+    flags, placement CSR) are built eagerly; per-fragment and
+    per-algorithm tables are compiled lazily on first use and memoized
+    for the plan's lifetime.
+    """
+
+    def __init__(self, partition: HybridPartition) -> None:
+        self.partition = partition
+        self.graph = partition.graph
+        self.num_fragments = partition.num_fragments
+        n = self.graph.num_vertices
+        self.num_vertices = n
+        #: key base for (slot, neighbor) / (u, v) packed int64 keys
+        self.key_base = max(1, n)
+        self.valid = True
+
+        master_of = np.full(n, -1, dtype=np.int64)
+        rep_count = np.zeros(n, dtype=np.int64)
+        border_mask = np.zeros(n, dtype=bool)
+        pair_v: List[int] = []
+        pair_f: List[int] = []
+        for v, hosts in partition.vertex_fragments():
+            master_of[v] = partition.master(v)
+            rep_count[v] = len(hosts)
+            border_mask[v] = len(hosts) > 1
+            for f in sorted(hosts):
+                pair_v.append(v)
+                pair_f.append(f)
+        #: master worker per vertex (-1 when the vertex is unplaced)
+        self.master_of = master_of
+        #: number of fragments holding a copy of each vertex
+        self.rep_count = rep_count
+        #: True where the vertex is replicated on more than one fragment
+        self.border_mask = border_mask
+        # Placement CSR: for each vertex, its host fids in ascending
+        # order (matching ``sorted(partition.placement(v))``).
+        pv = np.asarray(pair_v, dtype=np.int64)
+        pf = np.asarray(pair_f, dtype=np.int64)
+        order = np.argsort(pv, kind="stable")  # fids already sorted per v
+        self.place_fids = pf[order] if pv.size else _EMPTY
+        counts = np.bincount(pv, minlength=n) if pv.size else np.zeros(n, np.int64)
+        self.place_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.place_indptr[1:])
+
+        # Lazy per-fragment caches.
+        self._verts: Dict[int, np.ndarray] = {}
+        self._slots: Dict[int, np.ndarray] = {}
+        self._roles: Dict[int, np.ndarray] = {}
+        self._edge_lists: Dict[int, list] = {}
+        self._edge_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._edge_keys: Dict[int, np.ndarray] = {}
+        self._owned: Dict[bool, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+        self._pr: Dict[Tuple[int, bool], SimpleNamespace] = {}
+        self._wcc: Dict[int, SimpleNamespace] = {}
+        self._sssp: Dict[int, SimpleNamespace] = {}
+        self._cn_lin: Dict[int, np.ndarray] = {}
+        self._tc: Dict[int, SimpleNamespace] = {}
+        self._triu: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._gin: Optional[SimpleNamespace] = None
+        self._home_of: Optional[np.ndarray] = None
+        self._degrees: Optional[np.ndarray] = None
+        self._out_degrees: Optional[np.ndarray] = None
+        self._in_degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _on_mutation(self, _v: int) -> None:
+        self.valid = False
+
+    # ------------------------------------------------------------------
+    # Per-fragment basics
+    # ------------------------------------------------------------------
+    def verts(self, fid: int) -> np.ndarray:
+        """Fragment ``fid``'s vertices in ``Fragment.vertices()`` order."""
+        arr = self._verts.get(fid)
+        if arr is None:
+            arr = np.fromiter(
+                self.partition.fragments[fid].vertices(), dtype=np.int64
+            )
+            self._verts[fid] = arr
+        return arr
+
+    def slot_of(self, fid: int) -> np.ndarray:
+        """Dense slot index per vertex id (-1 for vertices not on fid)."""
+        arr = self._slots.get(fid)
+        if arr is None:
+            verts = self.verts(fid)
+            arr = np.full(self.num_vertices, -1, dtype=np.int64)
+            arr[verts] = np.arange(verts.size, dtype=np.int64)
+            self._slots[fid] = arr
+        return arr
+
+    def roles(self, fid: int) -> np.ndarray:
+        """Role code (ECUT/VCUT/DUMMY) per slot of fragment ``fid``."""
+        arr = self._roles.get(fid)
+        if arr is None:
+            partition = self.partition
+            verts = self.verts(fid)
+            arr = np.fromiter(
+                (_ROLE_CODE[partition.role(int(v), fid)] for v in verts),
+                dtype=np.int8,
+                count=verts.size,
+            )
+            self._roles[fid] = arr
+        return arr
+
+    def edge_list(self, fid: int) -> list:
+        """Fragment ``fid``'s edges in ``Fragment.edges()`` order."""
+        edges = self._edge_lists.get(fid)
+        if edges is None:
+            edges = list(self.partition.fragments[fid].edges())
+            self._edge_lists[fid] = edges
+        return edges
+
+    def edge_arrays(self, fid: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` arrays of the fragment's edges, list order."""
+        pair = self._edge_arrays.get(fid)
+        if pair is None:
+            edges = self.edge_list(fid)
+            if edges:
+                arr = np.asarray(edges, dtype=np.int64)
+                pair = (arr[:, 0].copy(), arr[:, 1].copy())
+            else:
+                pair = (_EMPTY, _EMPTY)
+            self._edge_arrays[fid] = pair
+        return pair
+
+    def edge_keys(self, fid: int) -> np.ndarray:
+        """Sorted packed keys ``u * key_base + v`` of the stored edges."""
+        keys = self._edge_keys.get(fid)
+        if keys is None:
+            src, dst = self.edge_arrays(fid)
+            keys = np.sort(src * self.key_base + dst)
+            self._edge_keys[fid] = keys
+        return keys
+
+    def has_edges(self, fid: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized ``fragment.has_edge((a, b))`` on stored-key form.
+
+        Callers must pass endpoints already in the graph's canonical
+        stored orientation (directed: as-is; undirected: ``min, max``).
+        """
+        keys = a * self.key_base + b
+        stored = self.edge_keys(fid)
+        if stored.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        pos = np.searchsorted(stored, keys)
+        pos = np.minimum(pos, stored.size - 1)
+        return stored[pos] == keys
+
+    # ------------------------------------------------------------------
+    # Graph-level degree tables
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """``graph.degree(v)`` for every vertex (out+in when directed)."""
+        if self._degrees is None:
+            g = self.graph
+            if g.directed:
+                self._degrees = self.out_degrees() + self.in_degrees()
+            else:
+                self._degrees = self.out_degrees()
+        return self._degrees
+
+    def out_degrees(self) -> np.ndarray:
+        if self._out_degrees is None:
+            self._out_degrees = self.graph.out_degrees().astype(np.int64)
+        return self._out_degrees
+
+    def in_degrees(self) -> np.ndarray:
+        if self._in_degrees is None:
+            self._in_degrees = self.graph.in_degrees().astype(np.int64)
+        return self._in_degrees
+
+    # ------------------------------------------------------------------
+    # Owned edges (scatter responsibility)
+    # ------------------------------------------------------------------
+    def owned_edges(
+        self, fid: int, target_aware: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Edges of ``fid`` it owns under ``compute_edge_owners``.
+
+        Owner filtering preserves ``edge_list`` order so per-edge charge
+        sequences match the scalar scatter loop exactly.
+        """
+        flag = bool(target_aware)
+        cache = self._owned.get(flag)
+        if cache is None:
+            from repro.algorithms.base import compute_edge_owners
+
+            owners = compute_edge_owners(self.partition, target_aware=flag)
+            cache = {}
+            for fragment in self.partition.fragments:
+                f = fragment.fid
+                kept = [e for e in self.edge_list(f) if owners[e] == f]
+                if kept:
+                    arr = np.asarray(kept, dtype=np.int64)
+                    cache[f] = (arr[:, 0].copy(), arr[:, 1].copy())
+                else:
+                    cache[f] = (_EMPTY, _EMPTY)
+            self._owned[flag] = cache
+        return cache[fid]
+
+    # ------------------------------------------------------------------
+    # Algorithm-specific tables
+    # ------------------------------------------------------------------
+    def pr_scatter(self, fid: int, target_aware: bool = False) -> SimpleNamespace:
+        """PageRank scatter table over the fragment's owned edges.
+
+        ``src_slots``/``dst_slots`` expand each owned edge into its
+        scatter targets in the scalar loop's order: directed edges
+        contribute ``src -> dst``; undirected edges contribute both
+        directions (self-loops once).  ``deg`` is the source's scatter
+        degree per target, ``ops`` counts contributions per destination
+        slot, and ``touched_ids`` lists receiving vertices slot-ascending.
+        """
+        key = (fid, bool(target_aware))
+        ns = self._pr.get(key)
+        if ns is None:
+            src, dst = self.owned_edges(fid, target_aware)
+            if not self.graph.directed and src.size:
+                # Interleave (src->dst, dst->src) per edge, dropping the
+                # reverse leg of self-loops, to match the scalar
+                # ``((u, w), (w, u))`` target order.
+                s = np.empty(2 * src.size, dtype=np.int64)
+                d = np.empty(2 * src.size, dtype=np.int64)
+                s[0::2] = src
+                s[1::2] = dst
+                d[0::2] = dst
+                d[1::2] = src
+                keep = np.ones(2 * src.size, dtype=bool)
+                keep[1::2] = src != dst
+                s = s[keep]
+                d = d[keep]
+            else:
+                s, d = src, dst
+            slots = self.slot_of(fid)
+            src_slots = slots[s] if s.size else _EMPTY
+            dst_slots = slots[d] if d.size else _EMPTY
+            verts = self.verts(fid)
+            ops = np.bincount(dst_slots, minlength=verts.size).astype(np.float64)
+            touched_slots = np.nonzero(ops > 0)[0]
+            # PageRank divides by the *scatter* degree, which for both
+            # the directed and undirected branch equals the out-degree
+            # (undirected CSR stores both directions).
+            deg = (
+                self.out_degrees()[s].astype(np.float64) if s.size else
+                np.empty(0, dtype=np.float64)
+            )
+            ns = SimpleNamespace(
+                src_slots=src_slots,
+                dst_slots=dst_slots,
+                deg=deg,
+                ops=ops,
+                touched_slots=touched_slots,
+                touched_ids=verts[touched_slots],
+            )
+            self._pr[key] = ns
+        return ns
+
+    def wcc_entries(self, fid: int) -> SimpleNamespace:
+        """Per-copy incident-edge entries for label relaxation.
+
+        One entry per (bearing vertex copy v, incident edge e): ``rel_v``
+        is v's slot, ``rel_u`` the other endpoint's slot.  Entry counts
+        per bearing slot reproduce the scalar per-edge charges.
+        """
+        ns = self._wcc.get(fid)
+        if ns is None:
+            src, dst = self.edge_arrays(fid)
+            loop = src != dst
+            ent_v = np.concatenate([src, dst[loop]]) if src.size else _EMPTY
+            ent_u = np.concatenate([dst, src[loop]]) if src.size else _EMPTY
+            slots = self.slot_of(fid)
+            roles = self.roles(fid)
+            size = self.verts(fid).size
+            bearing = roles != DUMMY
+            sv = slots[ent_v] if ent_v.size else _EMPTY
+            su = slots[ent_u] if ent_u.size else _EMPTY
+            keep = bearing[sv] if sv.size else np.zeros(0, dtype=bool)
+            rel_v = sv[keep]
+            rel_u = su[keep]
+            counts = np.bincount(rel_v, minlength=size).astype(np.float64)
+            ns = SimpleNamespace(
+                rel_v=rel_v,
+                rel_u=rel_u,
+                bearing=bearing,
+                counts=counts,
+                border=self.border_mask[self.verts(fid)]
+                if size
+                else np.zeros(0, dtype=bool),
+            )
+            self._wcc[fid] = ns
+        return ns
+
+    def sssp_out(self, fid: int) -> SimpleNamespace:
+        """Local out-adjacency CSR over slots (undirected: both ways)."""
+        ns = self._sssp.get(fid)
+        if ns is None:
+            src, dst = self.edge_arrays(fid)
+            if self.graph.directed:
+                ev, et = src, dst
+            else:
+                loop = src != dst
+                ev = np.concatenate([src, dst[loop]]) if src.size else _EMPTY
+                et = np.concatenate([dst, src[loop]]) if src.size else _EMPTY
+            slots = self.slot_of(fid)
+            sv = slots[ev] if ev.size else _EMPTY
+            st = slots[et] if et.size else _EMPTY
+            order = np.argsort(sv, kind="stable")
+            sv = sv[order]
+            st = st[order]
+            size = self.verts(fid).size
+            counts = np.bincount(sv, minlength=size)
+            indptr = np.zeros(size + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            ns = SimpleNamespace(
+                indptr=indptr,
+                targets=st,
+                bearing=self.roles(fid) != DUMMY,
+            )
+            self._sssp[fid] = ns
+        return ns
+
+    def cn_local_in_counts(self, fid: int) -> np.ndarray:
+        """Unique local in-neighbor count per slot (CN charge basis)."""
+        counts = self._cn_lin.get(fid)
+        if counts is None:
+            src, dst = self.edge_arrays(fid)
+            if self.graph.directed:
+                ev, en = dst, src
+            else:
+                loop = src != dst
+                ev = np.concatenate([src, dst[loop]]) if src.size else _EMPTY
+                en = np.concatenate([dst, src[loop]]) if src.size else _EMPTY
+            slots = self.slot_of(fid)
+            size = self.verts(fid).size
+            if ev.size:
+                keys = np.unique(slots[ev] * self.key_base + en)
+                counts = np.bincount(keys // self.key_base, minlength=size)
+            else:
+                counts = np.zeros(size, dtype=np.int64)
+            self._cn_lin[fid] = counts
+        return counts
+
+    def tc_tables(self, fid: int) -> SimpleNamespace:
+        """Triangle-counting neighbor tables per slot.
+
+        ``nbrs`` (CSR via ``indptr``) lists each slot's unique non-self
+        local neighbors in ascending id order (the sorted inlist payload
+        and its charge basis).  ``onbrs`` (CSR via ``oindptr``) keeps only
+        neighbors ranked above the pivot under the degree-ordering
+        ``(degree, id)``, sorted by that rank — matching the scalar
+        ``sorted(..., key=order)`` wedge enumeration.
+        """
+        ns = self._tc.get(fid)
+        if ns is None:
+            src, dst = self.edge_arrays(fid)
+            keep = src != dst
+            a = src[keep]
+            b = dst[keep]
+            ev = np.concatenate([a, b]) if a.size else _EMPTY
+            en = np.concatenate([b, a]) if a.size else _EMPTY
+            slots = self.slot_of(fid)
+            verts = self.verts(fid)
+            size = verts.size
+            kb = self.key_base
+            if ev.size:
+                keys = np.unique(slots[ev] * kb + en)
+                tslot = keys // kb
+                tnbr = keys % kb
+            else:
+                tslot = _EMPTY
+                tnbr = _EMPTY
+            counts = np.bincount(tslot, minlength=size)
+            indptr = np.zeros(size + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            degs = self.degrees()
+            okey = degs[tnbr] * kb + tnbr if tnbr.size else _EMPTY
+            pivot_key = degs[verts] * kb + verts if size else _EMPTY
+            above = okey > pivot_key[tslot] if tnbr.size else np.zeros(0, bool)
+            oslot = tslot[above]
+            onbr = tnbr[above]
+            okeep = okey[above]
+            order = np.lexsort((okeep, oslot))
+            oslot = oslot[order]
+            onbr = onbr[order]
+            ocounts = np.bincount(oslot, minlength=size)
+            oindptr = np.zeros(size + 1, dtype=np.int64)
+            np.cumsum(ocounts, out=oindptr[1:])
+            ns = SimpleNamespace(
+                indptr=indptr,
+                nbrs=tnbr,
+                counts=counts,
+                oindptr=oindptr,
+                onbrs=onbr,
+                ocounts=ocounts,
+            )
+            self._tc[fid] = ns
+        return ns
+
+    def home_of(self) -> np.ndarray:
+        """``partition.designated_home(v)`` per vertex (-1 when v-cut)."""
+        if self._home_of is None:
+            partition = self.partition
+            out = np.full(self.num_vertices, -1, dtype=np.int64)
+            for v in range(self.num_vertices):
+                home = partition.designated_home(v)
+                if home is not None:
+                    out[v] = home
+            self._home_of = out
+        return self._home_of
+
+    def triu_pairs(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-major upper-triangle index pairs for a size-``k`` row."""
+        pair = self._triu.get(k)
+        if pair is None:
+            pair = np.triu_indices(k, 1)
+            self._triu[k] = pair
+        return pair
+
+    def global_in_csr(self) -> SimpleNamespace:
+        """Graph-level unique in-neighbor CSR (ids ascending per row).
+
+        For every vertex this is the union of its in-neighbor lists over
+        all bearing copies: non-dummy v-cut copies jointly cover every
+        incident edge and an e-cut home holds all of them, so the merge
+        performed at a CN/TC master equals this global row.
+        """
+        if self._gin is None:
+            g = self.graph
+            n = self.num_vertices
+            kb = self.key_base
+            ea = g.edge_array()
+            if ea.size:
+                s = ea[:, 0].astype(np.int64)
+                d = ea[:, 1].astype(np.int64)
+                if g.directed:
+                    keys = np.unique(d * kb + s)
+                else:
+                    loop = s != d
+                    keys = np.unique(
+                        np.concatenate([d * kb + s, (s * kb + d)[loop]])
+                    )
+                tv = keys // kb
+                tn = keys % kb
+            else:
+                tv = _EMPTY
+                tn = _EMPTY
+            counts = np.bincount(tv, minlength=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._gin = SimpleNamespace(indptr=indptr, nbrs=tn, counts=counts)
+        return self._gin
+
+
+def get_plan(partition: HybridPartition) -> FragmentPlan:
+    """Return the partition's cached plan, rebuilding if invalidated."""
+    plan = getattr(partition, "_kernel_plan", None)
+    if plan is not None and plan.valid:
+        return plan
+    if plan is not None:
+        try:
+            partition.remove_listener(plan._on_mutation)
+        except ValueError:
+            pass
+    plan = FragmentPlan(partition)
+    partition.add_listener(plan._on_mutation)
+    partition._kernel_plan = plan
+    return plan

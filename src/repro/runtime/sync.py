@@ -10,9 +10,12 @@ partition-transparent algorithm.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.runtime.bsp import Cluster
+from repro.runtime.plan import FragmentPlan, gather_segments
 
 VALUE_BYTES = 12  # (vertex id, scalar) wire estimate
 
@@ -50,37 +53,42 @@ def sync_by_master(
     partition = cluster.partition
     size_of = value_bytes or (lambda _val: float(VALUE_BYTES))
 
-    # Superstep A: mirrors ship partials to the master worker.
-    for fid, values in partial_values.items():
-        for v, value in values.items():
+    # Superstep A: mirrors ship partials to the master worker.  Sender
+    # fids and vertices are visited in sorted order so the seeded fault
+    # stream sees one canonical send sequence regardless of how the
+    # caller's dicts were built (the vectorized path replays it).
+    for fid in sorted(partial_values):
+        values = partial_values[fid]
+        for v in sorted(values):
             master = partition.master(v)
             cluster.send(
                 fid,
                 master,
-                ("partial", v, value),
-                nbytes=size_of(value),
+                ("partial", v, values[v]),
+                nbytes=size_of(values[v]),
                 master_vertex=v if partition.is_border(v) else None,
             )
     inboxes = cluster.deliver()
 
-    # Superstep B: masters combine and broadcast back to mirrors.
+    # Superstep B: masters combine and broadcast back to mirrors.  The
+    # combine/finalize work is charged to the vertex's *master* worker
+    # as recorded in the partition, not to whichever inbox the partial
+    # happened to land in.
     combined: Dict[int, Any] = {}
-    owner: Dict[int, int] = {}
     for fid in range(cluster.num_workers):
         for _tag, v, value in inboxes[fid]:
             if v in combined:
                 combined[v] = combine(combined[v], value)
-                cluster.charge(fid, 1)
+                cluster.charge(partition.master(v), 1)
             else:
                 combined[v] = value
-                owner[v] = fid
     if finalize is not None:
         for v in combined:
             combined[v] = finalize(v, combined[v])
-            cluster.charge(owner[v], 1)
+            cluster.charge(partition.master(v), 1)
     for v, value in combined.items():
-        master = owner[v]
-        for fid in partition.placement(v):
+        master = partition.master(v)
+        for fid in sorted(partition.placement(v)):
             cluster.send(
                 master,
                 fid,
@@ -94,4 +102,131 @@ def sync_by_master(
     for fid in range(cluster.num_workers):
         for _tag, v, value in inboxes[fid]:
             out[fid][v] = value
+    return out
+
+
+def sync_by_master_arrays(
+    cluster: Cluster,
+    plan: FragmentPlan,
+    partial_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    reduce: str = "sum",
+    value_bytes: float = float(VALUE_BYTES),
+    finalize: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Array twin of :func:`sync_by_master`, bit-identical to it.
+
+    Parameters
+    ----------
+    partial_arrays:
+        ``{fid: (vertex_ids, values)}`` with unique ids per fragment.
+    reduce:
+        ``"sum"`` or ``"min"`` — the master-side combine.
+    finalize:
+        Optional vectorized ``(vertex_ids, combined) -> values`` applied
+        at the masters before broadcast.
+
+    Returns ``{fid: (vertex_ids, values)}`` for every fragment holding a
+    copy of a synchronized vertex.  Two supersteps are consumed.
+
+    Bit-identity: each fragment's partials are shipped in ascending
+    vertex order, fragments in ascending fid order — exactly the scalar
+    path's canonical send order, so the fault stream sees the same
+    per-message fate sequence.  Master-side reduction uses ``np.add.at``
+    / ``np.minimum.at``, which apply updates sequentially in index
+    order; since the index arrays are laid out in scalar arrival order
+    (sender-fid-major), the float combine order — hence every rounding
+    step — matches the scalar ``combine`` chain exactly.
+    """
+    if reduce not in ("sum", "min"):
+        raise ValueError(f"unsupported reduce {reduce!r} (use 'sum' or 'min')")
+    num_workers = cluster.num_workers
+
+    # Superstep A: mirrors ship (id, value) arrays to the masters.
+    parts_ids = []
+    parts_vals = []
+    parts_dst = []
+    for fid in range(num_workers):
+        entry = partial_arrays.get(fid)
+        if entry is None:
+            continue
+        ids, vals = entry
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            continue
+        vals = np.asarray(vals, dtype=np.float64)
+        order = np.argsort(ids)  # ids unique per fragment: total order
+        ids = ids[order]
+        vals = vals[order]
+        masters = plan.master_of[ids]
+        cluster.send_batch(
+            fid,
+            masters,
+            np.full(ids.size, value_bytes),
+            master_vertices=np.where(plan.border_mask[ids], ids, -1),
+        )
+        parts_ids.append(ids)
+        parts_vals.append(vals)
+        parts_dst.append(masters)
+    cluster.deliver()
+
+    empty_ids = np.empty(0, dtype=np.int64)
+    empty_vals = np.empty(0, dtype=np.float64)
+    if not parts_ids:
+        cluster.deliver()
+        return {f: (empty_ids, empty_vals) for f in range(num_workers)}
+
+    # Superstep B: ordered segment reduction at the masters.  The
+    # concatenated arrays are in scalar arrival order already.
+    all_ids = np.concatenate(parts_ids)
+    all_vals = np.concatenate(parts_vals)
+    all_dst = np.concatenate(parts_dst)
+    uids, first_idx, inverse = np.unique(
+        all_ids, return_index=True, return_inverse=True
+    )
+    if reduce == "sum":
+        acc = np.zeros(uids.size, dtype=np.float64)
+        np.add.at(acc, inverse, all_vals)
+    else:
+        acc = all_vals[first_idx].copy()
+        np.minimum.at(acc, inverse, all_vals)
+    umaster = plan.master_of[uids]
+    msgs_per_master = np.bincount(all_dst, minlength=num_workers)
+    uniq_per_master = np.bincount(umaster, minlength=num_workers)
+    extra = msgs_per_master - uniq_per_master  # combine calls per master
+    for m in np.nonzero(extra > 0)[0]:
+        cluster.charge(int(m), float(extra[m]))
+    if finalize is not None:
+        acc = finalize(uids, acc)
+        for m in np.nonzero(uniq_per_master)[0]:
+            cluster.charge(int(m), float(uniq_per_master[m]))
+
+    # Broadcast back to every placement, masters ascending, vertices in
+    # first-arrival order within a master (the scalar dict order).
+    order = np.lexsort((first_idx, umaster))
+    bids = uids[order]
+    bvals = acc[order]
+    bmaster = umaster[order]
+    idx, lens = gather_segments(plan.place_indptr, bids)
+    targets = plan.place_fids[idx]
+    rep_ids = np.repeat(bids, lens)
+    rep_vals = np.repeat(bvals, lens)
+    rep_mv = np.where(plan.border_mask[rep_ids], rep_ids, -1)
+    rep_master = np.repeat(bmaster, lens)
+    for m in np.unique(rep_master):
+        sel = rep_master == m
+        cluster.send_batch(
+            int(m),
+            targets[sel],
+            np.full(int(sel.sum()), value_bytes),
+            master_vertices=rep_mv[sel],
+        )
+    cluster.deliver()
+
+    out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    for f in range(num_workers):
+        sel = targets == f
+        if sel.any():
+            out[f] = (rep_ids[sel], rep_vals[sel])
+        else:
+            out[f] = (empty_ids, empty_vals)
     return out

@@ -72,3 +72,68 @@ def test_two_supersteps_consumed(split_cluster):
     before = cluster.profile.num_supersteps
     sync_by_master(cluster, {0: {1: 1.0}}, combine=max)
     assert cluster.profile.num_supersteps == before + 2
+
+
+def test_combine_finalize_charged_at_recorded_master():
+    # Three copies of vertex 1; master moved OFF the lowest fragment so a
+    # "charge wherever the partial landed" bug would hit worker 0.
+    g = Graph(4, [(0, 1), (1, 2), (1, 3)])
+    p = HybridPartition.from_edge_assignment(
+        g, {(0, 1): 0, (1, 2): 1, (1, 3): 2}, 3
+    )
+    p.set_master(1, 2)
+    cluster = Cluster(p)
+    sync_by_master(
+        cluster,
+        {0: {1: 1.0}, 1: {1: 2.0}, 2: {1: 4.0}},
+        combine=lambda a, b: a + b,
+        finalize=lambda _v, total: total + 1.0,
+    )
+    ops = cluster.profile.comp_ops_by_worker
+    # Two combine calls + one finalize, all at the recorded master.
+    assert ops == {2: 3.0}
+
+
+def test_array_sync_bit_identical_to_scalar_with_moved_master():
+    import numpy as np
+
+    from repro.runtime.plan import get_plan
+    from repro.runtime.sync import sync_by_master_arrays
+
+    g = Graph(4, [(0, 1), (1, 2), (1, 3)])
+
+    def build():
+        p = HybridPartition.from_edge_assignment(
+            g, {(0, 1): 0, (1, 2): 1, (1, 3): 2}, 3
+        )
+        p.set_master(1, 2)
+        return p
+
+    p_scalar = build()
+    c_scalar = Cluster(p_scalar)
+    out_scalar = sync_by_master(
+        c_scalar,
+        {0: {1: 1.0}, 1: {1: 2.0}, 2: {1: 4.0}},
+        combine=lambda a, b: a + b,
+        finalize=lambda _v, total: total + 1.0,
+    )
+
+    p_arrays = build()
+    c_arrays = Cluster(p_arrays)
+    out_arrays = sync_by_master_arrays(
+        c_arrays,
+        get_plan(p_arrays),
+        {
+            0: (np.array([1]), np.array([1.0])),
+            1: (np.array([1]), np.array([2.0])),
+            2: (np.array([1]), np.array([4.0])),
+        },
+        reduce="sum",
+        finalize=lambda _ids, acc: acc + 1.0,
+    )
+
+    for fid in range(3):
+        ids, vals = out_arrays[fid]
+        assert dict(zip(ids.tolist(), vals.tolist())) == out_scalar[fid]
+    # finish() folds the array path's bulk attribution accumulators.
+    assert c_arrays.finish().to_dict() == c_scalar.finish().to_dict()
