@@ -1,0 +1,266 @@
+"""Resilience bench: clean-path overhead and recovery latency.
+
+Times ``repro.eval.run_all --quick`` under the resilient evaluation
+engine and emits ``BENCH_resilience.json`` with two curve families:
+
+* **overhead-vs-clean** — cold and warm sweeps with artifact checksum
+  validation on (the default) versus ``--no-validate``: the price of
+  the resilience layer when nothing fails.  Acceptance bar (full mode):
+  cold clean-path overhead stays under 5%.
+* **recovery-latency** — chaos-injected sweeps at increasing failure
+  rates (worker kills + artifact corruption + hangs): extra wall-clock
+  over the clean baseline, with the parsed ``[resilience]`` counters,
+  and a warm replay asserting the stdout tables survived byte-identical.
+
+Standalone usage (what CI's eval-resilience-smoke step runs):
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke
+
+``--smoke`` restricts the sweep to ``--only exp3`` with a single chaos
+point and skips the acceptance-bar assertion; the full bench sweeps
+three chaos rates over exp3,exp4.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SMOKE_SECTIONS = "exp3"
+FULL_SECTIONS = "exp3,exp4"
+
+#: (kill, corrupt, hang) rates for the recovery-latency curve
+SMOKE_CHAOS_POINTS = ((0.2, 0.2, 0.1),)
+FULL_CHAOS_POINTS = ((0.1, 0.1, 0.05), (0.2, 0.2, 0.1), (0.4, 0.3, 0.15))
+
+
+def _run_sweep(cache_dir, jobs, sections, extra_args=()):
+    """One ``run_all --quick`` subprocess; returns (wall, stdout, stderr)."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.eval.run_all",
+        "--quick",
+        "--jobs",
+        str(jobs),
+        "--cache-dir",
+        str(cache_dir),
+        "--only",
+        sections,
+    ]
+    cmd += list(extra_args)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=str(REPO_ROOT)
+    )
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"run_all failed (jobs={jobs}, args={extra_args}):\n"
+            f"{proc.stderr[-2000:]}"
+        )
+    return wall, proc.stdout, proc.stderr
+
+
+def _resilience_stats(stderr):
+    """Parse the ``[resilience]`` stderr line (zeros when it is absent)."""
+    match = re.search(
+        r"\[resilience\] (\d+) retries, (\d+) timeouts, (\d+) hedges, "
+        r"(\d+) worker crashes, (\d+) quarantined, (\d+) degraded",
+        stderr,
+    )
+    fields = ("retries", "timeouts", "hedges", "worker_crashes",
+              "quarantined", "degraded")
+    if not match:
+        return dict.fromkeys(fields, 0)
+    return {name: int(match.group(i + 1)) for i, name in enumerate(fields)}
+
+
+def _overhead(validated_s, trusting_s):
+    """Relative clean-path cost of validation (clamped at 0 for noise)."""
+    if trusting_s <= 0:
+        return 0.0
+    return max(0.0, validated_s / trusting_s - 1.0)
+
+
+def run_bench(jobs, sections, chaos_points):
+    """Overhead and recovery-latency sweeps; returns the report."""
+    workspace = tempfile.mkdtemp(prefix="bench-resilience-")
+    try:
+        # -- overhead-vs-clean ----------------------------------------
+        validated_cache = os.path.join(workspace, "validated")
+        trusting_cache = os.path.join(workspace, "trusting")
+        validated_cold_s, validated_out, _ = _run_sweep(
+            validated_cache, jobs, sections
+        )
+        trusting_cold_s, _, _ = _run_sweep(
+            trusting_cache, jobs, sections, extra_args=("--no-validate",)
+        )
+        # Warm replays are read-dominated, so they bound the per-read
+        # validation cost; min-of-3 suppresses scheduler noise.
+        validated_warm_s = min(
+            _run_sweep(validated_cache, 1, sections)[0] for _ in range(3)
+        )
+        trusting_warm_s = min(
+            _run_sweep(
+                trusting_cache, 1, sections, extra_args=("--no-validate",)
+            )[0]
+            for _ in range(3)
+        )
+        clean = {
+            "validated_cold_s": validated_cold_s,
+            "novalidate_cold_s": trusting_cold_s,
+            "cold_overhead": _overhead(validated_cold_s, trusting_cold_s),
+            "validated_warm_s": validated_warm_s,
+            "novalidate_warm_s": trusting_warm_s,
+            "warm_overhead": _overhead(validated_warm_s, trusting_warm_s),
+        }
+
+        # -- recovery latency -----------------------------------------
+        recovery = []
+        for kill, corrupt, hang in chaos_points:
+            chaos_cache = os.path.join(
+                workspace, f"chaos-{kill}-{corrupt}-{hang}"
+            )
+            chaos_args = (
+                "--job-timeout", "120",
+                "--chaos-seed", "11",
+                "--chaos-kill", str(kill),
+                "--chaos-corrupt", str(corrupt),
+                "--chaos-hang", str(hang),
+                "--chaos-hang-seconds", "1.0",
+            )
+            chaos_s, chaos_out, chaos_err = _run_sweep(
+                chaos_cache, jobs, sections, extra_args=chaos_args
+            )
+            # clean warm replay from the chaos-built cache: the tables
+            # must have survived the injected failures byte-identically
+            _, replay_out, _ = _run_sweep(chaos_cache, 1, sections)
+            recovery.append(
+                {
+                    "kill_rate": kill,
+                    "corrupt_rate": corrupt,
+                    "hang_rate": hang,
+                    "wall_s": chaos_s,
+                    "recovery_latency_s": chaos_s - validated_cold_s,
+                    "resilience": _resilience_stats(chaos_err),
+                    "stdout_identical": chaos_out == replay_out,
+                }
+            )
+
+        return {
+            "cpu_count": os.cpu_count(),
+            "jobs": jobs,
+            "sections": sections,
+            "clean": clean,
+            "recovery": recovery,
+        }
+    finally:
+        shutil.rmtree(workspace, ignore_errors=True)
+
+
+def check_report(report, smoke):
+    """The bench's assertions: exactness always, overhead bar when full."""
+    for point in report["recovery"]:
+        assert point["stdout_identical"], (
+            f"chaos run at kill={point['kill_rate']} changed the stdout "
+            "tables (replay differs)"
+        )
+    injected = sum(
+        sum(point["resilience"].values()) for point in report["recovery"]
+    )
+    assert injected > 0, "chaos points injected no recoverable failures"
+    if smoke:
+        return
+    assert report["clean"]["cold_overhead"] < 0.05, (
+        f"clean-path resilience overhead {report['clean']['cold_overhead']:.1%} "
+        "breaches the 5% acceptance bar"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"--only {SMOKE_SECTIONS}, one chaos point, skip acceptance bars",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) >= 4 else 2,
+        metavar="N",
+        help="parallel worker count to benchmark (default: 4, or 2 on small machines)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_resilience.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    sections = SMOKE_SECTIONS if args.smoke else FULL_SECTIONS
+    chaos_points = SMOKE_CHAOS_POINTS if args.smoke else FULL_CHAOS_POINTS
+    report = run_bench(jobs=args.jobs, sections=sections, chaos_points=chaos_points)
+    check_report(report, smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    clean = report["clean"]
+    print(
+        f"clean cold {clean['validated_cold_s']:.1f}s validated vs "
+        f"{clean['novalidate_cold_s']:.1f}s unvalidated "
+        f"({clean['cold_overhead']:.1%} overhead); "
+        f"warm {clean['validated_warm_s']:.1f}s vs "
+        f"{clean['novalidate_warm_s']:.1f}s ({clean['warm_overhead']:.1%})"
+    )
+    for point in report["recovery"]:
+        stats = point["resilience"]
+        print(
+            f"chaos kill={point['kill_rate']} corrupt={point['corrupt_rate']} "
+            f"hang={point['hang_rate']}: {point['wall_s']:.1f}s "
+            f"(+{point['recovery_latency_s']:.1f}s recovery), "
+            f"{stats['retries']} retries, {stats['worker_crashes']} crashes, "
+            f"{stats['quarantined']} quarantined; stdout identical: "
+            f"{point['stdout_identical']}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_resilience(benchmark, print_section):
+    """Pytest wrapper: smoke subset under the bench harness."""
+    from benchmarks.conftest import run_once
+
+    report = run_once(
+        benchmark,
+        lambda: run_bench(
+            jobs=2, sections=SMOKE_SECTIONS, chaos_points=SMOKE_CHAOS_POINTS
+        ),
+    )
+    check_report(report, smoke=True)
+    print_section(
+        "Extension: evaluation-engine resilience (chaos recovery + "
+        f"clean-path overhead, --only {SMOKE_SECTIONS})",
+        json.dumps(
+            {
+                "cpu_count": report["cpu_count"],
+                "clean": report["clean"],
+                "recovery": report["recovery"],
+            },
+            indent=2,
+        ),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the library's pipeline without writing Python::
+Six subcommands cover the library's pipeline without writing Python::
 
     python -m repro.cli generate  --kind powerlaw --vertices 2000 \\
         --degree 8 --out graph.txt
@@ -10,6 +10,7 @@ Five subcommands cover the library's pipeline without writing Python::
         --algorithms pr,wcc
     python -m repro.cli metrics   --graph graph.txt --partition part.json
     python -m repro.cli sweep     --quick --jobs 4 --only exp1,exp3
+    python -m repro.cli cache     verify --repair
 
 ``partition --refine ALG`` runs the application-driven refiner for that
 algorithm's cost model after the baseline; ``evaluate`` reports each
@@ -25,7 +26,13 @@ and the table gains failure/recovery/checkpoint columns.
 sweep of :mod:`repro.eval.run_all`) on the parallel evaluation engine:
 ``--jobs N`` fans independent cells out over worker processes and
 ``--cache-dir``/``--no-cache`` control the content-addressed artifact
-cache that later runs (and the benchmark scripts) replay from.
+cache that later runs (and the benchmark scripts) replay from;
+``--job-timeout`` bounds each warm-phase job's wall clock.
+
+``cache verify`` audits an artifact cache root: every entry's checksum
+envelope is validated, and with ``--repair`` damaged entries are moved
+to the ``quarantine/`` sidecar (future sweeps recompute them) and
+orphaned temp files from interrupted writes are deleted.
 
 ``partition --refine ALG`` accepts guarded-refinement flags
 (``--guard-interval``, ``--chaos-seed``, ``--corrupt-rate``,
@@ -295,7 +302,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         argv += ["--only", args.only]
     if args.no_kernels:
         argv.append("--no-kernels")
+    if args.job_timeout is not None:
+        argv += ["--job-timeout", str(args.job_timeout)]
     return run_all.main(argv)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``cache``: audit (and optionally repair) an artifact cache root."""
+    import os
+
+    from repro.eval.engine import ArtifactCache
+
+    if not os.path.isdir(args.cache_dir):
+        print(f"error: no cache directory at {args.cache_dir!r}", file=sys.stderr)
+        return 2
+    cache = ArtifactCache(args.cache_dir)
+    audit = cache.verify(repair=args.repair)
+    rows = [
+        ["scanned", audit.scanned],
+        ["ok", audit.ok],
+        ["corrupt", len(audit.corrupt)],
+        ["quarantined", audit.quarantined],
+        ["orphan temp files", len(audit.orphan_tmp)],
+        ["temp files removed", audit.removed_tmp],
+    ]
+    print(format_table(["check", "count"], rows))
+    for key in audit.corrupt:
+        print(f"corrupt: {key}", file=sys.stderr)
+    for path in audit.orphan_tmp:
+        print(f"orphan: {path}", file=sys.stderr)
+    if audit.healthy:
+        print(f"cache {args.cache_dir} is healthy")
+        return 0
+    if args.repair:
+        print(
+            f"cache {args.cache_dir} repaired: damaged entries quarantined "
+            "(they will be recomputed on the next sweep)"
+        )
+        return 0
+    print(f"cache {args.cache_dir} has damaged entries (rerun with --repair)")
+    return 1
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -472,7 +518,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run algorithms via the scalar reference loops",
     )
+    sweep.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline for the warm phase",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser("cache", help="audit / repair an artifact cache")
+    cache.add_argument(
+        "action", choices=["verify"], help="verify: validate every artifact"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    cache.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine damaged entries and delete orphaned temp files",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     met = sub.add_parser("metrics", help="partition quality metrics")
     met.add_argument("--graph", required=True)

@@ -54,6 +54,13 @@ def emigrate(partition: HybridPartition, v: int, src: int, dst: int) -> None:
         partition.add_vertex_to(dst, v)
         if src_fragment.has_vertex(v):
             partition.remove_vertex_from(src, v)
+    else:
+        # Placement self-check before the master moves: a no-op when the
+        # indexes are consistent (the edge loop put the copy there), but
+        # heals a stale _placement entry — e.g. after injected index
+        # corruption when dst already held every edge being migrated, so
+        # add_edge_to returned early without re-indexing the endpoint.
+        partition.add_vertex_to(dst, v)
     partition.set_master(v, dst)
 
 

@@ -17,7 +17,13 @@ fast twice over:
 * a **content-addressed on-disk cache**
   (:mod:`repro.eval.engine.cache`) stores serialized partitions and run
   profiles, so a second ``run_all``, a ``--quick`` run after a full run,
-  or any benchmark script replays artifacts instead of recomputing.
+  or any benchmark script replays artifacts instead of recomputing;
+* a **resilience layer** (:mod:`repro.eval.engine.resilience`) — worker
+  crashes, hung jobs, and corrupt artifacts are retried with seeded
+  backoff, timed out / hedged, quarantined and recomputed, or degraded
+  to in-process execution, so partial failure never aborts a sweep; the
+  seeded :mod:`repro.eval.engine.chaos` harness injects those failures
+  deterministically for tests and benchmarks.
 
 :class:`~repro.eval.engine.engine.EvalEngine` is the facade the
 evaluation harness delegates to; ``use_engine`` installs one for a
@@ -26,7 +32,8 @@ passthrough engine preserving the historical serial behavior when none
 is installed).
 """
 
-from repro.eval.engine.cache import ArtifactCache, CacheStats
+from repro.eval.engine.cache import ArtifactCache, CacheAudit, CacheStats
+from repro.eval.engine.chaos import EngineChaos, sabotage_artifact
 from repro.eval.engine.engine import EvalEngine, get_engine, use_engine
 from repro.eval.engine.jobs import Job, JobGraph, Planner
 from repro.eval.engine.keys import (
@@ -37,14 +44,27 @@ from repro.eval.engine.keys import (
     partition_digest,
     payload_digest,
 )
+from repro.eval.engine.resilience import (
+    MissingArtifactError,
+    ResilienceConfig,
+    ResilienceStats,
+    RetryPolicy,
+    seeded_fraction,
+)
 
 __all__ = [
     "ArtifactCache",
+    "CacheAudit",
     "CacheStats",
+    "EngineChaos",
     "EvalEngine",
     "Job",
     "JobGraph",
+    "MissingArtifactError",
     "Planner",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "RetryPolicy",
     "canonical_json",
     "config_digest",
     "get_engine",
@@ -52,5 +72,7 @@ __all__ = [
     "model_payload",
     "partition_digest",
     "payload_digest",
+    "sabotage_artifact",
+    "seeded_fraction",
     "use_engine",
 ]

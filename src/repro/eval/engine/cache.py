@@ -1,4 +1,4 @@
-"""Content-addressed on-disk artifact cache.
+"""Content-addressed on-disk artifact cache with self-healing reads.
 
 Artifacts are JSON files stored under ``<root>/<key[:2]>/<key>.json``
 where ``key`` is the cell's config digest (:mod:`repro.eval.engine.
@@ -6,8 +6,18 @@ keys`).  Writes are atomic (temp file + ``os.replace``), so concurrent
 worker processes racing to store the same content-addressed artifact are
 benign: last writer wins with identical bytes.
 
-The cache keeps hit / miss / byte counters; the engine snapshots them
-per experiment so ``run_all`` can report what the cache saved.
+Every file is an *envelope* ``{"checksum": sha256(payload), "payload":
+...}``.  Reads validate the checksum: truncated, unparseable, or
+mismatching entries are **quarantined** — moved to
+``<root>/quarantine/`` — and reported as a miss, so the cell is
+transparently recomputed instead of poisoning the sweep.  ``verify``
+audits a whole cache root (and, with ``repair``, quarantines bad
+entries and removes orphaned temp files left by interrupted writes);
+the ``repro cache verify --repair`` CLI wraps it.
+
+The cache keeps hit / miss / byte / quarantine counters; the engine
+snapshots them per experiment so ``run_all`` can report what the cache
+saved (and healed).
 """
 
 from __future__ import annotations
@@ -16,24 +26,37 @@ import json
 import os
 import tempfile
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.eval.engine.keys import canonical_json, payload_digest
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: sidecar directory for damaged artifacts (never a shard: shards are
+#: two hex characters)
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
 class CacheStats:
-    """Hit / miss / byte counters of one :class:`ArtifactCache`."""
+    """Hit / miss / byte / quarantine counters of one :class:`ArtifactCache`."""
 
     hits: int = 0
     misses: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    quarantined: int = 0
 
     def snapshot(self) -> "CacheStats":
         """A copy of the current counters (for per-experiment deltas)."""
-        return CacheStats(self.hits, self.misses, self.bytes_read, self.bytes_written)
+        return CacheStats(
+            self.hits,
+            self.misses,
+            self.bytes_read,
+            self.bytes_written,
+            self.quarantined,
+        )
 
     def delta(self, since: "CacheStats") -> "CacheStats":
         """Counter increments since ``since`` was snapshotted."""
@@ -42,6 +65,7 @@ class CacheStats:
             misses=self.misses - since.misses,
             bytes_read=self.bytes_read - since.bytes_read,
             bytes_written=self.bytes_written - since.bytes_written,
+            quarantined=self.quarantined - since.quarantined,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -51,15 +75,47 @@ class CacheStats:
             "misses": self.misses,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "quarantined": self.quarantined,
         }
 
     def describe(self) -> str:
         """One-line human-readable rendering."""
-        return (
+        text = (
             f"{self.hits} hits / {self.misses} misses, "
             f"{self.bytes_read / 1e6:.2f} MB read, "
             f"{self.bytes_written / 1e6:.2f} MB written"
         )
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
+        return text
+
+
+@dataclass
+class CacheAudit:
+    """Result of :meth:`ArtifactCache.verify` over a cache root."""
+
+    scanned: int = 0
+    ok: int = 0
+    corrupt: List[str] = field(default_factory=list)
+    quarantined: int = 0
+    orphan_tmp: List[str] = field(default_factory=list)
+    removed_tmp: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the root held no damaged entries and no orphans."""
+        return not self.corrupt and not self.orphan_tmp
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable audit report."""
+        return {
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "corrupt": list(self.corrupt),
+            "quarantined": self.quarantined,
+            "orphan_tmp": list(self.orphan_tmp),
+            "removed_tmp": self.removed_tmp,
+        }
 
 
 class ArtifactCache:
@@ -74,19 +130,30 @@ class ArtifactCache:
         store (an artifact read five times in one sweep is parsed once).
         Memory hits and disk hits both count as cache hits — either way
         the cell was not recomputed.
+    validate:
+        Verify the content checksum on every disk read and quarantine
+        damaged entries (default).  ``False`` skips the digest check —
+        only meaningful for measuring its overhead (bench_resilience).
     """
 
-    def __init__(self, root: PathLike, memory_entries: int = 128) -> None:
+    def __init__(
+        self, root: PathLike, memory_entries: int = 128, validate: bool = True
+    ) -> None:
         self.root = os.fspath(root)
+        self.validate = validate
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Dict]" = OrderedDict()
         self._memory_entries = memory_entries
 
-    def _path(self, key: str) -> str:
+    def path_for(self, key: str) -> str:
+        """On-disk location of the artifact stored under ``key``."""
         return os.path.join(self.root, key[:2], f"{key}.json")
 
+    # Backwards-compatible alias (pre-resilience internal name).
+    _path = path_for
+
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or os.path.exists(self._path(key))
+        return key in self._memory or os.path.exists(self.path_for(key))
 
     def _remember(self, key: str, payload: Dict) -> None:
         if self._memory_entries <= 0:
@@ -96,38 +163,67 @@ class ArtifactCache:
         while len(self._memory) > self._memory_entries:
             self._memory.popitem(last=False)
 
+    def forget(self, key: str) -> None:
+        """Drop the in-memory copy of ``key`` (force the next read to disk)."""
+        self._memory.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Dict]:
         """Return the payload stored under ``key``, or ``None`` on a miss.
 
         A miss is *not* counted here — the caller may still find the
         value elsewhere; :meth:`count_miss` charges the recomputation.
+        A damaged entry (truncated, unparseable, checksum mismatch) is
+        quarantined and reported as a miss.
         """
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             return cached
-        path = self._path(key)
+        path = self.path_for(key)
         try:
             with open(path, "r", encoding="ascii") as handle:
                 text = handle.read()
         except OSError:
             return None
-        payload = json.loads(text)
+        payload = self._decode(key, text)
+        if payload is None:
+            self.quarantine(key)
+            return None
         self.stats.hits += 1
         self.stats.bytes_read += len(text)
         self._remember(key, payload)
+        return payload
+
+    def _decode(self, key: str, text: str) -> Optional[Dict]:
+        """Unwrap and validate one artifact envelope; ``None`` if damaged."""
+        try:
+            envelope = json.loads(text)
+            payload = envelope["payload"]
+            checksum = envelope["checksum"]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+        if self.validate and payload_digest(payload) != checksum:
+            return None
         return payload
 
     def count_miss(self) -> None:
         """Record that a cell had to be recomputed."""
         self.stats.misses += 1
 
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
     def put(self, key: str, payload: Dict) -> None:
-        """Atomically store ``payload`` under ``key``."""
-        path = self._path(key)
+        """Atomically store ``payload`` (wrapped in its envelope) under ``key``."""
+        path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        text = canonical_json(
+            {"checksum": payload_digest(payload), "payload": payload}
+        )
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
         )
@@ -143,3 +239,85 @@ class ArtifactCache:
             raise
         self.stats.bytes_written += len(text)
         self._remember(key, payload)
+
+    def restore(self, key: str) -> bool:
+        """Re-write ``key``'s artifact from the in-memory copy, if held.
+
+        The memory LRU only ever holds validated payloads, so when a
+        disk entry is damaged after the parent already read (or wrote)
+        it, the scheduler can heal the file without recomputing.
+        """
+        payload = self._memory.get(key)
+        if payload is None:
+            return False
+        self.put(key, payload)
+        return True
+
+    # ------------------------------------------------------------------
+    # Quarantine and audit
+    # ------------------------------------------------------------------
+    def quarantine(self, key: str) -> bool:
+        """Move ``key``'s damaged file to the quarantine sidecar directory."""
+        path = self.path_for(key)
+        target_dir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            os.makedirs(target_dir, exist_ok=True)
+            os.replace(path, os.path.join(target_dir, f"{key}.json"))
+        except OSError:
+            # Lost a race with another healer (or the file vanished):
+            # either way it is no longer readable at its shard path.
+            if os.path.exists(path):
+                return False
+        self.forget(key)
+        self.stats.quarantined += 1
+        return True
+
+    def _shard_dirs(self) -> List[str]:
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        return [
+            os.path.join(self.root, name)
+            for name in names
+            if len(name) == 2 and os.path.isdir(os.path.join(self.root, name))
+        ]
+
+    def verify(self, repair: bool = False) -> CacheAudit:
+        """Audit every artifact under the root; optionally heal the store.
+
+        Validates each entry's envelope and checksum.  With ``repair``,
+        damaged entries are quarantined (so future reads recompute
+        instead of failing) and orphaned ``.tmp-*`` files left by
+        interrupted atomic writes are deleted.  Without ``repair`` the
+        audit is read-only.
+        """
+        audit = CacheAudit()
+        for shard in self._shard_dirs():
+            for name in sorted(os.listdir(shard)):
+                path = os.path.join(shard, name)
+                if name.startswith(".tmp-"):
+                    audit.orphan_tmp.append(path)
+                    if repair:
+                        try:
+                            os.unlink(path)
+                            audit.removed_tmp += 1
+                        except OSError:
+                            pass
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                key = name[: -len(".json")]
+                audit.scanned += 1
+                try:
+                    with open(path, "r", encoding="ascii") as handle:
+                        text = handle.read()
+                except OSError:
+                    continue
+                if self._decode(key, text) is None:
+                    audit.corrupt.append(key)
+                    if repair and self.quarantine(key):
+                        audit.quarantined += 1
+                else:
+                    audit.ok += 1
+        return audit

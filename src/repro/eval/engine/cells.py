@@ -224,6 +224,32 @@ def compute_memo_cell(memo_kind: str, params: Dict) -> Dict:
     return {"kind": "memo", "memo_kind": memo_kind, "value": func(**params)}
 
 
+#: fields every payload of a given kind must carry to be usable by its
+#: dependents and by the table-rendering phase
+REQUIRED_FIELDS: Dict[str, Sequence[str]] = {
+    "partition": ("partition", "content", "seconds"),
+    "refine": ("partition", "content", "profile"),
+    "run": ("makespan", "profile"),
+    "composite": ("partitions", "views", "profile"),
+    "memo": ("value",),
+}
+
+
+def payload_is_wellformed(payload) -> bool:
+    """Whether ``payload`` has the shape its declared kind requires.
+
+    Checksum validation (:mod:`repro.eval.engine.cache`) proves an
+    artifact's bytes are intact; this proves the *content* is usable —
+    guarding against stale entries written by an older payload schema.
+    The executor quarantines shape-invalid artifacts exactly like
+    corrupt ones.
+    """
+    if not isinstance(payload, dict):
+        return False
+    fields = REQUIRED_FIELDS.get(payload.get("kind"))
+    return fields is not None and all(f in payload for f in fields)
+
+
 def payload_meta(payload: Dict) -> Dict:
     """The light part of an artifact payload (everything but bulk data).
 

@@ -1,0 +1,137 @@
+"""Seeded chaos injection for the evaluation engine.
+
+:class:`EngineChaos` deterministically injects the four failure modes
+the resilience layer recovers from, keyed — like everything else in the
+engine — by pure content hashes, so a chaos-injected sweep is exactly
+reproducible across processes and hash seeds:
+
+=================== ===================================================
+kind                effect inside a worker process
+=================== ===================================================
+``kill-worker``     ``os._exit(1)`` before computing (the parent sees a
+                    ``BrokenProcessPool``; every in-flight job on that
+                    pool is retried on a fresh one)
+``hang-job``        sleep ``hang_seconds`` before computing (trips the
+                    per-job timeout / straggler detector)
+``corrupt-artifact`` flip bytes inside the stored artifact file after a
+                    successful write (checksum validation quarantines
+                    it on the next read)
+``torn-write``      truncate the stored artifact file mid-JSON (as if
+                    the process died inside a non-atomic write)
+=================== ===================================================
+
+Fates are drawn per ``(kind, cache key, attempt)``; by default only
+attempt 0 of a job can be sabotaged (``first_attempt_only``), which
+proves the recovery path while guaranteeing the sweep converges.  The
+chaos plan travels to spawn workers by value (it is a frozen dataclass
+of plain floats), so worker fates match what the parent would draw.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List
+
+from repro.eval.engine.resilience import seeded_fraction
+
+CHAOS_KINDS = ("kill-worker", "hang-job", "corrupt-artifact", "torn-write")
+
+
+@dataclass(frozen=True)
+class EngineChaos:
+    """Deterministic failure-injection plan for executor workers."""
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    torn_rate: float = 0.0
+    hang_seconds: float = 1.0
+    first_attempt_only: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "hang_rate", "corrupt_rate", "torn_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be >= 0")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this plan can never fire."""
+        return (
+            self.kill_rate == 0.0
+            and self.hang_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and self.torn_rate == 0.0
+        )
+
+    def _fires(self, kind: str, rate: float, key: str, attempt: int) -> bool:
+        if rate <= 0.0:
+            return False
+        if self.first_attempt_only and attempt > 0:
+            return False
+        return seeded_fraction(self.seed, kind, key, attempt) < rate
+
+    def fates(self, key: str, attempt: int) -> List[str]:
+        """Chaos kinds that fire for attempt ``attempt`` of cell ``key``."""
+        out = []
+        for kind, rate in (
+            ("kill-worker", self.kill_rate),
+            ("hang-job", self.hang_rate),
+            ("corrupt-artifact", self.corrupt_rate),
+            ("torn-write", self.torn_rate),
+        ):
+            if self._fires(kind, rate, key, attempt):
+                out.append(kind)
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker-side injection
+    # ------------------------------------------------------------------
+    def before_compute(self, key: str, attempt: int) -> None:
+        """Apply pre-compute fates (kill / hang) inside a worker."""
+        fates = self.fates(key, attempt)
+        if "kill-worker" in fates:
+            os._exit(17)
+        if "hang-job" in fates:
+            time.sleep(self.hang_seconds)
+
+    def after_store(self, cache, key: str, attempt: int) -> None:
+        """Apply post-store fates (corrupt / torn write) to the artifact."""
+        fates = self.fates(key, attempt)
+        if "corrupt-artifact" in fates:
+            sabotage_artifact(cache.path_for(key), mode="corrupt")
+        elif "torn-write" in fates:
+            sabotage_artifact(cache.path_for(key), mode="torn")
+
+
+def sabotage_artifact(path: str, mode: str = "corrupt") -> None:
+    """Damage the artifact file at ``path`` in place (test harness).
+
+    ``corrupt`` flips bytes inside the JSON body so the file still
+    parses but fails checksum validation; ``torn`` truncates it mid-JSON
+    as an interrupted non-atomic write would.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return
+    if mode == "torn":
+        damaged = data[: max(1, len(data) // 2)]
+    elif mode == "corrupt":
+        # Zero out a slice of the payload body; the envelope stays valid
+        # JSON whenever the slice lands inside a long string/number run,
+        # and parse failures are handled the same way as mismatches.
+        mid = len(data) // 2
+        damaged = data[:mid] + b"0" * min(8, len(data) - mid) + data[mid + 8 :]
+        if damaged == data:
+            damaged = data[:-2] + b"!}"
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown sabotage mode {mode!r}")
+    with open(path, "wb") as handle:
+        handle.write(damaged)

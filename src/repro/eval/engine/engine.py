@@ -247,13 +247,26 @@ class EvalEngine:
             key, lambda: cells.compute_memo_cell(memo_kind, params)
         )["value"]
 
-    def warm(self, job_graph: JobGraph, jobs: int = 1):
-        """Execute ``job_graph`` into the cache (cached engines only)."""
+    def warm(self, job_graph: JobGraph, jobs: int = 1, resilience=None, chaos=None):
+        """Execute ``job_graph`` into the cache (cached engines only).
+
+        ``resilience`` is a :class:`~repro.eval.engine.resilience.
+        ResilienceConfig` (defaults apply when ``None``); ``chaos`` is an
+        :class:`~repro.eval.engine.chaos.EngineChaos` failure-injection
+        plan for tests and benchmarks.
+        """
         if self.cache is None:
             raise ValueError("cannot warm a passthrough engine (no cache)")
         from repro.eval.engine.executor import execute
 
-        return execute(job_graph, self.cache, jobs=jobs, virtual=self.virtual)
+        return execute(
+            job_graph,
+            self.cache,
+            jobs=jobs,
+            virtual=self.virtual,
+            resilience=resilience,
+            chaos=chaos,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -59,6 +59,20 @@ class JobGraph:
         for job in other.jobs.values():
             self.add(job)
 
+    def downstream_cone(self, jid: str) -> List[str]:
+        """Transitive dependents of ``jid``, in insertion (topo) order.
+
+        The resilient executor skips exactly this set when a job fails
+        permanently — every other job in the DAG still completes.
+        """
+        cone = {jid}
+        out: List[str] = []
+        for job in self.jobs.values():
+            if job.jid != jid and any(dep in cone for dep in job.deps):
+                cone.add(job.jid)
+                out.append(job.jid)
+        return out
+
     def __len__(self) -> int:
         return len(self.jobs)
 

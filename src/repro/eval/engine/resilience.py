@@ -1,0 +1,212 @@
+"""Resilience policy and accounting for the evaluation engine.
+
+The spawn-pool executor and the artifact cache both degrade gracefully
+under partial failure; this module holds the knobs and the counters:
+
+* :class:`RetryPolicy` — per-job attempt cap plus seeded exponential
+  backoff.  Delays are derived from a SHA-256 of ``(seed, key, attempt)``
+  so they are deterministic across processes and hash seeds, exactly
+  like the cache keys themselves.
+* :class:`ResilienceConfig` — the executor's full failure policy: retry
+  policy, per-job wall-clock timeout with optional hedging, and the
+  failure count after which a job is *degraded* to in-process serial
+  execution (so a poisoned pool never blocks results).
+* :class:`ResilienceStats` — what actually happened: retries, backoff
+  seconds, timeouts, hedges, worker crashes, quarantined artifacts,
+  degraded jobs, and permanently failed jobs (with their skipped
+  downstream cones).
+
+``ResilienceStats`` rides on :class:`~repro.eval.engine.executor.
+ExecutionReport` and is printed by ``run_all`` on stderr whenever any
+counter is nonzero, so injected chaos is observable without touching the
+stdout tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def seeded_fraction(seed: int, *parts) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from ``(seed, *parts)``.
+
+    Hash-seed- and process-stable (pure SHA-256), mirroring how cache
+    keys are derived; used for backoff jitter and chaos fate draws.
+    """
+    text = ":".join(str(p) for p in (seed, *parts))
+    digest = hashlib.sha256(text.encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt cap and seeded exponential backoff for failed jobs.
+
+    ``delay(key, attempt)`` grows as ``base * factor**(attempt-1)`` up to
+    ``max_delay``, plus a deterministic jitter fraction drawn from
+    ``(seed, key, attempt)`` — two failed jobs never retry in lockstep,
+    and the same sweep replays the same schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+        spread = self.jitter * seeded_fraction(self.seed, "backoff", key, attempt)
+        return raw * (1.0 + spread)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The executor's failure policy (defaults are the production path).
+
+    Parameters
+    ----------
+    retry:
+        Attempt cap + backoff schedule for crashed / failed jobs.
+    timeout:
+        Per-job wall-clock deadline in seconds (``None`` disables
+        straggler detection).  An overdue job is abandoned on its worker
+        and resubmitted; the artifact store is content-addressed, so a
+        late original finishing after the retry is benign.
+    hedge:
+        With a timeout set, launch the first retry of an overdue job
+        *while the original keeps running* (hedged request); whichever
+        attempt finishes first wins.
+    degrade_after:
+        Total failures (crashes + timeouts + errors) of one job after
+        which it stops being resubmitted to the pool and is computed
+        in-process instead — the last-resort path that keeps a sweep
+        finishing even when the pool itself is poisoned.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout: Optional[float] = None
+    hedge: bool = True
+    degrade_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.degrade_after < 1:
+            raise ValueError("degrade_after must be >= 1")
+
+
+@dataclass
+class ResilienceStats:
+    """What the resilience layer actually did during one execution."""
+
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    timeouts: int = 0
+    hedges: int = 0
+    worker_crashes: int = 0
+    cell_errors: int = 0
+    quarantined: int = 0
+    degraded: int = 0
+    failed_jobs: List[str] = field(default_factory=list)
+    skipped_jobs: List[str] = field(default_factory=list)
+
+    @property
+    def total_events(self) -> int:
+        """Sum of every failure-handling event (0 on a clean run)."""
+        return (
+            self.retries
+            + self.timeouts
+            + self.hedges
+            + self.worker_crashes
+            + self.cell_errors
+            + self.quarantined
+            + self.degraded
+            + len(self.failed_jobs)
+        )
+
+    def merge(self, other: "ResilienceStats") -> None:
+        """Fold ``other``'s counters into this block."""
+        self.retries += other.retries
+        self.backoff_seconds += other.backoff_seconds
+        self.timeouts += other.timeouts
+        self.hedges += other.hedges
+        self.worker_crashes += other.worker_crashes
+        self.cell_errors += other.cell_errors
+        self.quarantined += other.quarantined
+        self.degraded += other.degraded
+        self.failed_jobs.extend(other.failed_jobs)
+        self.skipped_jobs.extend(other.skipped_jobs)
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable counter dict."""
+        return {
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "timeouts": self.timeouts,
+            "hedges": self.hedges,
+            "worker_crashes": self.worker_crashes,
+            "cell_errors": self.cell_errors,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
+            "failed_jobs": list(self.failed_jobs),
+            "skipped_jobs": list(self.skipped_jobs),
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (stderr diagnostics)."""
+        parts = [
+            f"{self.retries} retries",
+            f"{self.timeouts} timeouts",
+            f"{self.hedges} hedges",
+            f"{self.worker_crashes} worker crashes",
+            f"{self.quarantined} quarantined",
+            f"{self.degraded} degraded",
+        ]
+        if self.failed_jobs:
+            parts.append(
+                f"{len(self.failed_jobs)} failed "
+                f"(+{len(self.skipped_jobs)} downstream skipped)"
+            )
+        return ", ".join(parts)
+
+
+class MissingArtifactError(RuntimeError):
+    """A worker found a dependency artifact missing or quarantined.
+
+    Raised (and pickled back to the parent) when a job's input artifact
+    fails checksum validation between the dependency completing and the
+    dependent loading it.  The scheduler reacts by re-planning the
+    dependency's downstream cone: the dependency is recomputed, then the
+    dependent retried — instead of aborting the DAG.
+
+    ``quarantined`` carries the raising worker's quarantine count back
+    to the parent (the worker's return value never arrives, so its
+    counters would otherwise be lost).  Exceptions pickle as
+    ``cls(*args)``, so ``args`` must hold the constructor arguments —
+    the message is rendered by ``__str__`` instead.
+    """
+
+    def __init__(self, key: str, quarantined: int = 0) -> None:
+        super().__init__(key, quarantined)
+        self.key = key
+        self.quarantined = quarantined
+
+    def __str__(self) -> str:
+        return f"dependency artifact {self.key} missing or quarantined"

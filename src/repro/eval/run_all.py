@@ -21,6 +21,15 @@ byte-identical to a serial run, and a warm cache replays the whole sweep
 Diagnostics (cache hit/miss counters per experiment, warm-phase summary,
 total wall time) go to stderr; stdout carries only the tables.
 
+The warm phase is resilient (:mod:`repro.eval.engine.resilience`):
+worker crashes and transient cell errors retry with seeded backoff,
+``--job-timeout`` abandons (and hedges) stragglers, corrupt cache
+artifacts are quarantined and recomputed, and repeatedly failing jobs
+degrade to in-process execution.  A ``[resilience]`` stderr line reports
+what happened whenever anything did.  The ``--chaos-*`` flags inject
+deterministic failures (worker kills, hangs, artifact corruption) to
+exercise those paths; the stdout tables stay byte-identical regardless.
+
 The benchmarks under ``benchmarks/`` invoke the same experiment modules
 one table/figure at a time; this script is the one-shot reproduction of
 the whole evaluation section, and is what EXPERIMENTS.md's measured
@@ -245,6 +254,74 @@ def main(argv=None) -> int:
         help="run algorithms via the scalar reference loops (slower; "
         "results are bit-identical to the kernel path)",
     )
+    resilience_group = parser.add_argument_group(
+        "resilience", "failure policy of the warm phase"
+    )
+    resilience_group.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline; overdue jobs are hedged/retried",
+    )
+    resilience_group.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="pool attempts per job before in-process degradation (default: 3)",
+    )
+    resilience_group.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="abandon overdue jobs instead of racing a duplicate attempt",
+    )
+    resilience_group.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip artifact checksum validation (overhead measurement only)",
+    )
+    chaos_group = parser.add_argument_group(
+        "chaos injection", "deterministic failure injection (tests/benchmarks)"
+    )
+    chaos_group.add_argument(
+        "--chaos-seed", type=int, default=0, help="seed for chaos fate draws"
+    )
+    chaos_group.add_argument(
+        "--chaos-kill",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a first attempt kills its worker process",
+    )
+    chaos_group.add_argument(
+        "--chaos-hang",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a first attempt hangs before computing",
+    )
+    chaos_group.add_argument(
+        "--chaos-corrupt",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a stored artifact is corrupted in place",
+    )
+    chaos_group.add_argument(
+        "--chaos-torn",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a stored artifact is truncated mid-JSON",
+    )
+    chaos_group.add_argument(
+        "--chaos-hang-seconds",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="how long a hung job sleeps (default: 1.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.no_kernels:
@@ -268,17 +345,44 @@ def main(argv=None) -> int:
         ephemeral = tempfile.mkdtemp(prefix="repro-cache-")
         cache_root = ephemeral
 
-    engine = EvalEngine(cache=ArtifactCache(cache_root))
+    from repro.eval.engine import EngineChaos, ResilienceConfig, RetryPolicy
+
+    chaos = EngineChaos(
+        seed=args.chaos_seed,
+        kill_rate=args.chaos_kill,
+        hang_rate=args.chaos_hang,
+        corrupt_rate=args.chaos_corrupt,
+        torn_rate=args.chaos_torn,
+        hang_seconds=args.chaos_hang_seconds,
+    )
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=max(1, args.max_attempts), seed=args.chaos_seed),
+        timeout=args.job_timeout,
+        hedge=not args.no_hedge,
+    )
+
+    engine = EvalEngine(
+        cache=ArtifactCache(cache_root, validate=not args.no_validate)
+    )
     try:
         with use_engine(engine):
-            if jobs > 1:
+            # Chaos needs a warm phase to inject into, so a chaos-injected
+            # serial run still warms first (the render replays artifacts).
+            if jobs > 1 or not chaos.is_empty:
                 planner = build_plan(selected, args.quick)
-                report = engine.warm(planner.graph, jobs=jobs)
+                report = engine.warm(
+                    planner.graph, jobs=jobs, resilience=resilience, chaos=chaos
+                )
                 print(
                     f"[warm] {report.total} cells: {report.computed} computed, "
                     f"{report.hits} from cache ({jobs} jobs)",
                     file=sys.stderr,
                 )
+                if report.resilience.total_events:
+                    print(
+                        f"[resilience] {report.resilience.describe()}",
+                        file=sys.stderr,
+                    )
             for name in selected:
                 before = engine.stats.snapshot()
                 SECTIONS[name][1](cfg)

@@ -234,15 +234,24 @@ class HybridPartition:
     # Mutation primitives
     # ------------------------------------------------------------------
     def add_vertex_to(self, fid: int, v: int) -> bool:
-        """Ensure a copy of ``v`` in fragment ``fid``; True if newly added."""
+        """Ensure a copy of ``v`` in fragment ``fid``; True if newly added.
+
+        Also heals a stale placement index: if the fragment already holds
+        the copy but ``_placement`` does not record it (state corruption,
+        e.g. injected by chaos tests), the index entry is restored so a
+        subsequent ``set_master(v, fid)`` cannot fail against reality.
+        """
         added = self.fragments[fid]._add_vertex(v)
-        if added:
+        stale = not added and fid not in self._placement.get(v, ())
+        if added or stale:
             hosts = self._placement.setdefault(v, set())
             hosts.add(fid)
             if v not in self._masters:
                 self._masters[v] = fid
             if self.global_incident_count(v) == 0:
                 self._full.setdefault(v, set()).add(fid)
+            elif stale:
+                self._refresh_fullness(v, fid)
             self._notify(v)
         return added
 

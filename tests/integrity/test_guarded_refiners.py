@@ -29,6 +29,7 @@ from repro.costmodel.model import CostModel
 from repro.graph.generators import chung_lu_power_law
 from repro.integrity.chaos import DEFAULT_KINDS, ChaosPlan
 from repro.integrity.guard import GuardConfig
+from repro.partition.hybrid import HybridPartition
 from repro.partition.serialize import partition_to_dict
 from repro.partition.validation import check_partition
 
@@ -227,3 +228,51 @@ def test_nan_cost_model_never_reaches_move_selection(power_graph):
     assert stats.guard.cost_model_interventions > 0
     assert math.isfinite(stats.cost_before)
     assert math.isfinite(stats.cost_after)
+
+
+# ----------------------------------------------------------------------
+# Regression: stale placement index healed by add_vertex_to / emigrate
+# ----------------------------------------------------------------------
+def test_chaos_seed_7058_stale_placement_survives():
+    """Exact repro of the pre-resilience placement-index crash.
+
+    Chaos at seed 7058 removed a fragment from ``_placement[v]`` while
+    the fragment still held the copy (and its edges); the next EMigrate
+    to that fragment found every edge already present, so nothing
+    re-indexed the endpoint, and ``set_master`` raised ``ValueError:
+    fragment 0 holds no copy of vertex 4``.  The placement self-check in
+    ``emigrate`` (backed by the ``add_vertex_to`` heal) must repair the
+    index in place instead.
+    """
+    from repro.graph.digraph import Graph
+
+    graph = Graph(6, [(2, 4), (5, 0)], directed=False)
+    partition = HybridPartition.from_vertex_assignment(
+        graph, [0 if v == 1 else 1 for v in range(6)], 2
+    )
+    refiner = E2H(
+        builtin_cost_model("pr"),
+        guard_config=GuardConfig(
+            check_interval=2, chaos=ChaosPlan(seed=7058, corrupt_rate=0.5)
+        ),
+    )
+    refined = refiner.refine(partition)
+    check_partition(refined)
+    assert refiner.last_stats.guard.unrepaired_violations == 0
+
+
+def test_add_vertex_to_heals_stale_placement_entry():
+    """Direct unit repro: a held-but-unindexed copy is re-indexed."""
+    from repro.graph.digraph import Graph
+
+    graph = Graph(4, [(0, 1), (2, 3)], directed=False)
+    partition = HybridPartition.from_vertex_assignment(graph, [0, 0, 1, 1], 2)
+    # Simulate index corruption: fragment 0 still holds vertex 1, but the
+    # placement index forgets it.
+    partition._placement[1].discard(0)
+    assert partition.fragments[0].has_vertex(1)
+    added = partition.add_vertex_to(0, 1)
+    assert not added  # the copy was already there...
+    assert 0 in partition._placement[1]  # ...but the index is healed
+    partition.set_master(1, 0)  # and the master move cannot crash
+    check_partition(partition)
