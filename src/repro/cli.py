@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's pipeline without writing Python::
+Seven subcommands cover the library's pipeline without writing Python::
 
     python -m repro.cli generate  --kind powerlaw --vertices 2000 \\
         --degree 8 --out graph.txt
@@ -11,16 +11,26 @@ Six subcommands cover the library's pipeline without writing Python::
     python -m repro.cli metrics   --graph graph.txt --partition part.json
     python -m repro.cli sweep     --quick --jobs 4 --only exp1,exp3
     python -m repro.cli cache     verify --repair
+    python -m repro.cli trace     show failure.trace
 
 ``partition --refine ALG`` runs the application-driven refiner for that
 algorithm's cost model after the baseline; ``evaluate`` reports each
 algorithm's simulated parallel runtime on the stored partition.
 
 ``evaluate`` can also degrade the simulated substrate deterministically
-(``--crash W:S``, ``--drop-rate``, ``--duplicate-rate``,
+(``--crash W:S``, ``--lose W:S``, ``--drop-rate``, ``--duplicate-rate``,
 ``--straggler W:F``, ``--faults-seed``) with superstep checkpointing and
 rollback recovery (``--checkpoint-interval``); results are unchanged,
-and the table gains failure/recovery/checkpoint columns.
+and the table gains failure/recovery/checkpoint columns.  ``--lose``
+removes a worker permanently: the cluster promotes surviving replicas
+and continues on the survivors (failover columns appear).
+
+Failure traces: ``evaluate``, ``partition``, and ``sweep`` accept
+``--trace-out PATH`` (record every fired fault/corruption/chaos fate to
+a JSONL trace) and ``--trace-in PATH`` (replay a recorded trace exactly,
+bypassing the seeded draws).  ``repro trace show|replay|minimize``
+inspects a trace, re-runs its recorded command against it, and greedily
+drops events while a failing replay keeps failing.
 
 ``sweep`` reproduces the paper's evaluation section (the experiment
 sweep of :mod:`repro.eval.run_all`) on the parallel evaluation engine:
@@ -65,7 +75,14 @@ from repro.partition.quality import (
 from repro.partition.serialize import load_partition, save_partition
 from repro.partition.validation import check_partition
 from repro.partitioners.base import PARTITIONER_NAMES, get_partitioner
-from repro.runtime.faults import CrashFault, FaultPlan, StragglerFault
+from repro.runtime.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    PermanentLossFault,
+    StragglerFault,
+)
+from repro.runtime.trace import FailureTrace, minimize, replay_argv
 
 
 def _load_graph(path: str):
@@ -108,13 +125,19 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_guard_config(args: argparse.Namespace) -> Optional[GuardConfig]:
+def _build_guard_config(
+    args: argparse.Namespace,
+    trace: Optional[FailureTrace] = None,
+    replay_trace: Optional[FailureTrace] = None,
+) -> Optional[GuardConfig]:
     """Assemble a GuardConfig from partition's guard flags (None if unused)."""
     wants_guard = (
         args.guard_interval is not None
         or args.chaos_seed is not None
         or args.corrupt_rate > 0
         or args.max_refine_seconds is not None
+        or trace is not None
+        or replay_trace is not None
     )
     if not wants_guard:
         return None
@@ -130,14 +153,31 @@ def _build_guard_config(args: argparse.Namespace) -> Optional[GuardConfig]:
             ),
             chaos=chaos,
             max_seconds=args.max_refine_seconds,
+            trace=trace,
+            replay_trace=replay_trace,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
 
+def _load_trace_or_die(path: str) -> FailureTrace:
+    """Load a trace file, exiting with a CLI error on any problem."""
+    try:
+        return FailureTrace.load(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def cmd_partition(args: argparse.Namespace) -> int:
     """``partition``: cut a graph, optionally refine, save as JSON."""
-    guard_config = _build_guard_config(args)
+    trace = loaded = None
+    if args.trace_in:
+        loaded = _load_trace_or_die(args.trace_in)
+    elif args.trace_out:
+        trace = FailureTrace(
+            meta={"command": "cli", "argv": list(getattr(args, "_argv", []))}
+        )
+    guard_config = _build_guard_config(args, trace=trace, replay_trace=loaded)
     if guard_config is not None and not args.refine:
         print(
             "error: guard flags require --refine (guards wrap the refiner)",
@@ -195,6 +235,12 @@ def cmd_partition(args: argparse.Namespace) -> int:
     print(
         f"wrote {args.fragments}-way partition ({label}) of {graph} to {args.out}"
     )
+    if trace is not None:
+        trace.save(args.trace_out)
+        print(
+            f"[trace] {len(trace)} events recorded to {args.trace_out}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -215,6 +261,10 @@ def _build_fault_plan(args: argparse.Namespace):
     crashes = tuple(
         CrashFault(*_parse_pair(spec, "--crash")) for spec in (args.crash or ())
     )
+    losses = tuple(
+        PermanentLossFault(*_parse_pair(spec, "--lose"))
+        for spec in (args.lose or ())
+    )
     stragglers = tuple(
         StragglerFault(*_parse_pair(spec, "--straggler", float))
         for spec in (args.straggler or ())
@@ -223,6 +273,7 @@ def _build_fault_plan(args: argparse.Namespace):
         plan = FaultPlan(
             seed=args.faults_seed or 0,
             crashes=crashes,
+            losses=losses,
             drop_rate=args.drop_rate,
             duplicate_rate=args.duplicate_rate,
             stragglers=stragglers,
@@ -235,7 +286,25 @@ def _build_fault_plan(args: argparse.Namespace):
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """``evaluate``: simulated runtimes of algorithms on a stored partition."""
     plan = _build_fault_plan(args)  # validate fault flags before heavy IO
-    faulty = plan is not None or args.checkpoint_interval > 0
+    trace = loaded = None
+    if args.trace_in:
+        loaded = _load_trace_or_die(args.trace_in)
+        # Replay reconstructs the declarative part of the recorded plan
+        # (seed + stragglers); drawn/scheduled fates come from the trace.
+        meta_plan = loaded.meta.get("plan")
+        base = FaultPlan.from_dict(meta_plan) if meta_plan else FaultPlan()
+        plan = FaultPlan(seed=base.seed, stragglers=base.stragglers)
+    elif args.trace_out:
+        trace = FailureTrace(
+            meta={
+                "command": "cli",
+                "argv": list(getattr(args, "_argv", [])),
+                "plan": plan.to_dict() if plan is not None else None,
+            }
+        )
+    faulty = (
+        plan is not None or args.checkpoint_interval > 0 or loaded is not None
+    )
     graph = _load_graph(args.graph)
     partition = load_partition(args.partition, graph)
     names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
@@ -246,8 +315,20 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         profiler = cProfile.Profile()
     rows = []
     for name in names:
+        faults = plan
+        if loaded is not None:
+            faults = FaultInjector(
+                plan if plan is not None else FaultPlan(),
+                replay=loaded.runtime_replay(name),
+            )
+        elif trace is not None:
+            faults = FaultInjector(
+                plan if plan is not None else FaultPlan(),
+                trace=trace,
+                trace_scope=name,
+            )
         algorithm = get_algorithm(name).configure_faults(
-            plan, args.checkpoint_interval
+            faults, args.checkpoint_interval
         )
         try:
             if profiler is not None:
@@ -273,15 +354,23 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                 result.profile.num_failures,
                 round(result.profile.recovery_time * 1e3, 3),
                 round(result.profile.checkpoint_bytes),
+                result.profile.losses,
+                round(result.profile.failover_time * 1e3, 3),
             ]
         rows.append(row)
     headers = ["algorithm", "simulated ms", "supersteps", "ops", "bytes"]
     if faulty:
-        headers += ["failures", "recovery ms", "ckpt bytes"]
+        headers += ["failures", "recovery ms", "ckpt bytes", "losses", "failover ms"]
     print(format_table(headers, rows))
     if profiler is not None:
         profiler.dump_stats(args.profile)
         print(f"wrote cProfile stats to {args.profile}", file=sys.stderr)
+    if trace is not None:
+        trace.save(args.trace_out)
+        print(
+            f"[trace] {len(trace)} events recorded to {args.trace_out}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -304,7 +393,86 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         argv.append("--no-kernels")
     if args.job_timeout is not None:
         argv += ["--job-timeout", str(args.job_timeout)]
+    if args.trace_out is not None:
+        argv += ["--trace-out", args.trace_out]
+    if args.trace_in is not None:
+        argv += ["--trace-in", args.trace_in]
     return run_all.main(argv)
+
+
+def _replay_trace(meta, trace_path: str) -> int:
+    """Re-run a trace's recorded command with ``--trace-in trace_path``."""
+    argv = replay_argv(meta, trace_path)
+    command = meta.get("command")
+    if command == "run_all":
+        from repro.eval import run_all
+
+        return run_all.main(argv)
+    if command == "cli":
+        return main(argv)
+    print(
+        f"error: trace records unknown command {command!r} "
+        "(expected 'cli' or 'run_all')",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: inspect, replay, or minimize a recorded failure trace."""
+    trace = _load_trace_or_die(args.trace)
+    if args.action == "show":
+        meta = trace.meta
+        print(f"trace: {args.trace}")
+        print(f"command: {meta.get('command', '?')}")
+        argv = meta.get("argv")
+        if argv:
+            print(f"argv: {' '.join(str(t) for t in argv)}")
+        if meta.get("plan"):
+            print(f"fault plan: {meta['plan']}")
+        print(f"events: {len(trace)}")
+        rows = [
+            [e.stream, e.scope or "-", e.kind, e.index, str(dict(e.payload))]
+            for e in trace.events
+        ]
+        if rows:
+            print(format_table(["stream", "scope", "kind", "index", "payload"], rows))
+        return 0
+    if args.action == "replay":
+        return _replay_trace(trace.meta, args.trace)
+    # minimize
+    if not args.out:
+        print("error: trace minimize requires --out", file=sys.stderr)
+        return 2
+    import os
+    import subprocess
+    import tempfile
+
+    def reproduces(candidate: FailureTrace) -> bool:
+        fd, tmp = tempfile.mkstemp(suffix=".trace")
+        os.close(fd)
+        try:
+            candidate.save(tmp)
+            if args.check:
+                proc = subprocess.run(args.check.replace("{trace}", tmp), shell=True)
+            else:
+                proc = subprocess.run(
+                    [sys.executable, "-m", "repro.cli", "trace", "replay", tmp]
+                )
+            return proc.returncode != 0
+        finally:
+            os.unlink(tmp)
+
+    try:
+        reduced = minimize(trace, reproduces)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    reduced.save(args.out)
+    print(
+        f"minimized {len(trace)} -> {len(reduced)} events; wrote {args.out}"
+    )
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -364,6 +532,23 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the mutually exclusive ``--trace-out``/``--trace-in`` pair."""
+    group = parser.add_argument_group(
+        "failure traces", "record / replay every fired fault deterministically"
+    ).add_mutually_exclusive_group()
+    group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record fired faults/corruptions/chaos fates to a JSONL trace",
+    )
+    group.add_argument(
+        "--trace-in",
+        metavar="PATH",
+        help="replay a recorded trace exactly, bypassing the seeded draws",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -429,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="wall-clock budget; early-stop with the best partition seen",
     )
+    _add_trace_flags(part)
     part.set_defaults(func=cmd_partition)
 
     ev = sub.add_parser("evaluate", help="run algorithms on a stored partition")
@@ -461,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash a worker at a superstep (repeatable)",
     )
     faults.add_argument(
+        "--lose",
+        action="append",
+        metavar="WORKER:SUPERSTEP",
+        help="permanently lose a worker at a superstep; surviving "
+        "replicas are promoted and the run continues degraded (repeatable)",
+    )
+    faults.add_argument(
         "--drop-rate",
         type=float,
         default=0.0,
@@ -484,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="supersteps between state checkpoints (0 = off)",
     )
+    _add_trace_flags(ev)
     ev.set_defaults(func=cmd_evaluate)
 
     sweep = sub.add_parser(
@@ -525,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-job wall-clock deadline for the warm phase",
     )
+    _add_trace_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     cache = sub.add_parser("cache", help="audit / repair an artifact cache")
@@ -553,13 +748,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report the cost balance factor for this algorithm",
     )
     met.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="inspect / replay / minimize a recorded failure trace"
+    )
+    trace.add_argument(
+        "action",
+        choices=["show", "replay", "minimize"],
+        help="show: print header and events; replay: re-run the recorded "
+        "command against the trace; minimize: greedily drop events while "
+        "the failure keeps reproducing",
+    )
+    trace.add_argument("trace", help="path to a recorded JSONL trace file")
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        help="where minimize writes the reduced trace (required)",
+    )
+    trace.add_argument(
+        "--check",
+        metavar="CMD",
+        help="shell command deciding whether a candidate trace still "
+        "reproduces ({trace} is replaced with the candidate's path; "
+        "nonzero exit = reproduces); default: replay the trace and "
+        "treat a nonzero exit as reproducing",
+    )
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    raw = list(argv) if argv is not None else list(sys.argv[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
+    args._argv = raw
     return args.func(args)
 
 

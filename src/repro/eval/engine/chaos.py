@@ -24,7 +24,15 @@ Fates are drawn per ``(kind, cache key, attempt)``; by default only
 attempt 0 of a job can be sabotaged (``first_attempt_only``), which
 proves the recovery path while guaranteeing the sweep converges.  The
 chaos plan travels to spawn workers by value (it is a frozen dataclass
-of plain floats), so worker fates match what the parent would draw.
+of plain floats and tuples), so worker fates match what the parent
+would draw.
+
+A ``scripted`` plan replays a recorded failure trace instead of
+drawing: exactly the listed ``(kind, key, attempt)`` triples fire,
+rates and ``first_attempt_only`` are bypassed.  Because :meth:`fates`
+is pure in its arguments, the parent process can record fates at
+dispatch time even though the sabotage itself happens inside a spawn
+worker.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.eval.engine.resilience import seeded_fraction
 
@@ -50,6 +58,7 @@ class EngineChaos:
     torn_rate: float = 0.0
     hang_seconds: float = 1.0
     first_attempt_only: bool = True
+    scripted: Optional[Tuple[Tuple[str, str, int], ...]] = None
 
     def __post_init__(self) -> None:
         for name in ("kill_rate", "hang_rate", "corrupt_rate", "torn_rate"):
@@ -58,10 +67,32 @@ class EngineChaos:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if self.hang_seconds < 0:
             raise ValueError("hang_seconds must be >= 0")
+        if self.scripted is not None:
+            object.__setattr__(
+                self,
+                "scripted",
+                tuple(
+                    (str(kind), str(key), int(attempt))
+                    for kind, key, attempt in self.scripted
+                ),
+            )
+            for kind, _key, _attempt in self.scripted:
+                if kind not in CHAOS_KINDS:
+                    raise ValueError(
+                        f"scripted chaos kind {kind!r} unknown; "
+                        f"choose from {CHAOS_KINDS}"
+                    )
 
     @property
     def is_empty(self) -> bool:
-        """Whether this plan can never fire."""
+        """Whether this plan can never fire.
+
+        A scripted plan is never empty, even with an empty script: the
+        executor must still route jobs through the chaos-aware path so a
+        minimized (possibly event-free) trace replays faithfully.
+        """
+        if self.scripted is not None:
+            return False
         return (
             self.kill_rate == 0.0
             and self.hang_rate == 0.0
@@ -70,6 +101,8 @@ class EngineChaos:
         )
 
     def _fires(self, kind: str, rate: float, key: str, attempt: int) -> bool:
+        if self.scripted is not None:
+            return (kind, key, attempt) in self.scripted
         if rate <= 0.0:
             return False
         if self.first_attempt_only and attempt > 0:

@@ -247,13 +247,22 @@ class EvalEngine:
             key, lambda: cells.compute_memo_cell(memo_kind, params)
         )["value"]
 
-    def warm(self, job_graph: JobGraph, jobs: int = 1, resilience=None, chaos=None):
+    def warm(
+        self,
+        job_graph: JobGraph,
+        jobs: int = 1,
+        resilience=None,
+        chaos=None,
+        trace=None,
+    ):
         """Execute ``job_graph`` into the cache (cached engines only).
 
         ``resilience`` is a :class:`~repro.eval.engine.resilience.
         ResilienceConfig` (defaults apply when ``None``); ``chaos`` is an
         :class:`~repro.eval.engine.chaos.EngineChaos` failure-injection
-        plan for tests and benchmarks.
+        plan for tests and benchmarks; ``trace`` is a
+        :class:`~repro.runtime.trace.FailureTrace` that records every
+        fired chaos fate for later replay.
         """
         if self.cache is None:
             raise ValueError("cannot warm a passthrough engine (no cache)")
@@ -266,6 +275,7 @@ class EvalEngine:
             virtual=self.virtual,
             resilience=resilience,
             chaos=chaos,
+            trace=trace,
         )
 
 

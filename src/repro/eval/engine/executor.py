@@ -49,6 +49,7 @@ from repro.eval.engine.resilience import (
     ResilienceConfig,
     ResilienceStats,
 )
+from repro.runtime.trace import FailureTrace, TraceEvent
 
 
 @dataclass
@@ -206,6 +207,36 @@ def _worker(
     }
 
 
+def _record_fates(
+    trace: Optional[FailureTrace],
+    chaos: Optional[EngineChaos],
+    key: str,
+    attempt: int,
+    seen: Set[tuple],
+    kinds: Optional[tuple] = None,
+) -> None:
+    """Record the chaos fates that fire for ``(key, attempt)``.
+
+    :meth:`EngineChaos.fates` is pure in its arguments, so the parent
+    can log what a spawn worker is about to suffer at dispatch time.
+    ``kinds`` restricts recording to the fates the calling path actually
+    applies (the serial path never kills or hangs).  ``seen`` dedups
+    resubmissions of the same attempt (hedge bookkeeping).
+    """
+    if trace is None or chaos is None:
+        return
+    for kind in chaos.fates(key, attempt):
+        if kinds is not None and kind not in kinds:
+            continue
+        marker = (kind, key, attempt)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        trace.record(
+            TraceEvent("engine", "", "fate", attempt, {"kind": kind, "key": key})
+        )
+
+
 def execute(
     graph: JobGraph,
     cache: ArtifactCache,
@@ -213,6 +244,7 @@ def execute(
     virtual: bool = False,
     resilience: Optional[ResilienceConfig] = None,
     chaos: Optional[EngineChaos] = None,
+    trace: Optional[FailureTrace] = None,
 ) -> ExecutionReport:
     """Execute every job of ``graph`` against ``cache``.
 
@@ -220,14 +252,15 @@ def execute(
     independent cells run on a spawn-context process pool; dependents are
     released as their inputs complete.  ``resilience`` configures the
     retry / timeout / degradation policy (defaults apply when ``None``);
-    ``chaos`` injects deterministic failures (tests and benchmarks).
+    ``chaos`` injects deterministic failures (tests and benchmarks);
+    ``trace`` records every fired chaos fate for later replay.
     """
     policy = resilience if resilience is not None else ResilienceConfig()
     if chaos is not None and chaos.is_empty:
         chaos = None
     if jobs <= 1:
-        return _execute_serial(graph, cache, virtual, policy, chaos)
-    return _PoolScheduler(graph, cache, jobs, virtual, policy, chaos).run()
+        return _execute_serial(graph, cache, virtual, policy, chaos, trace)
+    return _PoolScheduler(graph, cache, jobs, virtual, policy, chaos, trace).run()
 
 
 # ----------------------------------------------------------------------
@@ -239,10 +272,12 @@ def _execute_serial(
     virtual: bool,
     policy: ResilienceConfig,
     chaos: Optional[EngineChaos],
+    trace: Optional[FailureTrace] = None,
 ) -> ExecutionReport:
     report = ExecutionReport(total=len(graph))
     stats = report.resilience
     quarantined_before = cache.stats.quarantined
+    seen_fates: Set[tuple] = set()
     resolved: Dict[str, Dict] = {}  # jid -> {"key": ..., "meta": ...}
     dead: Set[str] = set()  # failed jobs and their skipped cones
 
@@ -295,6 +330,14 @@ def _execute_serial(
         if chaos is not None:
             # In-process chaos is limited to artifact damage: killing or
             # hanging the only process would end the sweep by definition.
+            _record_fates(
+                trace,
+                chaos,
+                key,
+                0,
+                seen_fates,
+                kinds=("corrupt-artifact", "torn-write"),
+            )
             chaos.after_store(cache, key, 0)
         report.computed += 1
         resolved[job.jid] = {"key": key, "meta": cells.payload_meta(payload)}
@@ -318,6 +361,7 @@ class _PoolScheduler:
         virtual: bool,
         policy: ResilienceConfig,
         chaos: Optional[EngineChaos],
+        trace: Optional[FailureTrace] = None,
     ) -> None:
         self.graph = graph
         self.cache = cache
@@ -325,6 +369,8 @@ class _PoolScheduler:
         self.virtual = virtual
         self.policy = policy
         self.chaos = chaos
+        self.trace = trace
+        self.seen_fates: Set[tuple] = set()
         self.report = ExecutionReport(total=len(graph))
         self.stats = self.report.resilience
 
@@ -441,6 +487,7 @@ class _PoolScheduler:
     # ------------------------------------------------------------------
     def _submit_attempt(self, jid: str, key: str, dep_key: Optional[str]) -> bool:
         """Submit one pool attempt; ``False`` if the pool was broken."""
+        attempt = self.attempts.get(jid, 0)
         try:
             future = self.pool.submit(
                 _worker,
@@ -449,7 +496,7 @@ class _PoolScheduler:
                 dep_key,
                 self.cache.root,
                 self.virtual,
-                self.attempts.get(jid, 0),
+                attempt,
                 self.chaos,
                 self.cache.validate,
             )
@@ -457,6 +504,7 @@ class _PoolScheduler:
             self.on_pool_broken(time.monotonic())
             self.record_failure(jid, key, time.monotonic())
             return False
+        _record_fates(self.trace, self.chaos, key, attempt, self.seen_fates)
         self.inflight[future] = (jid, key, time.monotonic())
         return True
 

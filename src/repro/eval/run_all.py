@@ -29,6 +29,12 @@ degrade to in-process execution.  A ``[resilience]`` stderr line reports
 what happened whenever anything did.  The ``--chaos-*`` flags inject
 deterministic failures (worker kills, hangs, artifact corruption) to
 exercise those paths; the stdout tables stay byte-identical regardless.
+By default only a job's first attempt can be sabotaged;
+``--chaos-every-attempt`` exposes retries to chaos too (convergence is
+then no longer guaranteed — pair it with low rates).  ``--trace-out``
+records every fired chaos fate to a JSONL failure trace;
+``--trace-in`` replays a recorded trace exactly, bypassing the rates
+(see ``repro trace`` for show/replay/minimize tooling).
 
 The benchmarks under ``benchmarks/`` invoke the same experiment modules
 one table/figure at a time; this script is the one-shot reproduction of
@@ -322,7 +328,30 @@ def main(argv=None) -> int:
         metavar="SECONDS",
         help="how long a hung job sleeps (default: 1.0)",
     )
+    chaos_group.add_argument(
+        "--chaos-every-attempt",
+        action="store_true",
+        help="let chaos sabotage retries too, not just attempt 0 "
+        "(convergence is no longer guaranteed; pair with low rates)",
+    )
+    trace_group = parser.add_argument_group(
+        "failure traces", "record/replay of fired chaos fates"
+    )
+    trace_group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record every fired chaos fate to a JSONL failure trace",
+    )
+    trace_group.add_argument(
+        "--trace-in",
+        metavar="PATH",
+        help="replay the fates of a recorded failure trace "
+        "(bypasses the --chaos-* rates)",
+    )
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     args = parser.parse_args(argv)
+    if args.trace_out and args.trace_in:
+        parser.error("--trace-out and --trace-in are mutually exclusive")
 
     if args.no_kernels:
         # Flip the default before planning: run specs record the flag, so
@@ -346,15 +375,37 @@ def main(argv=None) -> int:
         cache_root = ephemeral
 
     from repro.eval.engine import EngineChaos, ResilienceConfig, RetryPolicy
+    from repro.runtime.trace import FailureTrace
 
-    chaos = EngineChaos(
-        seed=args.chaos_seed,
-        kill_rate=args.chaos_kill,
-        hang_rate=args.chaos_hang,
-        corrupt_rate=args.chaos_corrupt,
-        torn_rate=args.chaos_torn,
-        hang_seconds=args.chaos_hang_seconds,
-    )
+    trace = None
+    if args.trace_in:
+        loaded = FailureTrace.load(args.trace_in)
+        engine_meta = loaded.meta.get("engine", {})
+        chaos = EngineChaos(
+            seed=args.chaos_seed,
+            hang_seconds=float(
+                engine_meta.get("hang_seconds", args.chaos_hang_seconds)
+            ),
+            scripted=loaded.engine_script(),
+        )
+    else:
+        chaos = EngineChaos(
+            seed=args.chaos_seed,
+            kill_rate=args.chaos_kill,
+            hang_rate=args.chaos_hang,
+            corrupt_rate=args.chaos_corrupt,
+            torn_rate=args.chaos_torn,
+            hang_seconds=args.chaos_hang_seconds,
+            first_attempt_only=not args.chaos_every_attempt,
+        )
+        if args.trace_out:
+            trace = FailureTrace(
+                meta={
+                    "command": "run_all",
+                    "argv": raw_argv,
+                    "engine": {"hang_seconds": args.chaos_hang_seconds},
+                }
+            )
     resilience = ResilienceConfig(
         retry=RetryPolicy(max_attempts=max(1, args.max_attempts), seed=args.chaos_seed),
         timeout=args.job_timeout,
@@ -371,7 +422,11 @@ def main(argv=None) -> int:
             if jobs > 1 or not chaos.is_empty:
                 planner = build_plan(selected, args.quick)
                 report = engine.warm(
-                    planner.graph, jobs=jobs, resilience=resilience, chaos=chaos
+                    planner.graph,
+                    jobs=jobs,
+                    resilience=resilience,
+                    chaos=chaos,
+                    trace=trace,
                 )
                 print(
                     f"[warm] {report.total} cells: {report.computed} computed, "
@@ -389,6 +444,12 @@ def main(argv=None) -> int:
                 delta = engine.stats.delta(before)
                 print(f"[cache] {name}: {delta.describe()}", file=sys.stderr)
     finally:
+        if trace is not None:
+            trace.save(args.trace_out)
+            print(
+                f"[trace] {len(trace)} fates recorded to {args.trace_out}",
+                file=sys.stderr,
+            )
         if ephemeral is not None:
             shutil.rmtree(ephemeral, ignore_errors=True)
 

@@ -25,15 +25,23 @@ Every corruption fires the partition's listener channel for the touched
 vertices, exactly as the buggy mutations it simulates would — which is
 what makes incremental detection by the watchdog both possible and
 honest.
+
+Record/replay: every injected :class:`Corruption` carries a structured
+``payload`` that :func:`apply_payload` can re-apply to an equivalent
+partition.  An interpreter built with a
+:class:`~repro.runtime.trace.FailureTrace` records each injection; one
+built with an :class:`~repro.runtime.trace.IntegrityReplay` applies the
+recorded payloads at the recorded steps instead of rolling the dice.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.partition.hybrid import HybridPartition
+from repro.runtime.trace import FailureTrace, IntegrityReplay, TraceEvent
 
 CORRUPTION_KINDS = ("placement", "masters", "roles", "edges")
 DEFAULT_KINDS = ("placement", "masters", "roles")
@@ -86,11 +94,78 @@ class ChaosPlan:
 
 @dataclass(frozen=True)
 class Corruption:
-    """Record of one injected corruption (for reports and tests)."""
+    """Record of one injected corruption (for reports and tests).
+
+    ``payload`` is the structured form :func:`apply_payload` re-applies
+    during trace replay; ``None`` only on records deserialized from
+    legacy reports.
+    """
 
     kind: str
     vertex: int
     detail: str
+    payload: Optional[Dict] = None
+
+
+def apply_payload(
+    partition: HybridPartition, payload: Dict
+) -> Corruption:
+    """Re-apply a recorded corruption payload to ``partition``.
+
+    The structural inverse of the ``_corrupt_*`` draws: the payload
+    pins *what* was corrupted, so replay needs no dice.  Raises
+    ``ValueError`` on a payload kind this build does not know.
+    """
+    kind = payload["kind"]
+    if kind == "placement":
+        v = int(payload["vertex"])
+        fid = int(payload["fragment"])
+        hosts = partition._placement[v]
+        if payload["op"] == "drop":
+            hosts.discard(fid)
+            detail = f"dropped fragment {fid} from placement of vertex {v}"
+        else:
+            hosts.add(fid)
+            detail = f"added ghost fragment {fid} to placement of vertex {v}"
+        partition._notify(v)
+        return Corruption("placement", v, detail, dict(payload))
+    if kind == "masters":
+        v = int(payload["vertex"])
+        fid = int(payload["fragment"])
+        partition._masters[v] = fid
+        partition._notify(v)
+        return Corruption(
+            "masters",
+            v,
+            f"master of vertex {v} pointed at non-host {fid}",
+            dict(payload),
+        )
+    if kind == "roles":
+        v = int(payload["vertex"])
+        fid = int(payload["fragment"])
+        full = partition._full.setdefault(v, set())
+        if payload["op"] == "drop":
+            full.discard(fid)
+            detail = f"cleared full-copy tag of vertex {v} at fragment {fid}"
+        else:
+            full.add(fid)
+            detail = f"forged full-copy tag of vertex {v} at fragment {fid}"
+        partition._notify(v)
+        return Corruption("roles", v, detail, dict(payload))
+    if kind == "edges":
+        edge = (int(payload["u"]), int(payload["v"]))
+        for holder in partition.fragments:
+            if holder.has_edge(edge):
+                holder._remove_edge(edge)
+        for w in {edge[0], edge[1]}:
+            partition._notify(w)
+        return Corruption(
+            "edges",
+            edge[0],
+            f"edge {edge} vanished from every fragment",
+            dict(payload),
+        )
+    raise ValueError(f"unknown corruption payload kind {kind!r}")
 
 
 @dataclass
@@ -100,12 +175,22 @@ class PartitionChaos:
     ``salt`` decorrelates the draw streams of several interpreters
     sharing one plan (the composite refiners guard k output partitions
     at once).
+
+    ``trace`` records every injection into a
+    :class:`~repro.runtime.trace.FailureTrace` (stream ``integrity``,
+    scope = the salt); ``replay`` applies a recorded trace's payloads at
+    their recorded steps instead of drawing.  The step counter is
+    separate from the draw counter, so recording never perturbs the
+    seeded stream.
     """
 
     plan: ChaosPlan
     salt: str = ""
     injected: List[Corruption] = field(default_factory=list)
+    trace: Optional[FailureTrace] = None
+    replay: Optional[IntegrityReplay] = None
     _counter: int = 0
+    _step: int = 0
 
     def _draw(self, tag: str) -> float:
         """Deterministic uniform draw in [0, 1) keyed by (seed, salt, tag)."""
@@ -122,6 +207,16 @@ class PartitionChaos:
     # ------------------------------------------------------------------
     def maybe_corrupt(self, partition: HybridPartition) -> Optional[Corruption]:
         """Roll the per-step dice; inject one corruption if they come up."""
+        step = self._step
+        self._step += 1
+        if self.replay is not None:
+            payload = self.replay.corruption_at(step)
+            if payload is None:
+                return None
+            corruption = apply_payload(partition, payload)
+            self.injected.append(corruption)
+            self._record(step, corruption)
+            return corruption
         if self.plan.is_empty:
             return None
         if (
@@ -131,7 +226,18 @@ class PartitionChaos:
             return None
         if self._draw("gate") >= self.plan.corrupt_rate:
             return None
-        return self.corrupt(partition)
+        corruption = self.corrupt(partition)
+        if corruption is not None:
+            self._record(step, corruption)
+        return corruption
+
+    def _record(self, step: int, corruption: Corruption) -> None:
+        if self.trace is not None and corruption.payload is not None:
+            self.trace.record(
+                TraceEvent(
+                    "integrity", self.salt, "corruption", step, corruption.payload
+                )
+            )
 
     def corrupt(self, partition: HybridPartition) -> Optional[Corruption]:
         """Unconditionally inject one corruption (None if none applicable)."""
@@ -159,14 +265,17 @@ class PartitionChaos:
             fid = self._pick("placement-fid", sorted(hosts))
             hosts.discard(fid)
             detail = f"dropped fragment {fid} from placement of vertex {v}"
+            op = "drop"
         elif outside:
             fid = self._pick("placement-fid", outside)
             hosts.add(fid)
             detail = f"added ghost fragment {fid} to placement of vertex {v}"
+            op = "add"
         else:
             return None
         partition._notify(v)
-        return Corruption("placement", v, detail)
+        payload = {"kind": "placement", "op": op, "vertex": v, "fragment": fid}
+        return Corruption("placement", v, detail, payload)
 
     def _corrupt_masters(self, partition: HybridPartition) -> Optional[Corruption]:
         candidates = sorted(
@@ -185,7 +294,10 @@ class PartitionChaos:
         partition._masters[v] = fid
         partition._notify(v)
         return Corruption(
-            "masters", v, f"master of vertex {v} pointed at non-host {fid}"
+            "masters",
+            v,
+            f"master of vertex {v} pointed at non-host {fid}",
+            {"kind": "masters", "vertex": v, "fragment": fid},
         )
 
     def _corrupt_roles(self, partition: HybridPartition) -> Optional[Corruption]:
@@ -201,14 +313,17 @@ class PartitionChaos:
             fid = self._pick("roles-fid", sorted(full))
             full.discard(fid)
             detail = f"cleared full-copy tag of vertex {v} at fragment {fid}"
+            op = "drop"
         elif not_full:
             fid = self._pick("roles-fid", not_full)
             full.add(fid)
             detail = f"forged full-copy tag of vertex {v} at fragment {fid}"
+            op = "add"
         else:
             return None
         partition._notify(v)
-        return Corruption("roles", v, detail)
+        payload = {"kind": "roles", "op": op, "vertex": v, "fragment": fid}
+        return Corruption("roles", v, detail, payload)
 
     def _corrupt_edges(self, partition: HybridPartition) -> Optional[Corruption]:
         holders = [f for f in partition.fragments if f.num_edges > 0]
@@ -225,5 +340,8 @@ class PartitionChaos:
         for w in {edge[0], edge[1]}:
             partition._notify(w)
         return Corruption(
-            "edges", edge[0], f"edge {edge} vanished from every fragment"
+            "edges",
+            edge[0],
+            f"edge {edge} vanished from every fragment",
+            {"kind": "edges", "u": int(edge[0]), "v": int(edge[1])},
         )

@@ -68,6 +68,14 @@ class GuardConfig:
         the composite refiners, whose output partitions legitimately
         cover only part of the graph mid-construction.  The final
         ``finish()`` check always includes coverage.
+    trace:
+        Optional :class:`~repro.runtime.trace.FailureTrace` recorder;
+        every injected corruption is appended to it (stream
+        ``integrity``, scope = the guard's chaos salt).
+    replay_trace:
+        Optional recorded :class:`~repro.runtime.trace.FailureTrace`;
+        corruptions are re-applied from it instead of drawn, even when
+        ``chaos`` is absent or empty.
     """
 
     check_interval: int = 64
@@ -76,6 +84,8 @@ class GuardConfig:
     max_steps: Optional[int] = None
     max_seconds: Optional[float] = None
     coverage_checks: bool = True
+    trace: Optional[object] = None
+    replay_trace: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.check_interval < 1:
@@ -153,11 +163,20 @@ class RefinementGuard:
         self.stats = stats if stats is not None else GuardStats()
         self.cost_fn = cost_fn
         self.watchdog = InvariantWatchdog(partition)
-        self.chaos = (
-            PartitionChaos(config.chaos, salt=chaos_salt)
-            if config.chaos is not None and not config.chaos.is_empty
-            else None
-        )
+        self.chaos = None
+        if (
+            config.chaos is not None and not config.chaos.is_empty
+        ) or config.replay_trace is not None:
+            self.chaos = PartitionChaos(
+                config.chaos if config.chaos is not None else ChaosPlan(),
+                salt=chaos_salt,
+                trace=config.trace,
+                replay=(
+                    config.replay_trace.integrity_replay(chaos_salt)
+                    if config.replay_trace is not None
+                    else None
+                ),
+            )
         self._steps_since_check = 0
         self._clean_checks = 0
         self._started = time.perf_counter()

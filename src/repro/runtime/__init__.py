@@ -18,20 +18,29 @@ operation counts and per-master communication bytes are recorded in a
 :class:`~repro.runtime.instrumentation.RunProfile`.
 
 The substrate can degrade on demand: a seeded
-:class:`~repro.runtime.faults.FaultPlan` injects worker crashes, message
-drops/duplicates, and stragglers, while
-:class:`~repro.runtime.checkpoint.CheckpointManager` provides the
-superstep checkpoints that rollback recovery replays from — all
-deterministic, all charged to the same clock.
+:class:`~repro.runtime.faults.FaultPlan` injects worker crashes,
+permanent worker losses (survived by replica-promotion failover — see
+:mod:`repro.runtime.failover`), message drops/duplicates, and
+stragglers, while :class:`~repro.runtime.checkpoint.CheckpointManager`
+provides the superstep checkpoints that rollback recovery replays from —
+all deterministic, all charged to the same clock.  Any chaotic run can
+be captured as a :class:`~repro.runtime.trace.FailureTrace` and replayed
+byte-identically (:mod:`repro.runtime.trace`).
 """
 
 from repro.runtime.checkpoint import Checkpoint, CheckpointManager
 from repro.runtime.costclock import CostClock
+from repro.runtime.failover import (
+    FailoverDecision,
+    FailoverState,
+    ScalarFailoverState,
+)
 from repro.runtime.faults import (
     CrashFault,
     FaultInjector,
     FaultPlan,
     MessageFate,
+    PermanentLossFault,
     StragglerFault,
 )
 from repro.runtime.instrumentation import (
@@ -39,6 +48,7 @@ from repro.runtime.instrumentation import (
     RunProfile,
     SuperstepRecord,
 )
+from repro.runtime.trace import FailureTrace, TraceEvent, minimize
 from repro.runtime.bsp import Cluster
 from repro.runtime.sync import sync_by_master
 
@@ -47,13 +57,20 @@ __all__ = [
     "CheckpointManager",
     "CostClock",
     "CrashFault",
+    "FailoverDecision",
+    "FailoverState",
     "FailureEvent",
+    "FailureTrace",
     "FaultInjector",
     "FaultPlan",
     "MessageFate",
+    "PermanentLossFault",
     "RunProfile",
+    "ScalarFailoverState",
     "StragglerFault",
     "SuperstepRecord",
+    "TraceEvent",
     "Cluster",
+    "minimize",
     "sync_by_master",
 ]

@@ -31,6 +31,21 @@ transport is reliable and recovery is exact, algorithm *results* are
 identical to a fault-free run; only the profile changes.  With no fault
 plan and no checkpointing the code path is exactly the historical one,
 so makespans stay bit-identical.
+
+Permanent loss and degraded-mode execution
+------------------------------------------
+A :class:`~repro.runtime.faults.PermanentLossFault` removes a worker for
+good.  The cluster *fails over* instead of rolling back: it restores the
+dead worker's shard from the last checkpoint, promotes surviving mirror
+copies to masters, re-places vertices whose only copy died onto the
+survivors, and rebuilds the routing tables — every byte and second of
+which is charged through :meth:`_fail_over`.  From then on the run is in
+*degraded mode*: the dead worker's per-superstep load is folded onto its
+heirs (proportionally to the promoted masters and re-placed vertices
+each one absorbed) and the barrier waits only for surviving workers.
+The failover decision is a pure simulation over routing-table arrays
+(:mod:`repro.runtime.failover`); the partition object is never mutated,
+so algorithm results stay bit-identical to a clean run.
 """
 
 from __future__ import annotations
@@ -42,12 +57,14 @@ import numpy as np
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.costclock import CostClock
+from repro.runtime.failover import FailoverState
 from repro.runtime.faults import FaultInjector, FaultPlan, MessageFate
 from repro.runtime.instrumentation import (
     FailureEvent,
     RunProfile,
     SuperstepRecord,
 )
+from repro.runtime.plan import get_plan
 
 
 class Cluster:
@@ -85,14 +102,14 @@ class Cluster:
             injector = (
                 faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
             )
-            for crash in injector.plan.crashes:
-                if crash.worker >= self.num_workers:
-                    raise ValueError(
-                        f"fault plan crashes worker {crash.worker}, but the "
-                        f"cluster has only {self.num_workers} workers"
-                    )
-            if not injector.plan.is_empty:
+            injector.plan.validate_for(self.num_workers)
+            if not injector.plan.is_empty or injector.replaying:
                 self.faults = injector
+        # Degraded-mode state: heir shares of each permanently lost
+        # worker's future load, and the routing-table view failover
+        # decisions are computed against (built lazily on first loss).
+        self._lost: Dict[int, Dict[int, float]] = {}
+        self._failover_state: Optional[FailoverState] = None
         self.checkpoints: Optional[CheckpointManager] = None
         if checkpoint_interval:
             self.checkpoints = CheckpointManager(checkpoint_interval, snapshot)
@@ -316,6 +333,8 @@ class Cluster:
     # ------------------------------------------------------------------
     def _superstep_time(self) -> float:
         """Clock charge for the pending superstep (straggler-aware)."""
+        if self._lost:
+            return self._degraded_superstep_time()
         if self.faults is None:
             return self.clock.superstep_time(
                 max(self._step_ops.values(), default=0.0),
@@ -336,6 +355,34 @@ class Cluster:
             (self._step_bytes[f] * factors[f] for f in range(self.num_workers)),
             default=0.0,
         )
+        return self.clock.superstep_time(max_ops, max_bytes)
+
+    def _effective_loads(self) -> tuple:
+        """Per-survivor (ops, bytes) with dead workers' load folded in.
+
+        The partition is never mutated, so algorithms keep charging work
+        to lost fids; the fiction is that the heirs actually execute it,
+        each taking its recorded share.
+        """
+        ops = {
+            f: self._step_ops[f]
+            for f in range(self.num_workers)
+            if f not in self._lost
+        }
+        nbytes = {f: self._step_bytes[f] for f in ops}
+        for dead in sorted(self._lost):
+            for heir, share in sorted(self._lost[dead].items()):
+                ops[heir] += self._step_ops[dead] * share
+                nbytes[heir] += self._step_bytes[dead] * share
+        return ops, nbytes
+
+    def _degraded_superstep_time(self) -> float:
+        """Barrier charge once workers have been permanently lost."""
+        ops, nbytes = self._effective_loads()
+        step = self._step_index
+        factors = {f: self.faults.straggler_factor(f, step) for f in ops}
+        max_ops = max((ops[f] * factors[f] for f in ops), default=0.0)
+        max_bytes = max((nbytes[f] * factors[f] for f in ops), default=0.0)
         return self.clock.superstep_time(max_ops, max_bytes)
 
     def _recover(self, crash, record: SuperstepRecord) -> None:
@@ -374,6 +421,94 @@ class Cluster:
         self.profile.failures.append(event)
         self.profile.recovery_time += recovery_time
 
+    def _fail_over(self, loss, record: SuperstepRecord) -> None:
+        """Promote, re-place, and continue on the surviving workers.
+
+        Charges for one permanent loss, in order: restoring the dead
+        worker's checkpoint shard onto survivors, replaying the
+        supersteps since (plus redoing the interrupted one), promoting
+        mirrors (one pass over the vertex set plus the promotions),
+        shipping re-placed sole-copy vertices (state + incident edges),
+        and rebuilding the routing tables (one pass over every placement
+        entry plus the master vector).
+        """
+        dead = loss.worker
+        survivors = [
+            f
+            for f in range(self.num_workers)
+            if f != dead and f not in self._lost
+        ]
+        if not survivors:
+            raise RuntimeError(
+                f"worker {dead} lost at superstep {record.index} was the "
+                "last survivor; nothing is left to fail over onto"
+            )
+        checkpoint = self.checkpoints.last if self.checkpoints is not None else None
+        if checkpoint is not None:
+            restore_time = checkpoint.shard_nbytes(dead) * self.clock.byte_cost
+            resume_from = checkpoint.superstep
+            checkpoint.restore()
+        else:
+            restore_time = 0.0  # rewind to the (free) initial state
+            resume_from = 0
+        replayed = [
+            past.time
+            for past in self.profile.supersteps
+            if past.index >= resume_from
+        ]
+        if self._failover_state is None:
+            self._failover_state = FailoverState(get_plan(self.partition))
+        decision = self._failover_state.fail(dead, survivors)
+        promotion_time = (
+            self.partition.graph.num_vertices + decision.promoted_count
+        ) * self.clock.op_cost
+        replacement_time = decision.replacement_bytes * self.clock.byte_cost
+        rebuild_time = decision.rebuild_entries * self.clock.op_cost
+        failover_time = (
+            restore_time
+            + sum(replayed)
+            + record.time
+            + promotion_time
+            + replacement_time
+            + rebuild_time
+        )
+        # Re-placement traffic lands on the destination workers' totals
+        # (not the step maxima: failover_time already covers the barrier).
+        for fid in sorted(decision.bytes_by_dest):
+            self.profile.bytes_by_worker[fid] = (
+                self.profile.bytes_by_worker.get(fid, 0.0)
+                + decision.bytes_by_dest[fid]
+            )
+        event = FailureEvent(
+            kind="loss",
+            worker=dead,
+            superstep=record.index,
+            recovery_time=failover_time,
+            replayed_supersteps=len(replayed) + 1,
+            promoted_masters=decision.promoted_count,
+            replaced_vertices=decision.replaced_count,
+        )
+        record.failures.append(event)
+        record.failover_time += failover_time
+        record.time += failover_time
+        self.profile.failures.append(event)
+        self.profile.losses += 1
+        self.profile.promoted_masters += decision.promoted_count
+        self.profile.replaced_vertices += decision.replaced_count
+        self.profile.failover_time += failover_time
+        # Fold this loss into the degraded-mode shares.  Earlier losses
+        # whose heirs included the newly dead worker redistribute that
+        # slice through its own heirs.
+        shares = dict(decision.heir_shares)
+        for prior_shares in self._lost.values():
+            if dead in prior_shares:
+                moved = prior_shares.pop(dead)
+                for heir in sorted(shares):
+                    prior_shares[heir] = (
+                        prior_shares.get(heir, 0.0) + moved * shares[heir]
+                    )
+        self._lost[dead] = shares
+
     def deliver(self) -> Dict[int, List[Any]]:
         """End the superstep; return per-worker inboxes for the next one.
 
@@ -391,6 +526,8 @@ class Cluster:
         if self.faults is not None:
             for crash in self.faults.crashes_at(self._step_index):
                 self._recover(crash, record)
+            for loss in self.faults.losses_at(self._step_index):
+                self._fail_over(loss, record)
         if self.checkpoints is not None and self.checkpoints.due(self._step_index + 1):
             checkpoint = self.checkpoints.take(self._step_index + 1)
             record.checkpoint_bytes += checkpoint.nbytes

@@ -42,6 +42,22 @@ class Checkpoint:
         """Deserialize the snapshot (what a recovering worker reloads)."""
         return pickle.loads(self.blob)
 
+    def shard_nbytes(self, fid: int) -> float:
+        """Serialized size of worker ``fid``'s shard within the snapshot.
+
+        Algorithm snapshot hooks return per-fragment dicts keyed by fid;
+        failover re-ships only the dead worker's shard to its heirs, so
+        it is charged separately from the survivors' local reload.  For
+        snapshots of any other shape the whole blob is the conservative
+        answer.
+        """
+        state = pickle.loads(self.blob)
+        if isinstance(state, dict) and fid in state:
+            return float(
+                len(pickle.dumps(state[fid], protocol=pickle.HIGHEST_PROTOCOL))
+            )
+        return self.nbytes
+
 
 class CheckpointManager:
     """Takes snapshots every ``interval`` supersteps via a state hook."""

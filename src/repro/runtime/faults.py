@@ -18,6 +18,16 @@ retransmits, and receivers deduplicate — exactly what a reliable BSP
 runtime (GRAPE, Giraph) does — so the observable effect is extra wire
 bytes and, for crashes, rollback-recovery time (see
 :mod:`repro.runtime.checkpoint` and :meth:`repro.runtime.bsp.Cluster.deliver`).
+A :class:`PermanentLossFault` removes a worker for good: the cluster
+fails over onto the survivors (see :mod:`repro.runtime.failover`), again
+without changing results.
+
+Record/replay: an injector built with a
+:class:`~repro.runtime.trace.FailureTrace` recorder appends every fired
+fate to the trace; one built with a
+:class:`~repro.runtime.trace.RuntimeReplay` cursor takes its fates from
+a recorded trace instead of the seeded hash, so a chaotic run replays
+byte-identically even under a different (or empty) plan seed.
 """
 
 from __future__ import annotations
@@ -27,6 +37,8 @@ import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.trace import FailureTrace, RuntimeReplay, TraceEvent
 
 
 class MessageFate(enum.Enum):
@@ -50,6 +62,29 @@ class CrashFault:
         if self.superstep < 0:
             raise ValueError(
                 f"crash superstep must be >= 0, got {self.superstep}"
+            )
+
+
+@dataclass(frozen=True)
+class PermanentLossFault:
+    """Worker ``worker`` is lost for good at the end of ``superstep``.
+
+    Unlike a :class:`CrashFault` the worker never comes back: the
+    cluster restores surviving state from the last checkpoint, promotes
+    surviving mirrors to masters, re-places vertices whose only copy
+    died, and continues on N−1 workers
+    (:meth:`repro.runtime.bsp.Cluster.deliver`).
+    """
+
+    worker: int
+    superstep: int
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError(f"loss worker must be >= 0, got {self.worker}")
+        if self.superstep < 0:
+            raise ValueError(
+                f"loss superstep must be >= 0, got {self.superstep}"
             )
 
 
@@ -96,7 +131,11 @@ class FaultPlan:
         Seed of the counter-keyed hash from which per-message fates are
         drawn.  Two runs with the same plan see identical faults.
     crashes:
-        Worker failures; each fires once, at the end of its superstep.
+        Transient worker failures; each fires once, at the end of its
+        superstep, and the worker returns after rollback recovery.
+    losses:
+        Permanent worker failures; each fires once and the worker never
+        returns (the cluster fails over onto the survivors).
     drop_rate / duplicate_rate:
         Fraction of remote messages lost (then retransmitted) or sent
         twice (then deduplicated).  Both in ``[0, 1)``.
@@ -109,11 +148,13 @@ class FaultPlan:
     drop_rate: float = 0.0
     duplicate_rate: float = 0.0
     stragglers: Tuple[StragglerFault, ...] = ()
+    losses: Tuple[PermanentLossFault, ...] = ()
 
     def __post_init__(self) -> None:
         # Tolerate lists for ergonomic construction.
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(self, "losses", tuple(self.losses))
         _check_rate("drop_rate", self.drop_rate)
         _check_rate("duplicate_rate", self.duplicate_rate)
         if self.drop_rate + self.duplicate_rate >= 1.0:
@@ -121,15 +162,108 @@ class FaultPlan:
                 "drop_rate + duplicate_rate must stay below 1, got "
                 f"{self.drop_rate} + {self.duplicate_rate}"
             )
+        seen: Dict[int, PermanentLossFault] = {}
+        for loss in self.losses:
+            if loss.worker in seen:
+                raise ValueError(
+                    f"fault plan loses worker {loss.worker} twice "
+                    f"({seen[loss.worker]} and {loss}); a worker can only "
+                    "be lost once"
+                )
+            seen[loss.worker] = loss
 
     @property
     def is_empty(self) -> bool:
         """True when the plan injects nothing at all."""
         return (
             not self.crashes
+            and not self.losses
             and self.drop_rate == 0.0
             and self.duplicate_rate == 0.0
             and not self.stragglers
+        )
+
+    def validate_for(self, num_workers: int) -> None:
+        """Check every named worker exists in an ``num_workers`` cluster.
+
+        Raises ``ValueError`` naming the offending fault; silently
+        no-op'ing a fault aimed at a nonexistent worker would make a
+        "faulty" run quietly clean.
+        """
+        for crash in self.crashes:
+            if crash.worker >= num_workers:
+                raise ValueError(
+                    f"fault plan crashes worker {crash.worker} ({crash}), "
+                    f"but the cluster has only {num_workers} workers"
+                )
+        for loss in self.losses:
+            if loss.worker >= num_workers:
+                raise ValueError(
+                    f"fault plan permanently loses worker {loss.worker} "
+                    f"({loss}), but the cluster has only {num_workers} workers"
+                )
+        for straggler in self.stragglers:
+            if straggler.worker >= num_workers:
+                raise ValueError(
+                    f"fault plan slows worker {straggler.worker} "
+                    f"({straggler}), but the cluster has only "
+                    f"{num_workers} workers"
+                )
+        if self.losses and len({l.worker for l in self.losses}) >= num_workers:
+            raise ValueError(
+                f"fault plan permanently loses all {num_workers} workers; "
+                "at least one must survive to fail over onto"
+            )
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (stored in trace headers)."""
+        return {
+            "seed": self.seed,
+            "crashes": [
+                {"worker": c.worker, "superstep": c.superstep}
+                for c in self.crashes
+            ],
+            "losses": [
+                {"worker": l.worker, "superstep": l.superstep}
+                for l in self.losses
+            ],
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "stragglers": [
+                {
+                    "worker": s.worker,
+                    "factor": s.factor,
+                    "start": s.start,
+                    "until": s.until,
+                }
+                for s in self.stragglers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(data.get("seed", 0)),
+            crashes=tuple(
+                CrashFault(int(c["worker"]), int(c["superstep"]))
+                for c in data.get("crashes", ())
+            ),
+            losses=tuple(
+                PermanentLossFault(int(l["worker"]), int(l["superstep"]))
+                for l in data.get("losses", ())
+            ),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            duplicate_rate=float(data.get("duplicate_rate", 0.0)),
+            stragglers=tuple(
+                StragglerFault(
+                    int(s["worker"]),
+                    float(s["factor"]),
+                    start=int(s.get("start", 0)),
+                    until=None if s.get("until") is None else int(s["until"]),
+                )
+                for s in data.get("stragglers", ())
+            ),
         )
 
 
@@ -148,44 +282,109 @@ class FaultInjector:
     One injector belongs to one :class:`~repro.runtime.bsp.Cluster`; it
     keeps the message counter that makes fates reproducible and tallies
     what it injected (``messages_dropped``, ``messages_duplicated``,
-    ``crashes_injected``).
+    ``crashes_injected``, ``losses_injected``).
+
+    ``trace``/``trace_scope`` record every fired fate into a
+    :class:`~repro.runtime.trace.FailureTrace`; ``replay`` takes fates
+    from a recorded trace instead of drawing them (the plan then only
+    contributes its declarative stragglers).  Recording also works in
+    replay mode, so a replayed run can prove it fired the identical
+    fate sequence.
     """
 
     plan: FaultPlan
+    trace: Optional[FailureTrace] = None
+    trace_scope: str = ""
+    replay: Optional[RuntimeReplay] = None
     messages_dropped: int = 0
     messages_duplicated: int = 0
     crashes_injected: int = 0
+    losses_injected: int = 0
     _message_counter: int = 0
     _fired: List[CrashFault] = field(default_factory=list)
+    _fired_losses: List[PermanentLossFault] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._crashes_by_step: Dict[int, List[CrashFault]] = {}
         for crash in self.plan.crashes:
             self._crashes_by_step.setdefault(crash.superstep, []).append(crash)
+        self._losses_by_step: Dict[int, List[PermanentLossFault]] = {}
+        for loss in self.plan.losses:
+            self._losses_by_step.setdefault(loss.superstep, []).append(loss)
+
+    @property
+    def replaying(self) -> bool:
+        """Whether fates come from a recorded trace (plan draws bypassed)."""
+        return self.replay is not None
+
+    def _record(self, kind: str, index: int, payload: Dict) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent("runtime", self.trace_scope, kind, index, payload)
+            )
 
     # ------------------------------------------------------------------
     def crashes_at(self, superstep: int) -> List[CrashFault]:
         """Crashes that fire at the end of ``superstep`` (each fires once)."""
-        due = [
-            c
-            for c in self._crashes_by_step.get(superstep, [])
-            if c not in self._fired
-        ]
-        self._fired.extend(due)
+        if self.replay is not None:
+            due = [
+                CrashFault(worker, superstep)
+                for worker in self.replay.crashed_workers(superstep)
+            ]
+        else:
+            due = [
+                c
+                for c in self._crashes_by_step.get(superstep, [])
+                if c not in self._fired
+            ]
+            self._fired.extend(due)
         self.crashes_injected += len(due)
+        for crash in due:
+            self._record("crash", superstep, {"worker": crash.worker})
+        return due
+
+    def losses_at(self, superstep: int) -> List[PermanentLossFault]:
+        """Permanent losses firing at the end of ``superstep`` (once each)."""
+        if self.replay is not None:
+            due = [
+                PermanentLossFault(worker, superstep)
+                for worker in self.replay.lost_workers(superstep)
+            ]
+        else:
+            due = [
+                l
+                for l in self._losses_by_step.get(superstep, [])
+                if l not in self._fired_losses
+            ]
+            self._fired_losses.extend(due)
+        self.losses_injected += len(due)
+        for loss in due:
+            self._record("loss", superstep, {"worker": loss.worker})
         return due
 
     def message_fate(self, superstep: int, src: int, dst: int) -> MessageFate:
         """Fate of the next remote message (deterministic in send order)."""
-        draw = _unit_hash(self.plan.seed, "msg", self._message_counter)
+        index = self._message_counter
         self._message_counter += 1
-        if draw < self.plan.drop_rate:
+        if self.replay is not None:
+            name = self.replay.message_fate(index)
+            if name is None:
+                return MessageFate.DELIVER
+            fate = MessageFate(name)
+        else:
+            draw = _unit_hash(self.plan.seed, "msg", index)
+            if draw < self.plan.drop_rate:
+                fate = MessageFate.DROP
+            elif draw < self.plan.drop_rate + self.plan.duplicate_rate:
+                fate = MessageFate.DUPLICATE
+            else:
+                return MessageFate.DELIVER
+        if fate is MessageFate.DROP:
             self.messages_dropped += 1
-            return MessageFate.DROP
-        if draw < self.plan.drop_rate + self.plan.duplicate_rate:
+        else:
             self.messages_duplicated += 1
-            return MessageFate.DUPLICATE
-        return MessageFate.DELIVER
+        self._record("message", index, {"fate": fate.value})
+        return fate
 
     def straggler_factor(self, worker: int, superstep: int) -> float:
         """Combined slowdown multiplier for ``worker`` at ``superstep``."""

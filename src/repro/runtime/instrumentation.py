@@ -22,13 +22,21 @@ from typing import Dict, List, Tuple
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """One injected failure and what recovering from it cost."""
+    """One injected failure and what recovering from it cost.
 
-    kind: str  # "crash" (message drops/duplicates are counted, not logged)
+    ``kind`` is ``"crash"`` (transient, rollback recovery) or ``"loss"``
+    (permanent, failover); message drops/duplicates are counted on the
+    profile, not logged per event.  ``promoted_masters`` and
+    ``replaced_vertices`` are only nonzero for losses.
+    """
+
+    kind: str
     worker: int
     superstep: int
     recovery_time: float = 0.0
     replayed_supersteps: int = 0
+    promoted_masters: int = 0
+    replaced_vertices: int = 0
 
     def to_dict(self) -> Dict:
         """JSON-serializable representation."""
@@ -38,6 +46,8 @@ class FailureEvent:
             "superstep": self.superstep,
             "recovery_time": self.recovery_time,
             "replayed_supersteps": self.replayed_supersteps,
+            "promoted_masters": self.promoted_masters,
+            "replaced_vertices": self.replaced_vertices,
         }
 
     @classmethod
@@ -49,6 +59,8 @@ class FailureEvent:
             superstep=int(data["superstep"]),
             recovery_time=float(data["recovery_time"]),
             replayed_supersteps=int(data["replayed_supersteps"]),
+            promoted_masters=int(data.get("promoted_masters", 0)),
+            replaced_vertices=int(data.get("replaced_vertices", 0)),
         )
 
 
@@ -63,6 +75,7 @@ class SuperstepRecord:
     failures: List[FailureEvent] = field(default_factory=list)
     recovery_time: float = 0.0
     checkpoint_bytes: float = 0.0
+    failover_time: float = 0.0
 
     @property
     def max_ops(self) -> float:
@@ -84,6 +97,7 @@ class SuperstepRecord:
             "failures": [f.to_dict() for f in self.failures],
             "recovery_time": self.recovery_time,
             "checkpoint_bytes": self.checkpoint_bytes,
+            "failover_time": self.failover_time,
         }
 
     @classmethod
@@ -99,6 +113,7 @@ class SuperstepRecord:
             failures=[FailureEvent.from_dict(f) for f in data.get("failures", [])],
             recovery_time=float(data.get("recovery_time", 0.0)),
             checkpoint_bytes=float(data.get("checkpoint_bytes", 0.0)),
+            failover_time=float(data.get("failover_time", 0.0)),
         )
 
 
@@ -118,6 +133,10 @@ class RunProfile:
     checkpoint_bytes: float = 0.0
     messages_dropped: int = 0
     messages_duplicated: int = 0
+    losses: int = 0
+    promoted_masters: int = 0
+    replaced_vertices: int = 0
+    failover_time: float = 0.0
 
     @property
     def num_supersteps(self) -> int:
@@ -173,6 +192,10 @@ class RunProfile:
             "checkpoint_bytes": self.checkpoint_bytes,
             "messages_dropped": self.messages_dropped,
             "messages_duplicated": self.messages_duplicated,
+            "losses": self.losses,
+            "promoted_masters": self.promoted_masters,
+            "replaced_vertices": self.replaced_vertices,
+            "failover_time": self.failover_time,
         }
 
     @classmethod
@@ -204,6 +227,10 @@ class RunProfile:
             checkpoint_bytes=float(data.get("checkpoint_bytes", 0.0)),
             messages_dropped=int(data.get("messages_dropped", 0)),
             messages_duplicated=int(data.get("messages_duplicated", 0)),
+            losses=int(data.get("losses", 0)),
+            promoted_masters=int(data.get("promoted_masters", 0)),
+            replaced_vertices=int(data.get("replaced_vertices", 0)),
+            failover_time=float(data.get("failover_time", 0.0)),
         )
 
     def summary(self) -> str:
@@ -218,5 +245,12 @@ class RunProfile:
                 f" ({self.num_failures} failures, "
                 f"recovery {self.recovery_time * 1e3:.3f} ms, "
                 f"checkpoints {self.checkpoint_bytes:.3g} bytes)"
+            )
+        if self.losses:
+            text += (
+                f" ({self.losses} workers lost, "
+                f"{self.promoted_masters} masters promoted, "
+                f"{self.replaced_vertices} vertices re-placed, "
+                f"failover {self.failover_time * 1e3:.3f} ms)"
             )
         return text

@@ -1,0 +1,88 @@
+"""Failover differential suite: every algorithm, both cuts, both paths.
+
+The full cross product the issue's CI job runs: 5 algorithms x
+{edge-cut, vertex-cut} baselines x {transient crash, permanent loss} x
+{vectorized kernels, scalar reference}.  In every cell the faulty run's
+results must be bit-identical to the clean run on the same path, and the
+loss cells must show degraded-mode accounting (a promoted-master count
+and a failover charge) with a strictly larger makespan.
+"""
+
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.eval.harness import algorithm_params
+from repro.graph.generators import chung_lu_power_law
+from repro.partitioners.base import get_partitioner
+from repro.runtime.faults import CrashFault, FaultPlan, PermanentLossFault
+
+CRASH_PLAN = FaultPlan(seed=11, crashes=(CrashFault(worker=1, superstep=1),))
+LOSS_PLAN = FaultPlan(seed=11, losses=(PermanentLossFault(worker=1, superstep=1),))
+PLANS = {"crash": CRASH_PLAN, "loss": LOSS_PLAN}
+
+_CLEAN = {}
+
+
+@pytest.fixture(scope="module")
+def partitions():
+    graph = chung_lu_power_law(200, 5.0, exponent=2.1, directed=True, seed=9)
+    return {
+        "edge": get_partitioner("fennel").partition(graph, 4),
+        "vertex": get_partitioner("dbh").partition(graph, 4),
+    }
+
+
+def clean_run(partitions, name, cut, use_kernels):
+    key = (name, cut, use_kernels)
+    if key not in _CLEAN:
+        params = algorithm_params(name, "")
+        _CLEAN[key] = get_algorithm(name).run(
+            partitions[cut], use_kernels=use_kernels, **params
+        )
+    return _CLEAN[key]
+
+
+@pytest.mark.parametrize("use_kernels", [True, False], ids=["kernels", "scalar"])
+@pytest.mark.parametrize("fault", ["crash", "loss"])
+@pytest.mark.parametrize("cut", ["edge", "vertex"])
+@pytest.mark.parametrize("name", ALGORITHM_NAMES)
+def test_faulty_results_bit_identical(partitions, name, cut, fault, use_kernels):
+    clean = clean_run(partitions, name, cut, use_kernels)
+    params = algorithm_params(name, "")
+    faulty = (
+        get_algorithm(name)
+        .configure_faults(PLANS[fault], checkpoint_interval=2)
+        .run(partitions[cut], use_kernels=use_kernels, **params)
+    )
+    assert faulty.values == clean.values
+    profile = faulty.profile
+    assert profile.num_failures == 1
+    assert profile.makespan > clean.makespan
+    if fault == "loss":
+        assert profile.losses == 1
+        assert profile.promoted_masters > 0
+        assert profile.failover_time > 0.0
+    else:
+        assert profile.losses == 0
+        assert profile.recovery_time > 0.0
+
+
+@pytest.mark.parametrize("cut", ["edge", "vertex"])
+def test_kernel_and_scalar_paths_agree_after_loss(partitions, cut):
+    """Degraded-mode accounting is path-independent, not just results."""
+    runs = {
+        use_kernels: get_algorithm("pr")
+        .configure_faults(LOSS_PLAN, checkpoint_interval=2)
+        .run(partitions[cut], use_kernels=use_kernels)
+        for use_kernels in (True, False)
+    }
+    assert runs[True].values == runs[False].values
+    assert runs[True].makespan == pytest.approx(runs[False].makespan)
+    assert (
+        runs[True].profile.promoted_masters
+        == runs[False].profile.promoted_masters
+    )
+    assert (
+        runs[True].profile.replaced_vertices
+        == runs[False].profile.replaced_vertices
+    )

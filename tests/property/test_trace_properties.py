@@ -1,0 +1,143 @@
+"""Property-based tests for failure-trace record/replay.
+
+For random fault plans over a fixed partition, a recorded run replayed
+from its trace must (a) fire the identical fate sequence (the replayed
+run re-records the same events byte for byte) and (b) produce a
+byte-identical ``RunProfile`` dict.  Trace files themselves round-trip
+through JSONL for arbitrary events, and ``minimize`` always returns a
+sub-trace that still satisfies the caller's predicate.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.algorithms.registry import get_algorithm
+from repro.graph.generators import chung_lu_power_law
+from repro.partitioners.base import get_partitioner
+from repro.runtime.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    PermanentLossFault,
+)
+from repro.runtime.trace import FailureTrace, TraceEvent, minimize
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_GRAPH = chung_lu_power_law(60, 5.0, exponent=2.1, directed=True, seed=5)
+_PARTITION = get_partitioner("fennel").partition(_GRAPH, 3)
+
+
+@st.composite
+def fault_plans(draw):
+    """A random fault plan valid for the 3-worker fixture partition."""
+    crashes = ()
+    if draw(st.booleans()):
+        crashes = (CrashFault(worker=draw(st.integers(0, 2)), superstep=draw(st.integers(0, 3))),)
+    losses = ()
+    if draw(st.booleans()):
+        losses = (
+            PermanentLossFault(
+                worker=draw(st.integers(0, 2)), superstep=draw(st.integers(0, 3))
+            ),
+        )
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        crashes=crashes,
+        losses=losses,
+        drop_rate=draw(st.sampled_from([0.0, 0.02, 0.1])),
+        duplicate_rate=draw(st.sampled_from([0.0, 0.05])),
+    )
+
+
+def _run(injector, checkpoint_interval):
+    return (
+        get_algorithm("pr")
+        .configure_faults(injector, checkpoint_interval=checkpoint_interval)
+        .run(_PARTITION)
+    )
+
+
+@given(plan=fault_plans(), checkpoint_interval=st.integers(0, 2))
+@SETTINGS
+def test_replay_roundtrip_is_byte_identical(plan, checkpoint_interval):
+    trace = FailureTrace(meta={"plan": plan.to_dict()})
+    recorded = _run(
+        FaultInjector(plan, trace=trace, trace_scope="pr"), checkpoint_interval
+    )
+
+    replay_plan = FaultPlan(seed=plan.seed, stragglers=plan.stragglers)
+    rerecorded = FailureTrace(meta=dict(trace.meta))
+    replayed = _run(
+        FaultInjector(
+            replay_plan,
+            trace=rerecorded,
+            trace_scope="pr",
+            replay=trace.runtime_replay("pr"),
+        ),
+        checkpoint_interval,
+    )
+
+    assert replayed.values == recorded.values
+    assert replayed.profile.to_dict() == recorded.profile.to_dict()
+    assert rerecorded.events == trace.events  # identical fate sequence
+
+
+trace_events = st.builds(
+    TraceEvent,
+    stream=st.sampled_from(["runtime", "integrity", "engine"]),
+    scope=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=8
+    ),
+    kind=st.sampled_from(["message", "crash", "loss", "corruption", "fate"]),
+    index=st.integers(0, 2**31),
+    payload=st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            min_size=1,
+            max_size=6,
+        ),
+        st.one_of(st.integers(-100, 100), st.text(max_size=6), st.booleans()),
+        max_size=3,
+    ),
+)
+
+
+@given(events=st.lists(trace_events, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_trace_file_roundtrip(tmp_path_factory, events):
+    path = str(tmp_path_factory.mktemp("trace") / "t.trace")
+    trace = FailureTrace(meta={"command": "test"}, events=events)
+    trace.save(path)
+    assert FailureTrace.load(path) == trace
+
+
+@given(plan=fault_plans())
+@settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_minimize_output_still_reproduces(plan):
+    trace = FailureTrace(meta={"plan": plan.to_dict()})
+    recorded = _run(FaultInjector(plan, trace=trace, trace_scope="pr"), 1)
+    target = recorded.profile.losses  # reproduce "same number of losses"
+
+    def reproduces(candidate):
+        replayed = _run(
+            FaultInjector(
+                FaultPlan(seed=plan.seed),
+                replay=candidate.runtime_replay("pr"),
+            ),
+            1,
+        )
+        return replayed.profile.losses == target
+
+    reduced = minimize(trace, reproduces)
+    assert reproduces(reduced)
+    assert len(reduced) <= len(trace)
+    # 1-minimal: no single remaining event can be dropped
+    for index in range(len(reduced.events)):
+        assert not reproduces(reduced.without(index))
