@@ -1,0 +1,175 @@
+"""Hetero bench: capacity-aware refinement on skewed clusters.
+
+Partitions a power-law graph, refines it twice per (scenario, baseline,
+algorithm) cell — once capacity-blind (no cluster spec: the refiner
+balances raw cost) and once capacity-aware (balance targets become
+capacity shares) — then executes both refinements on the scenario's
+heterogeneous cluster and emits ``BENCH_hetero.json``.
+
+Scenarios: ``uniform`` (all capacities 1.0 — the aware refinement must
+be *bit-identical* to the blind one, partitions and makespans alike),
+``skewed-compute`` (one worker at quarter speed) and ``skewed-net``
+(one worker behind a quarter-bandwidth NIC).  The headline assertion:
+on at least one skewed cell the capacity-aware refinement strictly
+beats the capacity-blind one.
+
+Standalone usage (what CI's hetero-smoke step runs):
+
+    PYTHONPATH=src python benchmarks/bench_hetero.py --smoke --out BENCH_hetero.json
+
+``--smoke`` shrinks the graph and restricts the algorithm set; the full
+bench runs three algorithms on a 2000-vertex power-law graph.
+"""
+
+import argparse
+import json
+
+SMOKE_ALGORITHMS = ("pr",)
+FULL_ALGORITHMS = ("pr", "wcc", "sssp")
+SCENARIOS = ("uniform", "skewed-compute", "skewed-net")
+#: baseline -> refiner cut type; fennel feeds ParE2H, ne feeds ParV2H
+BASELINES = (("fennel", "edge"), ("ne", "vertex"))
+NUM_FRAGMENTS = 4
+SKEW = 0.25
+
+
+def _scenario_spec(name):
+    from repro.runtime.clusterspec import ClusterSpec
+
+    ones = (1.0,) * NUM_FRAGMENTS
+    skewed = (SKEW,) + (1.0,) * (NUM_FRAGMENTS - 1)
+    if name == "uniform":
+        return ClusterSpec.uniform(NUM_FRAGMENTS)
+    if name == "skewed-compute":
+        return ClusterSpec(speeds=skewed, bandwidths=ones)
+    return ClusterSpec(speeds=ones, bandwidths=skewed)
+
+
+def _refiner(cut_type, model, spec):
+    from repro.core.parallel import ParE2H, ParV2H
+
+    cls = ParE2H if cut_type == "edge" else ParV2H
+    return cls(model, cluster_spec=spec)
+
+
+def run_bench(vertices, algorithms):
+    from repro.algorithms.registry import get_algorithm
+    from repro.costmodel.library import builtin_cost_model
+    from repro.eval.harness import algorithm_params
+    from repro.graph.generators import chung_lu_power_law
+    from repro.partition.serialize import partition_to_dict
+    from repro.partitioners.base import get_partitioner
+
+    graph = chung_lu_power_law(
+        vertices, 6.0, exponent=2.1, directed=True, seed=7
+    )
+    report = {
+        "vertices": vertices,
+        "fragments": NUM_FRAGMENTS,
+        "skew": SKEW,
+        "algorithms": list(algorithms),
+        "cells": [],
+    }
+    for baseline, cut_type in BASELINES:
+        initial = get_partitioner(baseline).partition(graph, NUM_FRAGMENTS)
+        for name in algorithms:
+            model = builtin_cost_model(name)
+            params = algorithm_params(name, "")
+            blind, _profile = _refiner(cut_type, model, None).refine(initial)
+            for scenario in SCENARIOS:
+                spec = _scenario_spec(scenario)
+                aware, _profile = _refiner(cut_type, model, spec).refine(initial)
+                run = lambda part: get_algorithm(name).run(
+                    part, cluster_spec=spec, **params
+                )
+                initial_run = run(initial)
+                blind_run = run(blind)
+                aware_run = run(aware)
+                report["cells"].append(
+                    {
+                        "scenario": scenario,
+                        "baseline": baseline,
+                        "algorithm": name,
+                        "initial_ms": initial_run.makespan * 1e3,
+                        "blind_ms": blind_run.makespan * 1e3,
+                        "aware_ms": aware_run.makespan * 1e3,
+                        "gain": (
+                            blind_run.makespan / aware_run.makespan
+                            if aware_run.makespan
+                            else 0.0
+                        ),
+                        # uniform spec ⇒ aware refinement must equal blind
+                        "partitions_identical": (
+                            partition_to_dict(aware) == partition_to_dict(blind)
+                        ),
+                        "makespans_identical": (
+                            blind_run.makespan == aware_run.makespan
+                        ),
+                    }
+                )
+    return report
+
+
+def check_report(report):
+    """The bench's assertions: uniform ties exactly, skew pays off."""
+    for cell in report["cells"]:
+        if cell["scenario"] == "uniform":
+            assert cell["partitions_identical"] and cell["makespans_identical"], (
+                f"uniform spec diverged from no spec: {cell}"
+            )
+    skewed = [c for c in report["cells"] if c["scenario"] != "uniform"]
+    assert skewed, "no skewed cells measured"
+    best = max(skewed, key=lambda c: c["gain"])
+    assert best["gain"] > 1.0, (
+        "capacity-aware refinement never beat capacity-blind on a skewed "
+        f"cluster (best gain {best['gain']:.3f} on {best['scenario']}/"
+        f"{best['baseline']}/{best['algorithm']})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small graph, pr only (CI smoke job)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_hetero.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    vertices = 400 if args.smoke else 2000
+    algorithms = SMOKE_ALGORITHMS if args.smoke else FULL_ALGORITHMS
+    report = run_bench(vertices, algorithms)
+    check_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    for cell in report["cells"]:
+        print(
+            f"{cell['scenario']:<15} {cell['baseline']:<7} "
+            f"{cell['algorithm']:<5} initial {cell['initial_ms']:.3f} ms, "
+            f"blind {cell['blind_ms']:.3f} ms, aware {cell['aware_ms']:.3f} ms "
+            f"({cell['gain']:.2f}x)"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def test_hetero(benchmark, print_section):
+    """Pytest wrapper: smoke subset under the bench harness."""
+    from benchmarks.conftest import run_once
+
+    report = run_once(benchmark, lambda: run_bench(400, SMOKE_ALGORITHMS))
+    check_report(report)
+    print_section(
+        "Extension: heterogeneous clusters "
+        "(capacity-aware vs capacity-blind refinement)",
+        json.dumps(report["cells"], indent=2),
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

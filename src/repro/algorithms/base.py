@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple, Union
 from repro.partition.fragment import Edge
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.bsp import Cluster
+from repro.runtime.clusterspec import cluster_spec_default, coerce_cluster_spec
 from repro.runtime.costclock import CostClock
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.instrumentation import RunProfile
@@ -115,19 +116,31 @@ class Algorithm(abc.ABC):
         clock: Optional[CostClock],
         params: Optional[Dict[str, Any]] = None,
     ) -> Cluster:
-        """Build the run's cluster, consuming runtime params if present."""
+        """Build the run's cluster, consuming runtime params if present.
+
+        The ``cluster_spec`` run param (a :class:`ClusterSpec`, its dict
+        payload, or a spec file path) activates heterogeneous-capacity
+        accounting; it defaults to the process-wide active spec.  Both
+        the vectorized kernels and the scalar loops charge through the
+        cluster built here, so one spec covers every execution path.
+        """
         faults = self.fault_plan
         checkpoint_interval = self.checkpoint_interval
+        spec = None
         if params is not None:
             faults = params.pop("faults", faults)
             checkpoint_interval = int(
                 params.pop("checkpoint_interval", checkpoint_interval) or 0
             )
+            spec = params.pop("cluster_spec", None)
+        if spec is None:
+            spec = cluster_spec_default()
         return Cluster(
             partition,
             clock=clock,
             faults=faults,
             checkpoint_interval=checkpoint_interval,
+            spec=coerce_cluster_spec(spec),
         )
 
     @staticmethod

@@ -168,6 +168,19 @@ def _load_trace_or_die(path: str) -> FailureTrace:
         raise SystemExit(f"error: {exc}")
 
 
+def _load_cluster_spec_or_die(args: argparse.Namespace):
+    """Load ``--cluster-spec`` (None when the flag is absent)."""
+    path = getattr(args, "cluster_spec", None)
+    if not path:
+        return None
+    from repro.runtime.clusterspec import ClusterSpec
+
+    try:
+        return ClusterSpec.load(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def cmd_partition(args: argparse.Namespace) -> int:
     """``partition``: cut a graph, optionally refine, save as JSON."""
     trace = loaded = None
@@ -184,6 +197,7 @@ def cmd_partition(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    cluster_spec = _load_cluster_spec_or_die(args)
     graph = _load_graph(args.graph)
     partitioner = get_partitioner(args.partitioner)
     partition = partitioner.partition(graph, args.fragments)
@@ -196,14 +210,20 @@ def cmd_partition(args: argparse.Namespace) -> int:
             from repro.core.e2h import E2H
 
             refiner = E2H(
-                model, guard_config=guard_config, use_gain_cache=use_gain_cache
+                model,
+                guard_config=guard_config,
+                use_gain_cache=use_gain_cache,
+                cluster_spec=cluster_spec,
             )
             partition = refiner.refine(partition, in_place=True)
         elif partitioner.cut_type == "vertex":
             from repro.core.v2h import V2H
 
             refiner = V2H(
-                model, guard_config=guard_config, use_gain_cache=use_gain_cache
+                model,
+                guard_config=guard_config,
+                use_gain_cache=use_gain_cache,
+                cluster_spec=cluster_spec,
             )
             partition = refiner.refine(partition, in_place=True)
         else:
@@ -305,6 +325,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     faulty = (
         plan is not None or args.checkpoint_interval > 0 or loaded is not None
     )
+    cluster_spec = _load_cluster_spec_or_die(args)
     graph = _load_graph(args.graph)
     partition = load_partition(args.partition, graph)
     names = [n.strip() for n in args.algorithms.split(",") if n.strip()]
@@ -334,7 +355,11 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             if profiler is not None:
                 profiler.enable()
             try:
-                result = algorithm.run(partition, use_kernels=not args.no_kernels)
+                result = algorithm.run(
+                    partition,
+                    use_kernels=not args.no_kernels,
+                    cluster_spec=cluster_spec,
+                )
             finally:
                 if profiler is not None:
                     profiler.disable()
@@ -391,6 +416,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         argv += ["--only", args.only]
     if args.no_kernels:
         argv.append("--no-kernels")
+    if args.cluster_spec is not None:
+        argv += ["--cluster-spec", args.cluster_spec]
     if args.job_timeout is not None:
         argv += ["--job-timeout", str(args.job_timeout)]
     if args.trace_out is not None:
@@ -587,6 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="refine on the uncached reference path (bit-identical, slower)",
     )
+    part.add_argument(
+        "--cluster-spec",
+        metavar="PATH",
+        help="JSON cluster spec; the refiner balances capacity shares "
+        "instead of raw cost (see examples/cluster_skewed.json)",
+    )
     guard = part.add_argument_group(
         "guarded refinement",
         "run the refiner under the integrity watchdog (requires --refine)",
@@ -625,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-kernels",
         action="store_true",
         help="use the scalar reference loops instead of the vectorized kernels",
+    )
+    ev.add_argument(
+        "--cluster-spec",
+        metavar="PATH",
+        help="JSON cluster spec; superstep times and transfer charges "
+        "reflect the heterogeneous capacities",
     )
     ev.add_argument(
         "--profile",
@@ -705,12 +744,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--only",
         metavar="NAMES",
-        help="comma-separated experiment subset (exp1..exp6, appendix)",
+        help="comma-separated experiment subset (exp1..exp6, appendix, hetero)",
     )
     sweep.add_argument(
         "--no-kernels",
         action="store_true",
         help="run algorithms via the scalar reference loops",
+    )
+    sweep.add_argument(
+        "--cluster-spec",
+        metavar="PATH",
+        help="JSON cluster spec forwarded to the sweep (heterogeneous cells)",
     )
     sweep.add_argument(
         "--job-timeout",

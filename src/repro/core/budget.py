@@ -4,6 +4,13 @@ The refiners estimate a computational budget ``B`` — the average C_h over
 fragments — and classify each fragment as *overloaded* (C_h > B) or
 *underloaded* (C_h ≤ B).  A small slack keeps the greedy phases from
 thrashing on fragments sitting exactly at the average.
+
+On a heterogeneous cluster (tracker built with a non-uniform
+ClusterSpec) the budget becomes a *per-unit-capacity* target:
+``B = slack · Σ_i C_h(F_i) / Σ_i speed_i``, and fragments are classified
+by their normalized load ``C_h(F_i)/speed_i`` — so the balance target is
+each worker's capacity share, not an equal split.  With no spec both
+formulas reduce bit-exactly to the historical ones.
 """
 
 from __future__ import annotations
@@ -14,19 +21,26 @@ from repro.core.tracker import CostTracker
 
 
 def compute_budget(tracker: CostTracker, slack: float = 1.0) -> float:
-    """``B = slack · Σ_i C_h(F_i) / n`` (Fig. 3 line 1; slack = 1 there)."""
+    """``B = slack · Σ_i C_h(F_i) / n`` (Fig. 3 line 1; slack = 1 there).
+
+    Capacity-aware form when the tracker carries a cluster spec:
+    ``B = slack · Σ_i C_h(F_i) / Σ_i speed_i`` (normalized-load units).
+    """
     costs = tracker.comp_costs()
-    return slack * sum(costs) / max(1, len(costs))
+    capacities = tracker.capacities
+    if capacities is None:
+        return slack * sum(costs) / max(1, len(costs))
+    return slack * sum(costs) / sum(capacities)
 
 
 def classify_fragments(
     tracker: CostTracker, budget: float
 ) -> Tuple[List[int], List[int]]:
-    """Split fragment ids into ``(overloaded, underloaded)`` w.r.t. C_h."""
+    """Split fragment ids into ``(overloaded, underloaded)`` w.r.t. load."""
     overloaded: List[int] = []
     underloaded: List[int] = []
-    for fid, cost in enumerate(tracker.comp_costs()):
-        if cost > budget:
+    for fid, load in enumerate(tracker.loads()):
+        if load > budget:
             overloaded.append(fid)
         else:
             underloaded.append(fid)

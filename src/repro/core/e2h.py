@@ -39,6 +39,11 @@ from repro.integrity.guard import (
     RefinementGuard,
 )
 from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.runtime.clusterspec import (
+    ClusterSpec,
+    coerce_cluster_spec,
+    effective_spec,
+)
 
 
 @dataclass
@@ -83,6 +88,13 @@ class E2H:
         configured cadence, cost-model guardrails, and step/wall-clock
         budgets with best-so-far early stop.  ``None`` (default) runs
         unguarded with zero overhead.
+    cluster_spec:
+        Optional heterogeneous :class:`~repro.runtime.clusterspec.
+        ClusterSpec` (or its dict payload / file path).  When given and
+        non-uniform, balance targets become capacity shares: the budget
+        is per unit of compute speed and fragments are compared by
+        normalized load ``C_h/speed``.  ``None`` or the uniform spec
+        keeps the homogeneous path bit-identical.
     """
 
     phases = ("emigrate", "esplit", "massign")
@@ -97,6 +109,7 @@ class E2H:
         candidate_order: str = "bfs",
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
         if candidate_order not in ("bfs", "arbitrary"):
             raise ValueError("candidate_order must be 'bfs' or 'arbitrary'")
@@ -108,6 +121,7 @@ class E2H:
         self.candidate_order = candidate_order
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[RefineStats] = None
 
     # ------------------------------------------------------------------
@@ -137,7 +151,7 @@ class E2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model)
+        tracker = CostTracker(partition, model, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
         stats.cost_before = tracker.parallel_cost()
@@ -166,7 +180,11 @@ class E2H:
                 # locality-preserving BFS traversal (GetCandidates).
                 order = sorted(partition.fragments[fid].vertices())
             candidates[fid] = get_candidates(
-                tracker, fid, budget, NodeRole.ECUT, order=order
+                tracker,
+                fid,
+                tracker.keep_budget(fid, budget),
+                NodeRole.ECUT,
+                order=order,
             )
             stats.candidates += len(candidates[fid])
 
@@ -227,12 +245,17 @@ class E2H:
                     destinations = cache.index.ascending(underloaded)
                 else:
                     price = tracker.price_as_ecut(v)
-                    destinations = sorted(underloaded, key=tracker.comp_cost)
+                    destinations = sorted(underloaded, key=tracker.load)
                 placed = False
                 for dst in destinations:
                     if dst == src:
                         continue
-                    if tracker.comp_cost(dst) + price <= budget:
+                    if (
+                        tracker.projected_load(
+                            dst, tracker.comp_cost(dst) + price
+                        )
+                        <= budget
+                    ):
                         emigrate(partition, v, src, dst)
                         stats.emigrated += 1
                         placed = True
@@ -266,7 +289,7 @@ class E2H:
                     if cache is not None:
                         target = cache.index.cheapest()
                     else:
-                        target = min(range(n), key=tracker.comp_cost)
+                        target = min(range(n), key=tracker.load)
                     if target == src:
                         continue
                     split_migrate_edge(partition, v, edge, src, target)

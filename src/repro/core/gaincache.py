@@ -237,17 +237,27 @@ class FragmentCostIndex:
         ``min(..., key=comp_cost)`` scan would have triggered.
         """
         self.tracker.ensure_current()
-        comp = self.tracker._comp
+        cost_of = self._cost_of()
         if self._stale:
             for fid in self._stale:
-                heapq.heappush(self._heap, (comp[fid], fid))
+                heapq.heappush(self._heap, (cost_of(fid), fid))
             self._stale.clear()
         heap = self._heap
         while True:
             cost, fid = heap[0]
-            if cost == comp[fid]:
+            if cost == cost_of(fid):
                 return fid
             heapq.heappop(heap)
+
+    def _cost_of(self):
+        """Ranking key: raw ``C_h``, or the capacity-normalized load when
+        the tracker carries a cluster spec (same floats either way as the
+        uncached ``tracker.load`` scans, so orders stay identical)."""
+        comp = self.tracker._comp
+        caps = self.tracker.capacities
+        if caps is None:
+            return comp.__getitem__
+        return lambda fid: comp[fid] / caps[fid]
 
     def ascending(self, fids: Sequence[int]) -> List[int]:
         """``sorted(fids, key=comp_cost)`` for an ascending-id ``fids``.
@@ -261,8 +271,8 @@ class FragmentCostIndex:
         self.tracker.ensure_current()
         key = tuple(fids)
         if self._order_dirty or key != self._order_key:
-            comp = self.tracker._comp
-            self._order = sorted(key, key=lambda fid: (comp[fid], fid))
+            cost_of = self._cost_of()
+            self._order = sorted(key, key=lambda fid: (cost_of(fid), fid))
             self._order_key = key
             self._order_dirty = False
         return self._order

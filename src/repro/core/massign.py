@@ -10,6 +10,13 @@ master goes to the hosting fragment minimizing
 plus the communication the vertex itself would incur there.  MAssign
 never moves edges, so it cannot worsen the computational balance the
 earlier phases achieved.
+
+On a heterogeneous cluster (tracker built with a non-uniform
+ClusterSpec) Eq. 5 scores in *time* units instead of cost units: the
+computation terms are divided by the host's compute speed and the
+communication terms by its NIC bandwidth, steering masters toward
+workers that can actually absorb the synchronization traffic.  With no
+spec the score expression is the untouched historical one.
 """
 
 from __future__ import annotations
@@ -46,6 +53,8 @@ def massign(
         )
     comp = tracker.comp_costs()
     comm = [0.0] * partition.num_fragments
+    caps = tracker.capacities
+    bws = tracker.bandwidths
     moves = 0
     for v in vertices:
         # Ghost placement entries (index corruption awaiting the guard's
@@ -69,7 +78,12 @@ def massign(
             else:
                 g_here = model.comm_cost_if_master_at(partition, v, fid, avg)
                 h_delta = model.comp_master_delta(partition, v, fid, avg)
-            score = comp[fid] + comm[fid] + g_here + h_delta
+            if caps is None:
+                score = comp[fid] + comm[fid] + g_here + h_delta
+            else:
+                score = (comp[fid] + h_delta) / caps[fid] + (
+                    comm[fid] + g_here
+                ) / bws[fid]
             if score < best_score:
                 best_score = score
                 best_fid = fid

@@ -40,6 +40,11 @@ from repro.integrity.guard import (
 from repro.partition.composite import CompositePartition
 from repro.partition.fragment import Edge
 from repro.partition.hybrid import HybridPartition
+from repro.runtime.clusterspec import (
+    ClusterSpec,
+    coerce_cluster_spec,
+    effective_spec,
+)
 
 Unit = Tuple[int, Tuple[Edge, ...]]  # (vertex, incident edges) candidate
 
@@ -111,6 +116,7 @@ class ME2H:
         use_getdest: bool = True,
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
         if not cost_models:
             raise ValueError("ME2H needs at least one cost model")
@@ -122,6 +128,7 @@ class ME2H:
         self.use_getdest = use_getdest
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[CompositeStats] = None
 
     # ------------------------------------------------------------------
@@ -133,11 +140,19 @@ class ME2H:
         stats = CompositeStats()
 
         # Budgets from the *input* partition's per-model costs (Fig. 6 l.1).
+        # Capacity-aware: per-unit-speed budget when a spec is active.
         for name, model in self.cost_models.items():
-            input_tracker = CostTracker(partition, model)
-            stats.budgets[name] = (
-                self.budget_slack * sum(input_tracker.comp_costs()) / n
-            )
+            input_tracker = CostTracker(partition, model, spec=self.cluster_spec)
+            if self.cluster_spec is None:
+                stats.budgets[name] = (
+                    self.budget_slack * sum(input_tracker.comp_costs()) / n
+                )
+            else:
+                stats.budgets[name] = (
+                    self.budget_slack
+                    * sum(input_tracker.comp_costs())
+                    / sum(self.cluster_spec.speeds)
+                )
             input_tracker.detach()
 
         # Fresh output partitions and trackers, one per algorithm.
@@ -159,7 +174,8 @@ class ME2H:
                 stats.gain_cache[name] = caches[name].stats
                 models[name] = caches[name].model
         trackers: Dict[str, CostTracker] = {
-            name: CostTracker(outputs[name], models[name]) for name in names
+            name: CostTracker(outputs[name], models[name], spec=self.cluster_spec)
+            for name in names
         }
         for name, cache in caches.items():
             cache.bind(trackers[name])
@@ -266,7 +282,12 @@ class ME2H:
                 accepted_all = True
                 for name, tracker in trackers.items():
                     price = self._price(trackers, name, unit, caches)
-                    if tracker.comp_cost(fid) + price <= stats.budgets[name]:
+                    if (
+                        tracker.projected_load(
+                            fid, tracker.comp_cost(fid) + price
+                        )
+                        <= stats.budgets[name]
+                    ):
                         self._assign_unit(tracker.partition, unit, fid)
                         guards.step(name)
                     else:
@@ -294,7 +315,7 @@ class ME2H:
             name: {
                 fid
                 for fid in range(n)
-                if tracker.comp_cost(fid) < stats.budgets[name]
+                if tracker.load(fid) < stats.budgets[name]
             }
             for name, tracker in trackers.items()
         }
@@ -309,8 +330,11 @@ class ME2H:
             }
 
             def fits(name: str, fid: int) -> bool:
+                tracker = trackers[name]
                 return (
-                    trackers[name].comp_cost(fid) + prices[name]
+                    tracker.projected_load(
+                        fid, tracker.comp_cost(fid) + prices[name]
+                    )
                     <= stats.budgets[name]
                 )
 
@@ -327,7 +351,7 @@ class ME2H:
                 self._assign_unit(trackers[name].partition, unit, fid)
                 stats.vassign_units += 1
                 guards.step(name)
-                if trackers[name].comp_cost(fid) >= stats.budgets[name]:
+                if trackers[name].load(fid) >= stats.budgets[name]:
                     underloaded[name].discard(fid)
             unplaced = pending - set(destinations)
             if unplaced:
@@ -355,7 +379,7 @@ class ME2H:
                     if cache is not None:
                         target = cache.index.cheapest()
                     else:
-                        target = min(range(n), key=tracker.comp_cost)
+                        target = min(range(n), key=tracker.load)
                     output.add_vertex_to(target, v)
                     if guards is not None:
                         guards.step(name)
@@ -364,7 +388,7 @@ class ME2H:
                     if cache is not None:
                         target = cache.index.cheapest()
                     else:
-                        target = min(range(n), key=tracker.comp_cost)
+                        target = min(range(n), key=tracker.load)
                     output.add_edge_to(target, edge)
                     if guards is not None:
                         guards.step(name)

@@ -32,6 +32,11 @@ from repro.integrity.guard import (
 )
 from repro.partition.composite import CompositePartition
 from repro.partition.hybrid import HybridPartition
+from repro.runtime.clusterspec import (
+    ClusterSpec,
+    coerce_cluster_spec,
+    effective_spec,
+)
 
 
 class MV2H:
@@ -44,6 +49,7 @@ class MV2H:
         vmerge_passes: int = 1,
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
         if not cost_models:
             raise ValueError("MV2H needs at least one cost model")
@@ -52,6 +58,7 @@ class MV2H:
         self.vmerge_passes = vmerge_passes
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[CompositeStats] = None
 
     # ------------------------------------------------------------------
@@ -63,10 +70,17 @@ class MV2H:
         stats = CompositeStats()
 
         for name, model in self.cost_models.items():
-            input_tracker = CostTracker(partition, model)
-            stats.budgets[name] = (
-                self.budget_slack * sum(input_tracker.comp_costs()) / n
-            )
+            input_tracker = CostTracker(partition, model, spec=self.cluster_spec)
+            if self.cluster_spec is None:
+                stats.budgets[name] = (
+                    self.budget_slack * sum(input_tracker.comp_costs()) / n
+                )
+            else:
+                stats.budgets[name] = (
+                    self.budget_slack
+                    * sum(input_tracker.comp_costs())
+                    / sum(self.cluster_spec.speeds)
+                )
             input_tracker.detach()
 
         outputs: Dict[str, HybridPartition] = {
@@ -87,7 +101,8 @@ class MV2H:
                 stats.gain_cache[name] = caches[name].stats
                 models[name] = caches[name].model
         trackers: Dict[str, CostTracker] = {
-            name: CostTracker(outputs[name], models[name]) for name in names
+            name: CostTracker(outputs[name], models[name], spec=self.cluster_spec)
+            for name in names
         }
         for name, cache in caches.items():
             cache.bind(trackers[name])
@@ -114,6 +129,7 @@ class MV2H:
                 enable_massign=False,
                 vmerge_passes=self.vmerge_passes,
                 use_gain_cache=self.use_gain_cache,
+                cluster_spec=self.cluster_spec,
             )
             merger.refine(outputs[name], in_place=True)
         stats.phase_seconds["vmerge"] = time.perf_counter() - start
@@ -224,7 +240,12 @@ class MV2H:
                 for name, tracker in trackers.items():
                     price = self._price(tracker, tracker.partition, unit, fid)
                     old = tracker.copy_comp_cost(unit[0], fid)
-                    if tracker.comp_cost(fid) - old + price <= stats.budgets[name]:
+                    if (
+                        tracker.projected_load(
+                            fid, tracker.comp_cost(fid) - old + price
+                        )
+                        <= stats.budgets[name]
+                    ):
                         self._assign_unit(tracker.partition, unit, fid)
                         guards.step(name)
                     else:
@@ -258,7 +279,7 @@ class MV2H:
             name: {
                 fid
                 for fid in range(n)
-                if tracker.comp_cost(fid) < stats.budgets[name]
+                if tracker.load(fid) < stats.budgets[name]
             }
             for name, tracker in trackers.items()
         }
@@ -267,7 +288,12 @@ class MV2H:
                 tracker = trackers[name]
                 price = self._price(tracker, tracker.partition, unit, fid)
                 old = tracker.copy_comp_cost(unit[0], fid)
-                return tracker.comp_cost(fid) - old + price <= stats.budgets[name]
+                return (
+                    tracker.projected_load(
+                        fid, tracker.comp_cost(fid) - old + price
+                    )
+                    <= stats.budgets[name]
+                )
 
             if guards.exhausted:
                 # Budget gone: cheapest-fragment fallback keeps every
@@ -283,11 +309,11 @@ class MV2H:
                     if cache is not None:
                         fid = cache.index.cheapest()
                     else:
-                        fid = min(range(n), key=tracker.comp_cost)
+                        fid = min(range(n), key=tracker.load)
                     stats.eassign_units += 1
                 else:
                     stats.vassign_units += 1
                 self._assign_unit(tracker.partition, unit, fid)
                 guards.step(name)
-                if tracker.comp_cost(fid) >= stats.budgets[name]:
+                if tracker.load(fid) >= stats.budgets[name]:
                     underloaded[name].discard(fid)

@@ -50,6 +50,11 @@ from repro.integrity.guard import (
 from repro.partition.composite import CompositePartition
 from repro.partition.hybrid import HybridPartition, NodeRole
 from repro.runtime.bsp import Cluster
+from repro.runtime.clusterspec import (
+    ClusterSpec,
+    coerce_cluster_spec,
+    effective_spec,
+)
 from repro.runtime.costclock import CostClock
 
 C1_OPS = 4.0  # abstract ops per h_A evaluation (Section 5.3's c1)
@@ -112,6 +117,7 @@ class ParE2H:
         budget_slack: float = 1.0,
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
         self.cost_model = cost_model
         self.batch_size = batch_size
@@ -122,6 +128,7 @@ class ParE2H:
         self.budget_slack = budget_slack
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
 
     # ------------------------------------------------------------------
     def refine(
@@ -144,10 +151,10 @@ class ParE2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model)
+        tracker = CostTracker(partition, model, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
-        cluster = Cluster(partition, clock=self.clock)
+        cluster = Cluster(partition, clock=self.clock, spec=self.cluster_spec)
         profile = RefinementProfile()
         meter = _PhaseMeter(cluster, profile)
         stats.cost_before = tracker.parallel_cost()
@@ -171,7 +178,9 @@ class ParE2H:
 
         def setup() -> None:
             for fid in overloaded:
-                cands = get_candidates(tracker, fid, budget, NodeRole.ECUT)
+                cands = get_candidates(
+                    tracker, fid, tracker.keep_budget(fid, budget), NodeRole.ECUT
+                )
                 candidates[fid] = cands
                 stats.candidates += len(cands)
                 cluster.charge(fid, partition.fragments[fid].num_vertices)
@@ -263,7 +272,12 @@ class ParE2H:
                         price = cache.price_as_ecut(v)
                     else:
                         price = tracker.price_as_ecut(v)
-                    if tracker.comp_cost(dst) + price <= budget:
+                    if (
+                        tracker.projected_load(
+                            dst, tracker.comp_cost(dst) + price
+                        )
+                        <= budget
+                    ):
                         emigrate(partition, v, src, dst)
                         stats.emigrated += 1
                         if guard is not None:
@@ -311,7 +325,7 @@ class ParE2H:
                     if cache is not None:
                         target = cache.index.cheapest()
                     else:
-                        target = min(range(n), key=tracker.comp_cost)
+                        target = min(range(n), key=tracker.load)
                     if target == src:
                         continue
                     if not partition.fragments[src].has_edge(edge):
@@ -363,6 +377,8 @@ def _parallel_massign_impl(
         work[fid].sort()
     comp = tracker.comp_costs()
     comm = [0.0] * partition.num_fragments
+    caps = tracker.capacities
+    bws = tracker.bandwidths
     while any(work.values()):
         for fid in range(partition.num_fragments):
             batch, work[fid] = work[fid][:batch_size], work[fid][batch_size:]
@@ -386,7 +402,12 @@ def _parallel_massign_impl(
                     else:
                         g_here = model.comm_cost_if_master_at(partition, v, host, avg)
                         h_delta = model.comp_master_delta(partition, v, host, avg)
-                    score = comp[host] + comm[host] + g_here + h_delta
+                    if caps is None:
+                        score = comp[host] + comm[host] + g_here + h_delta
+                    else:
+                        score = (comp[host] + h_delta) / caps[host] + (
+                            comm[host] + g_here
+                        ) / bws[host]
                     if score < best_score:
                         best_score, best_fid = score, host
                         best_gain, best_delta = g_here, h_delta
@@ -428,6 +449,7 @@ class ParV2H:
         vmerge_passes: int = 2,
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
         self.cost_model = cost_model
         self.batch_size = batch_size
@@ -439,6 +461,7 @@ class ParV2H:
         self.vmerge_passes = vmerge_passes
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
 
     def refine(
         self, partition: HybridPartition, in_place: bool = False
@@ -460,10 +483,10 @@ class ParV2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model)
+        tracker = CostTracker(partition, model, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
-        cluster = Cluster(partition, clock=self.clock)
+        cluster = Cluster(partition, clock=self.clock, spec=self.cluster_spec)
         profile = RefinementProfile()
         meter = _PhaseMeter(cluster, profile)
         stats.cost_before = tracker.parallel_cost()
@@ -481,6 +504,7 @@ class ParV2H:
             model,
             budget_slack=self.budget_slack,
             vmerge_passes=self.vmerge_passes,
+            cluster_spec=self.cluster_spec,
         )
 
         budget = compute_budget(tracker, self.budget_slack)
@@ -492,7 +516,9 @@ class ParV2H:
 
         def setup() -> None:
             for fid in overloaded:
-                cands = get_candidates(tracker, fid, budget, NodeRole.VCUT)
+                cands = get_candidates(
+                    tracker, fid, tracker.keep_budget(fid, budget), NodeRole.VCUT
+                )
                 candidates[fid] = cands
                 stats.candidates += len(cands)
                 cluster.charge(fid, partition.fragments[fid].num_vertices)
@@ -585,7 +611,12 @@ class ParV2H:
                     else:
                         new_price = helper._merged_price(tracker, v, src, dst)
                     old_price = tracker.copy_comp_cost(v, dst)
-                    if tracker.comp_cost(dst) - old_price + new_price <= budget:
+                    if (
+                        tracker.projected_load(
+                            dst, tracker.comp_cost(dst) - old_price + new_price
+                        )
+                        <= budget
+                    ):
                         vmigrate(partition, v, src, dst)
                         stats.vmigrated += 1
                         if guard is not None:
@@ -611,7 +642,7 @@ class ParV2H:
             # Each underloaded worker scans its own v-cut nodes in batches.
             work: Dict[int, List[int]] = {}
             for fid in range(partition.num_fragments):
-                if tracker.comp_cost(fid) > budget:
+                if tracker.load(fid) > budget:
                     continue
                 fragment = partition.fragments[fid]
                 vcuts = [
@@ -656,7 +687,10 @@ class ParV2H:
                             new_price = tracker.price_as_ecut(v)
                         old_price = tracker.copy_comp_cost(v, fid)
                         if (
-                            tracker.comp_cost(fid) - old_price + new_price
+                            tracker.projected_load(
+                                fid,
+                                tracker.comp_cost(fid) - old_price + new_price,
+                            )
                             > budget
                         ):
                             continue
@@ -684,6 +718,7 @@ class _CompositeParallelMixin:
 
     batch_size: int
     clock: CostClock
+    cluster_spec: Optional[ClusterSpec]
 
     def _charge_phases(
         self,
@@ -692,7 +727,9 @@ class _CompositeParallelMixin:
         profile: RefinementProfile,
     ) -> None:
         cluster = Cluster(
-            next(iter(composite.partitions.values())), clock=self.clock
+            next(iter(composite.partitions.values())),
+            clock=self.clock,
+            spec=self.cluster_spec,
         )
         meter = _PhaseMeter(cluster, profile)
         n = composite.num_fragments
@@ -737,12 +774,15 @@ class ParME2H(_CompositeParallelMixin):
         budget_slack: float = 1.2,
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.inner = ME2H(
             cost_models,
             budget_slack=budget_slack,
             guard_config=guard_config,
             use_gain_cache=use_gain_cache,
+            cluster_spec=self.cluster_spec,
         )
         self.batch_size = batch_size
         self.clock = clock or CostClock()
@@ -771,13 +811,16 @@ class ParMV2H(_CompositeParallelMixin):
         vmerge_passes: int = 1,
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.inner = MV2H(
             cost_models,
             budget_slack=budget_slack,
             vmerge_passes=vmerge_passes,
             guard_config=guard_config,
             use_gain_cache=use_gain_cache,
+            cluster_spec=self.cluster_spec,
         )
         self.batch_size = batch_size
         self.clock = clock or CostClock()

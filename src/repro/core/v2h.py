@@ -36,10 +36,20 @@ from repro.integrity.guard import (
     RefinementGuard,
 )
 from repro.partition.hybrid import HybridPartition, NodeRole
+from repro.runtime.clusterspec import (
+    ClusterSpec,
+    coerce_cluster_spec,
+    effective_spec,
+)
 
 
 class V2H:
-    """Vertex-cut → hybrid refiner driven by a cost model."""
+    """Vertex-cut → hybrid refiner driven by a cost model.
+
+    ``cluster_spec`` activates capacity-aware balancing exactly as in
+    :class:`~repro.core.e2h.E2H`: budgets and load comparisons are per
+    unit of compute speed; None/uniform stays bit-identical.
+    """
 
     phases = ("vmigrate", "vmerge", "massign")
 
@@ -53,6 +63,7 @@ class V2H:
         vmerge_passes: int = 2,
         guard_config: Optional[GuardConfig] = None,
         use_gain_cache: bool = True,
+        cluster_spec: Optional[ClusterSpec] = None,
     ) -> None:
         self.cost_model = cost_model
         self.enable_vmigrate = enable_vmigrate
@@ -62,6 +73,7 @@ class V2H:
         self.vmerge_passes = vmerge_passes
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
+        self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[RefineStats] = None
 
     # ------------------------------------------------------------------
@@ -84,7 +96,7 @@ class V2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model)
+        tracker = CostTracker(partition, model, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
         stats.cost_before = tracker.parallel_cost()
@@ -106,7 +118,9 @@ class V2H:
 
         candidates: Dict[int, List] = {}
         for fid in overloaded:
-            candidates[fid] = get_candidates(tracker, fid, budget, NodeRole.VCUT)
+            candidates[fid] = get_candidates(
+                tracker, fid, tracker.keep_budget(fid, budget), NodeRole.VCUT
+            )
             stats.candidates += len(candidates[fid])
 
         early_stopped = False
@@ -190,7 +204,7 @@ class V2H:
                 if cache is not None:
                     destinations = cache.index.ascending(underloaded)
                 else:
-                    destinations = sorted(underloaded, key=tracker.comp_cost)
+                    destinations = sorted(underloaded, key=tracker.load)
                 for dst in destinations:
                     if dst == src or not partition.fragments[dst].has_vertex(v):
                         continue
@@ -204,7 +218,12 @@ class V2H:
                     else:
                         new_price = self._merged_price(tracker, v, src, dst)
                     old_price = tracker.copy_comp_cost(v, dst)
-                    if tracker.comp_cost(dst) - old_price + new_price <= budget:
+                    if (
+                        tracker.projected_load(
+                            dst, tracker.comp_cost(dst) - old_price + new_price
+                        )
+                        <= budget
+                    ):
                         vmigrate(partition, v, src, dst)
                         stats.vmigrated += 1
                         placed = True
@@ -232,9 +251,9 @@ class V2H:
             if cache is not None:
                 order = cache.index.ascending(range(n))
             else:
-                order = sorted(range(n), key=tracker.comp_cost)
+                order = sorted(range(n), key=tracker.load)
             for fid in order:
-                if tracker.comp_cost(fid) > budget:
+                if tracker.load(fid) > budget:
                     continue
                 fragment = partition.fragments[fid]
                 vcut_here = [
@@ -269,7 +288,12 @@ class V2H:
                     else:
                         new_price = tracker.price_as_ecut(v)
                     old_price = tracker.copy_comp_cost(v, fid)
-                    if tracker.comp_cost(fid) - old_price + new_price > budget:
+                    if (
+                        tracker.projected_load(
+                            fid, tracker.comp_cost(fid) - old_price + new_price
+                        )
+                        > budget
+                    ):
                         continue
                     vmerge(partition, v, fid, missing)
                     stats.vmerged += 1

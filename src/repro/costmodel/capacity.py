@@ -1,0 +1,89 @@
+"""Capacity-normalized fragment costs for heterogeneous clusters.
+
+On a homogeneous cluster the ADP objective ``max_i C_A(F_i)`` treats
+every worker as interchangeable.  With a :class:`~repro.runtime.
+clusterspec.ClusterSpec` the natural objective is *time*, not abstract
+cost: a fragment hosted by a worker with compute speed ``s_i`` and NIC
+bandwidth ``b_i`` finishes its computation in ``C_h(F_i)/s_i`` and its
+synchronization in ``C_g(F_i)/b_i``.  The helpers here evaluate that
+normalized objective; with ``spec=None`` (or a uniform spec collapsed by
+:func:`~repro.runtime.clusterspec.effective_spec`) they reduce exactly
+to the homogeneous Eq. 1-3 values, term by term, because no division is
+ever applied.
+
+These are analysis/reporting helpers (used by the hetero evaluation axis
+and ``bench_hetero``); the refiners themselves consume the same
+normalization through :class:`~repro.core.tracker.CostTracker`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.costmodel.model import CostModel
+from repro.partition.hybrid import HybridPartition
+from repro.runtime.clusterspec import ClusterSpec, effective_spec
+
+
+def fragment_time(
+    model: CostModel,
+    partition: HybridPartition,
+    fid: int,
+    spec: Optional[ClusterSpec] = None,
+) -> float:
+    """Normalized fragment cost ``C_h/s_i + C_g/b_i`` (time units).
+
+    ``spec=None`` or a uniform spec returns the plain Eq. 1 value
+    ``C_h + C_g`` bit-identically (no division is applied).
+    """
+    spec = effective_spec(spec)
+    comp = model.fragment_comp_cost(partition, fid)
+    comm = model.fragment_comm_cost(partition, fid)
+    if spec is None:
+        return comp + comm
+    spec.validate_for(partition.num_fragments)
+    return comp / spec.speeds[fid] + comm / spec.bandwidths[fid]
+
+
+def fragment_times(
+    model: CostModel,
+    partition: HybridPartition,
+    spec: Optional[ClusterSpec] = None,
+) -> List[float]:
+    """Per-fragment normalized costs, fragment id order."""
+    return [
+        fragment_time(model, partition, fid, spec)
+        for fid in range(partition.num_fragments)
+    ]
+
+
+def parallel_time(
+    model: CostModel,
+    partition: HybridPartition,
+    spec: Optional[ClusterSpec] = None,
+) -> float:
+    """Normalized ADP objective ``max_i (C_h/s_i + C_g/b_i)``."""
+    return max(fragment_times(model, partition, spec))
+
+
+def capacity_shares(spec: ClusterSpec) -> List[float]:
+    """Each worker's fair share of total compute, ``s_i / Σ s_j``.
+
+    Capacity-aware refinement balances toward these shares instead of
+    the uniform ``1/n``.
+    """
+    total = sum(spec.speeds)
+    return [s / total for s in spec.speeds]
+
+
+def imbalance(
+    model: CostModel,
+    partition: HybridPartition,
+    spec: Optional[ClusterSpec] = None,
+) -> float:
+    """Max-over-mean of the normalized fragment costs (1.0 = perfect)."""
+    times = fragment_times(model, partition, spec)
+    mean = sum(times) / len(times)
+    if mean == 0.0:
+        return 1.0
+    return max(times) / mean

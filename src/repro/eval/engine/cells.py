@@ -168,6 +168,7 @@ def compute_composite_cell(
     batch: Sequence[str],
     models: Dict[str, Dict],
     virtual: bool = False,
+    cluster_spec: Optional[Dict] = None,
 ) -> Dict:
     """ParME2H / ParMV2H composite refinement over a serialized partition."""
     from repro.core.parallel import ParME2H, ParMV2H
@@ -182,7 +183,7 @@ def compute_composite_cell(
     # Rebuild models in batch order — the refiner's phase interleaving
     # follows the model dict's iteration order.
     rebuilt = {name: model_from_payload(models[name]) for name in batch}
-    refiner = refiner_cls(rebuilt)
+    refiner = refiner_cls(rebuilt, cluster_spec=cluster_spec)
     composite, profile = refiner.refine(partition_from_dict(initial, graph))
     profile_payload = profile_to_payload(profile)
     if virtual:

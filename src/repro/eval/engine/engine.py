@@ -116,10 +116,28 @@ class EvalEngine:
         self._digests[partition] = payload["content"]
         return partition, payload["seconds"]
 
+    @staticmethod
+    def _fold_cluster_spec(params: Dict) -> Dict:
+        """Normalize ``params['cluster_spec']`` to its canonical payload.
+
+        Resolves the explicit value or the process-wide default, collapses
+        uniform specs, and stores the JSON dict form — so cache keys fold
+        the spec digest, spawn workers rebuild the exact spec, and the
+        homogeneous case leaves ``params`` (and hence every legacy cache
+        key) byte-identical.
+        """
+        from repro.runtime.clusterspec import spec_payload
+
+        payload = spec_payload(params.pop("cluster_spec", None))
+        if payload is not None:
+            params["cluster_spec"] = payload
+        return params
+
     def refine_partition(
         self, partition, algorithm: str, cut_type: str, model, **refiner_kwargs
     ):
         """ParE2H / ParV2H refinement; returns ``(refined, profile)``."""
+        refiner_kwargs = self._fold_cluster_spec(dict(refiner_kwargs))
         if self.cache is None:
             from repro.core.parallel import ParE2H, ParV2H
 
@@ -169,16 +187,16 @@ class EvalEngine:
         self, partition, algorithm: str, params: Optional[Dict] = None
     ) -> float:
         """Simulated makespan of ``algorithm`` on ``partition`` (seconds)."""
+        run_params = self._fold_cluster_spec(dict(params) if params else {})
         if self.cache is None:
             from repro.algorithms.registry import get_algorithm
 
-            result = get_algorithm(algorithm).run(partition, **(params or {}))
+            result = get_algorithm(algorithm).run(partition, **run_params)
             return result.makespan
 
         from repro.algorithms.base import kernels_default
         from repro.partition.serialize import partition_to_dict
 
-        run_params = dict(params) if params else {}
         use_kernels = bool(run_params.pop("use_kernels", kernels_default()))
         content, payload = self._digest_and_payload(partition)
         key = keys.run_key(content, algorithm, run_params, use_kernels)
@@ -193,15 +211,25 @@ class EvalEngine:
 
         return self._load_or_compute(key, compute)["makespan"]
 
-    def composite_refine(self, partition, cut_type: str, batch: Sequence[str], models):
+    def composite_refine(
+        self,
+        partition,
+        cut_type: str,
+        batch: Sequence[str],
+        models,
+        cluster_spec=None,
+    ):
         """ParME2H / ParMV2H over ``partition``; returns ``(composite, profile)``."""
+        from repro.runtime.clusterspec import spec_payload
+
+        spec = spec_payload(cluster_spec)
         if self.cache is None:
             from repro.core.parallel import ParME2H, ParMV2H
 
             if cut_type == "edge":
-                refiner = ParME2H(models)
+                refiner = ParME2H(models, cluster_spec=spec)
             elif cut_type == "vertex":
-                refiner = ParMV2H(models)
+                refiner = ParMV2H(models, cluster_spec=spec)
             else:
                 raise ValueError(f"cannot composite-refine a {cut_type!r} baseline")
             return refiner.refine(partition)
@@ -216,6 +244,7 @@ class EvalEngine:
             batch,
             {name: keys.payload_digest(p) for name, p in model_payloads.items()},
             self.virtual,
+            cluster_spec=spec,
         )
 
         def compute() -> Dict:
@@ -225,7 +254,13 @@ class EvalEngine:
                 else partition_to_dict(partition)
             )
             return cells.compute_composite_cell(
-                partition.graph, initial, cut_type, batch, model_payloads, self.virtual
+                partition.graph,
+                initial,
+                cut_type,
+                batch,
+                model_payloads,
+                self.virtual,
+                cluster_spec=spec,
             )
 
         payload = self._load_or_compute(key, compute)

@@ -98,6 +98,7 @@ def physical_key(job: Job, dep_meta: Optional[Dict], virtual: bool) -> str:
             spec["batch"],
             {name: keys.payload_digest(m) for name, m in spec["models"].items()},
             virtual,
+            cluster_spec=spec.get("cluster_spec"),
         )
     if kind == "memo":
         return keys.memo_key(spec["memo_kind"], spec["params"], virtual)
@@ -145,6 +146,7 @@ def compute_cell(spec: Dict, dep_payload: Optional[Dict], virtual: bool) -> Dict
             spec["batch"],
             spec["models"],
             virtual,
+            cluster_spec=spec.get("cluster_spec"),
         )
     if kind == "memo":
         return cells.compute_memo_cell(spec["memo_kind"], spec["params"])

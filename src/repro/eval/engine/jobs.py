@@ -116,6 +116,22 @@ class Planner:
         spec = {"kind": "partition", "dataset": dataset, "baseline": baseline, "n": n}
         return self.graph.add(Job(_jid("partition", spec, ()), "partition", spec))
 
+    @staticmethod
+    def _fold_cluster_spec(params: Dict) -> Dict:
+        """Record the active cluster spec's payload at plan time.
+
+        Mirrors ``use_kernels``: ``run_all --cluster-spec`` flips the
+        process-wide default before planning, so every planned cell
+        carries the exact spec its workers must rebuild.  Homogeneous
+        plans leave ``params`` untouched (legacy job ids unchanged).
+        """
+        from repro.runtime.clusterspec import spec_payload
+
+        payload = spec_payload(params.pop("cluster_spec", None))
+        if payload is not None:
+            params["cluster_spec"] = payload
+        return params
+
     def refine(
         self,
         dataset: str,
@@ -133,7 +149,7 @@ class Planner:
             "algorithm": algorithm,
             "cut": cut_type,
             "model": self._model(algorithm),
-            "kwargs": kwargs,
+            "kwargs": self._fold_cluster_spec(dict(kwargs)),
         }
         return self.graph.add(
             Job(_jid("refine", spec, (base.jid,)), "refine", spec, (base.jid,))
@@ -154,7 +170,7 @@ class Planner:
             "kind": "run",
             "dataset": dataset,
             "algorithm": algorithm,
-            "params": params or {},
+            "params": self._fold_cluster_spec(dict(params or {})),
             "view": view,
             # Recorded at plan time so subprocess workers execute the
             # same path the planning process selected (run_all
@@ -180,6 +196,7 @@ class Planner:
             "batch": list(batch),
             "models": {name: self._model(name) for name in batch},
         }
+        spec.update(self._fold_cluster_spec({}))
         return self.graph.add(
             Job(_jid("composite", spec, (base.jid,)), "composite", spec, (base.jid,))
         )

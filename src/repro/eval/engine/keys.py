@@ -124,13 +124,22 @@ def composite_key(
     batch: Sequence[str],
     model_hashes: Dict[str, str],
     virtual: bool = False,
+    cluster_spec: Optional[Dict] = None,
 ) -> str:
-    """Key of a composite-refine cell (ParME2H / ParMV2H over a batch)."""
+    """Key of a composite-refine cell (ParME2H / ParMV2H over a batch).
+
+    ``cluster_spec`` (the canonical heterogeneous-spec payload) is folded
+    into the digest only when present, so homogeneous keys stay
+    byte-identical to those minted before the spec existed.  Run and
+    refine cells fold theirs through ``params`` / ``kwargs`` instead.
+    """
+    extra = {"cluster_spec": cluster_spec} if cluster_spec is not None else {}
     return config_digest(
         "composite",
         partition=partition_content,
         batch=list(batch),
         models=dict(model_hashes),
+        **extra,
         **_walls(virtual),
     )
 

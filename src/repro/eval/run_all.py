@@ -51,13 +51,13 @@ import tempfile
 import time
 
 from repro.eval.engine import ArtifactCache, EvalEngine, Planner, use_engine
-from repro.eval.experiments import appendix, exp1, exp2, exp3, exp4, exp5, exp6
+from repro.eval.experiments import appendix, exp1, exp2, exp3, exp4, exp5, exp6, hetero
 from repro.eval.reporting import format_table, series_block
 
 #: default on-disk artifact cache, shared with the benchmark scripts
 DEFAULT_CACHE_DIR = ".repro-cache"
 
-SECTION_NAMES = ("exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "appendix")
+SECTION_NAMES = ("exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "appendix", "hetero")
 
 
 def _banner(title: str) -> None:
@@ -87,6 +87,9 @@ def _sweep_config(quick: bool) -> dict:
         "num_graphs": 3 if quick else 6,
         "reference_dataset": "livejournal_like",
         "appendix_baselines": ("xtrapulp", "grid"),
+        "hetero_n": 4,
+        "hetero_baselines": ("xtrapulp", "ne"),
+        "hetero_algorithms": ("pr",) if quick else ("pr", "wcc", "sssp"),
     }
 
 
@@ -125,6 +128,15 @@ def _plan_exp6(planner: Planner, cfg: dict) -> None:
 def _plan_appendix(planner: Planner, cfg: dict) -> None:
     for baseline in cfg["appendix_baselines"]:
         appendix.plan_phase_speedups(planner, baseline=baseline)
+
+
+def _plan_hetero(planner: Planner, cfg: dict) -> None:
+    hetero.plan_hetero(
+        planner,
+        num_fragments=cfg["hetero_n"],
+        baselines=cfg["hetero_baselines"],
+        algorithms=cfg["hetero_algorithms"],
+    )
 
 
 # ----------------------------------------------------------------------
@@ -195,6 +207,20 @@ def _render_appendix(cfg: dict) -> None:
         print(format_table(appendix.HEADERS, appendix.contribution_rows(decomposition)))
 
 
+def _render_hetero(cfg: dict) -> None:
+    _banner("Hetero: capacity-aware refinement on skewed clusters (§13)")
+    data = hetero.hetero_table(
+        num_fragments=cfg["hetero_n"],
+        baselines=cfg["hetero_baselines"],
+        algorithms=cfg["hetero_algorithms"],
+    )
+    print(format_table(hetero.HEADERS, hetero.rows(data)))
+    print(
+        "best blind/aware speedup per scenario:",
+        {k: f"{v:.2f}x" for k, v in hetero.capacity_gains(data).items()},
+    )
+
+
 SECTIONS = {
     "exp1": (_plan_exp1, _render_exp1),
     "exp2": (_plan_exp2, _render_exp2),
@@ -203,6 +229,7 @@ SECTIONS = {
     "exp5": (_plan_exp5, _render_exp5),
     "exp6": (_plan_exp6, _render_exp6),
     "appendix": (_plan_appendix, _render_appendix),
+    "hetero": (_plan_hetero, _render_hetero),
 }
 
 
@@ -259,6 +286,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="run algorithms via the scalar reference loops (slower; "
         "results are bit-identical to the kernel path)",
+    )
+    parser.add_argument(
+        "--cluster-spec",
+        metavar="PATH",
+        help="JSON cluster spec (per-worker speeds/bandwidths); refiners "
+        "and the simulator charge heterogeneous capacities everywhere",
     )
     resilience_group = parser.add_argument_group(
         "resilience", "failure policy of the warm phase"
@@ -359,6 +392,16 @@ def main(argv=None) -> int:
         from repro.algorithms.base import set_kernels_default
 
         set_kernels_default(False)
+
+    if args.cluster_spec:
+        # Same pattern: planned cells record the spec payload, so spawn
+        # workers rebuild the identical heterogeneous cluster.
+        from repro.runtime.clusterspec import ClusterSpec, set_cluster_spec_default
+
+        try:
+            set_cluster_spec_default(ClusterSpec.load(args.cluster_spec))
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
 
     selected = _parse_only(args.only, parser) if args.only else list(SECTION_NAMES)
     jobs = max(1, args.jobs)

@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.clusterspec import ClusterSpec, effective_spec
 from repro.runtime.costclock import CostClock
 from repro.runtime.failover import FailoverState
 from repro.runtime.faults import FaultInjector, FaultPlan, MessageFate
@@ -77,6 +78,7 @@ class Cluster:
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         checkpoint_interval: int = 0,
         snapshot: Optional[Callable[[], Any]] = None,
+        spec: Optional[ClusterSpec] = None,
     ) -> None:
         if partition.num_fragments <= 0:
             raise ValueError(
@@ -86,6 +88,26 @@ class Cluster:
         self.partition = partition
         self.num_workers = partition.num_fragments
         self.clock = clock or CostClock()
+        # Heterogeneous capacities.  A uniform spec collapses to None so
+        # the homogeneous code path stays byte-for-byte the historical
+        # one; only a genuinely skewed spec activates the scaled barrier.
+        self.spec = spec
+        if spec is not None:
+            spec.validate_for(self.num_workers)
+        self._hetero_spec = effective_spec(spec)
+        self._hetero = self._hetero_spec is not None
+        self._linkbw: Optional[np.ndarray] = None
+        self._step_link_bytes: Optional[np.ndarray] = None
+        if self._hetero:
+            bws = np.asarray(self._hetero_spec.bandwidths, dtype=np.float64)
+            linkbw = np.minimum.outer(bws, bws)
+            for lsrc, ldst, lbw in self._hetero_spec.links:
+                linkbw[lsrc, ldst] = lbw
+            np.fill_diagonal(linkbw, 1.0)  # local delivery is free anyway
+            self._linkbw = linkbw
+            self._step_link_bytes = np.zeros(
+                (self.num_workers, self.num_workers), dtype=np.float64
+            )
         self.profile = RunProfile(num_workers=self.num_workers)
         self._step_ops: Dict[int, float] = {f: 0.0 for f in range(self.num_workers)}
         self._step_bytes: Dict[int, float] = {f: 0.0 for f in range(self.num_workers)}
@@ -253,6 +275,11 @@ class Cluster:
             self.profile.bytes_by_worker[int(dst)] = (
                 self.profile.bytes_by_worker.get(int(dst), 0.0) + amount
             )
+        if self._hetero:
+            # Raw per-link totals; bandwidth division happens once at the
+            # barrier so batched and scalar sends accumulate identically
+            # (byte counts are dyadic, the divided values need not be).
+            np.add.at(self._step_link_bytes[src], dsts[remote], wire[remote])
         if master_vertices is not None:
             mv = np.asarray(master_vertices, dtype=np.int64)
             attributed = remote & (mv >= 0)
@@ -318,6 +345,8 @@ class Cluster:
                         self.profile.messages_duplicated += 1
             self._step_bytes[src] += wire_bytes
             self._step_bytes[dst] += wire_bytes
+            if self._hetero:
+                self._step_link_bytes[src, dst] += wire_bytes
             for fid in (src, dst):
                 self.profile.bytes_by_worker[fid] = (
                     self.profile.bytes_by_worker.get(fid, 0.0) + wire_bytes
@@ -333,6 +362,8 @@ class Cluster:
     # ------------------------------------------------------------------
     def _superstep_time(self) -> float:
         """Clock charge for the pending superstep (straggler-aware)."""
+        if self._hetero:
+            return self._hetero_superstep_time()
         if self._lost:
             return self._degraded_superstep_time()
         if self.faults is None:
@@ -356,6 +387,54 @@ class Cluster:
             default=0.0,
         )
         return self.clock.superstep_time(max_ops, max_bytes)
+
+    def _hetero_superstep_time(self) -> float:
+        """Capacity-scaled barrier: the slowest worker sets the pace.
+
+        Each worker's op load is divided by its compute speed and each
+        link's byte load by its effective bandwidth before the maxima,
+        so a half-speed worker doubles its compute term and a
+        quarter-bandwidth link quadruples its transfer term.  Stragglers
+        and degraded-mode heir shares compose multiplicatively on top,
+        exactly as on the homogeneous path.
+        """
+        spec = self._hetero_spec
+        transfers = self._step_link_bytes / self._linkbw
+        per_worker = transfers.sum(axis=1) + transfers.sum(axis=0)
+        step = self._step_index
+        alive = [f for f in range(self.num_workers) if f not in self._lost]
+        ops = {f: self._step_ops[f] for f in alive}
+        xbytes = {f: float(per_worker[f]) for f in alive}
+        for dead in sorted(self._lost):
+            for heir, share in sorted(self._lost[dead].items()):
+                ops[heir] += self._step_ops[dead] * share
+                xbytes[heir] += float(per_worker[dead]) * share
+        if self.faults is not None:
+            factors = {f: self.faults.straggler_factor(f, step) for f in alive}
+        else:
+            factors = {f: 1.0 for f in alive}
+        max_ops = max(
+            (ops[f] * factors[f] / spec.speeds[f] for f in alive), default=0.0
+        )
+        max_bytes = max((xbytes[f] * factors[f] for f in alive), default=0.0)
+        return self.clock.superstep_time(max_ops, max_bytes)
+
+    def _byte_time(self, nbytes: float) -> float:
+        """Clock charge for shipping ``nbytes`` outside a superstep.
+
+        Checkpoint, restore, and re-placement traffic is conservatively
+        priced over the slowest link of a heterogeneous cluster; on the
+        homogeneous path this is exactly ``nbytes * byte_cost``.
+        """
+        if self._hetero:
+            return (nbytes / self._hetero_spec.min_bandwidth) * self.clock.byte_cost
+        return nbytes * self.clock.byte_cost
+
+    def _op_time(self, ops: float) -> float:
+        """Clock charge for ``ops`` outside a superstep (slowest worker)."""
+        if self._hetero:
+            return (ops / self._hetero_spec.min_speed) * self.clock.op_cost
+        return ops * self.clock.op_cost
 
     def _effective_loads(self) -> tuple:
         """Per-survivor (ops, bytes) with dead workers' load folded in.
@@ -394,7 +473,7 @@ class Cluster:
         """
         checkpoint = self.checkpoints.last if self.checkpoints is not None else None
         if checkpoint is not None:
-            restore_time = checkpoint.nbytes * self.clock.byte_cost
+            restore_time = self._byte_time(checkpoint.nbytes)
             resume_from = checkpoint.superstep
             # Exercise the snapshot round-trip: a corrupt blob should fail
             # loudly here, not at a hypothetical real recovery.
@@ -445,7 +524,7 @@ class Cluster:
             )
         checkpoint = self.checkpoints.last if self.checkpoints is not None else None
         if checkpoint is not None:
-            restore_time = checkpoint.shard_nbytes(dead) * self.clock.byte_cost
+            restore_time = self._byte_time(checkpoint.shard_nbytes(dead))
             resume_from = checkpoint.superstep
             checkpoint.restore()
         else:
@@ -459,11 +538,11 @@ class Cluster:
         if self._failover_state is None:
             self._failover_state = FailoverState(get_plan(self.partition))
         decision = self._failover_state.fail(dead, survivors)
-        promotion_time = (
+        promotion_time = self._op_time(
             self.partition.graph.num_vertices + decision.promoted_count
-        ) * self.clock.op_cost
-        replacement_time = decision.replacement_bytes * self.clock.byte_cost
-        rebuild_time = decision.rebuild_entries * self.clock.op_cost
+        )
+        replacement_time = self._byte_time(decision.replacement_bytes)
+        rebuild_time = self._op_time(decision.rebuild_entries)
         failover_time = (
             restore_time
             + sum(replayed)
@@ -531,7 +610,7 @@ class Cluster:
         if self.checkpoints is not None and self.checkpoints.due(self._step_index + 1):
             checkpoint = self.checkpoints.take(self._step_index + 1)
             record.checkpoint_bytes += checkpoint.nbytes
-            record.time += checkpoint.nbytes * self.clock.byte_cost
+            record.time += self._byte_time(checkpoint.nbytes)
             self.profile.checkpoint_bytes += checkpoint.nbytes
         self.profile.supersteps.append(record)
         self.profile.makespan += record.time
@@ -539,6 +618,8 @@ class Cluster:
         self._outbox = {f: [] for f in range(self.num_workers)}
         self._step_ops = {f: 0.0 for f in range(self.num_workers)}
         self._step_bytes = {f: 0.0 for f in range(self.num_workers)}
+        if self._hetero:
+            self._step_link_bytes.fill(0.0)
         self._step_index += 1
         return inboxes
 

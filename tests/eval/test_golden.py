@@ -27,7 +27,7 @@ import pytest
 from repro.costmodel.library import builtin_cost_model
 from repro.eval import harness
 from repro.eval.engine import ArtifactCache, EvalEngine, use_engine
-from repro.eval.experiments import exp1, exp2, exp3, exp4
+from repro.eval.experiments import exp1, exp2, exp3, exp4, hetero
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 REL_TOL = 1e-9
@@ -55,6 +55,12 @@ EXP4_CONFIG = dict(
     num_fragments=2,
     baselines=("grid",),
     batch=("pr", "wcc"),
+)
+HETERO_CONFIG = dict(
+    dataset="livejournal_like",
+    num_fragments=2,
+    baselines=("fennel", "ne"),
+    algorithms=("pr", "wcc"),
 )
 
 
@@ -138,6 +144,16 @@ def test_exp3_figure9k_matches_golden(tmp_path):
             }
 
     _check("exp3_tiny", compute)
+
+
+@pytest.mark.slow
+def test_hetero_table_matches_golden():
+    """The skewed-cluster table (capacity-aware vs -blind) is pinned.
+
+    Everything reported is simulated time, so the plain passthrough
+    engine is deterministic — no virtual-walls engine needed.
+    """
+    _check("hetero_tiny", lambda: hetero.hetero_table(**HETERO_CONFIG))
 
 
 @pytest.mark.slow

@@ -1,0 +1,109 @@
+"""Property tests for the heterogeneous cluster model.
+
+Three invariants that must hold for *any* spec, not just the scenarios
+the differential suite pins:
+
+* slowing any single worker never decreases an algorithm's makespan
+  (superstep time is a max over per-worker normalized loads — monotone
+  in every worker's slowness);
+* with a pure-compute clock (zero byte cost, zero barrier latency),
+  scaling every speed by ``k`` scales the makespan by ``1/k``;
+* ``ClusterSpec`` survives a JSON round trip identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import get_algorithm
+from repro.graph.generators import chung_lu_power_law
+from repro.partitioners.base import get_partitioner
+from repro.runtime.clusterspec import ClusterSpec
+from repro.runtime.costclock import CostClock
+
+N = 4
+
+_GRAPH = None
+_PARTITION = None
+
+
+def _partition():
+    """Small shared fixture partition (built lazily, reused per process)."""
+    global _GRAPH, _PARTITION
+    if _PARTITION is None:
+        _GRAPH = chung_lu_power_law(150, 5.0, exponent=2.1, directed=True, seed=5)
+        _PARTITION = get_partitioner("hash").partition(_GRAPH, N)
+    return _PARTITION
+
+
+def _makespan(spec, clock=None):
+    result = get_algorithm("pr").run(
+        _partition(), clock=clock, cluster_spec=spec, iterations=3
+    )
+    return result.makespan
+
+
+speeds_strategy = st.lists(
+    st.floats(min_value=0.25, max_value=4.0, allow_nan=False, allow_infinity=False),
+    min_size=N,
+    max_size=N,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    speeds=speeds_strategy,
+    worker=st.integers(min_value=0, max_value=N - 1),
+    factor=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_slowing_any_worker_never_decreases_makespan(speeds, worker, factor):
+    base = ClusterSpec(speeds=tuple(speeds), bandwidths=(1.0,) * N)
+    slowed_speeds = list(speeds)
+    slowed_speeds[worker] *= factor
+    slowed = ClusterSpec(speeds=tuple(slowed_speeds), bandwidths=(1.0,) * N)
+    assert _makespan(slowed) >= _makespan(base)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    speeds=speeds_strategy,
+    k=st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+)
+def test_scaling_all_speeds_scales_compute_time(speeds, k):
+    # pure-compute clock: no byte charges, no barrier latency, so the
+    # makespan is exactly the sum of per-superstep compute maxima
+    clock = CostClock(op_cost=1e-7, byte_cost=0.0, superstep_latency=0.0)
+    base = ClusterSpec(speeds=tuple(speeds), bandwidths=(1.0,) * N)
+    scaled = ClusterSpec(
+        speeds=tuple(s * k for s in speeds), bandwidths=(1.0,) * N
+    )
+    assert _makespan(scaled, clock) == pytest.approx(
+        _makespan(base, clock) / k, rel=1e-9
+    )
+
+
+@st.composite
+def cluster_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    capacity = st.floats(
+        min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+    )
+    speeds = tuple(draw(st.lists(capacity, min_size=n, max_size=n)))
+    bandwidths = tuple(draw(st.lists(capacity, min_size=n, max_size=n)))
+    pairs = [(s, d) for s in range(n) for d in range(n) if s != d]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))) if pairs else []
+    links = tuple((s, d, draw(capacity)) for s, d in chosen)
+    return ClusterSpec(speeds=speeds, bandwidths=bandwidths, links=links)
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec=cluster_specs())
+def test_json_round_trip_identity(spec):
+    assert ClusterSpec.from_dict(spec.to_dict()) == spec
+    through_text = ClusterSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert through_text == spec
+    assert through_text.digest() == spec.digest()
