@@ -127,12 +127,16 @@ class Algorithm(abc.ABC):
         faults = self.fault_plan
         checkpoint_interval = self.checkpoint_interval
         spec = None
+        backend = None
+        shm_workers = None
         if params is not None:
             faults = params.pop("faults", faults)
             checkpoint_interval = int(
                 params.pop("checkpoint_interval", checkpoint_interval) or 0
             )
             spec = params.pop("cluster_spec", None)
+            backend = params.pop("backend", None)
+            shm_workers = params.pop("shm_workers", None)
         if spec is None:
             spec = cluster_spec_default()
         return Cluster(
@@ -141,6 +145,8 @@ class Algorithm(abc.ABC):
             faults=faults,
             checkpoint_interval=checkpoint_interval,
             spec=coerce_cluster_spec(spec),
+            backend=backend,
+            shm_workers=shm_workers,
         )
 
     @staticmethod
@@ -149,6 +155,21 @@ class Algorithm(abc.ABC):
         if params is not None and "use_kernels" in params:
             return bool(params.pop("use_kernels"))
         return kernels_default()
+
+    @staticmethod
+    def _check_backend(cluster: Cluster, use_kernels: bool) -> None:
+        """Reject backend/path combinations that cannot execute.
+
+        The shm backend parallelizes the *kernel* compute over worker
+        processes; the scalar reference loops have no array state to
+        publish, so they run only on the simulated backend.
+        """
+        if cluster.backend != "simulated" and not use_kernels:
+            raise ValueError(
+                f"backend={cluster.backend!r} requires the vectorized "
+                "kernels; use use_kernels=True (default) or "
+                "backend='simulated' for the scalar oracle"
+            )
 
 
 def compute_edge_owners(

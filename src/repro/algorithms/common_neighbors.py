@@ -57,6 +57,7 @@ class CommonNeighbors(Algorithm):
         use_kernels = self._use_kernels(params)
         graph = partition.graph
         cluster = self._cluster(partition, clock, params)
+        self._check_backend(cluster, use_kernels)
         if use_kernels:
             return self._run_kernel(partition, cluster, theta, return_pairs)
 
@@ -149,6 +150,14 @@ class CommonNeighbors(Algorithm):
                     key = (neighbors[i], neighbors[j])
                     pair_counts[key] = pair_counts.get(key, 0) + 1
 
+        # shm backend: the per-fragment eligibility masks are computed in
+        # worker processes over shared degree/role views (bit-identical
+        # to the in-process expression below).
+        runner = cluster.shm_runner()
+        shm_elig = (
+            runner.cn_eligible(plan, theta) if runner is not None else None
+        )
+
         # Superstep 1: e-cut vertices count locally; v-cut copies ship
         # their local in-neighbor lists to the master.
         vcut_parts = []
@@ -158,7 +167,10 @@ class CommonNeighbors(Algorithm):
             if verts.size == 0:
                 continue
             roles = plan.roles(fid)
-            eligible = (in_degs[verts] <= theta) & (roles != ROLE_DUMMY)
+            if shm_elig is not None:
+                eligible = shm_elig[fid]
+            else:
+                eligible = (in_degs[verts] <= theta) & (roles != ROLE_DUMMY)
             if not eligible.any():
                 continue
             lin = plan.cn_local_in_counts(fid)

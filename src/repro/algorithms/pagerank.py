@@ -64,6 +64,7 @@ class PageRank(Algorithm):
         base = (1.0 - damping) / n
 
         cluster = self._cluster(partition, clock, params)
+        self._check_backend(cluster, use_kernels)
         if use_kernels:
             return self._run_kernel(partition, cluster, iterations, damping, base)
 
@@ -149,8 +150,18 @@ class PageRank(Algorithm):
             }
 
         cluster.set_snapshot(snapshot)
+        runner = cluster.shm_runner()
 
         for _ in range(iterations):
+            # shm backend: the scatter runs in worker processes over
+            # shared plan views; the returned sums are bit-identical to
+            # the in-process np.add.at below, and all cost accounting
+            # stays here in the parent.
+            shm_sums = (
+                runner.pr_scatter(plan, ranks, target_aware)
+                if runner is not None
+                else None
+            )
             partials = {}
             for fragment in partition.fragments:
                 fid = fragment.fid
@@ -158,11 +169,14 @@ class PageRank(Algorithm):
                 if sc.src_slots.size == 0:
                     continue
                 local = ranks[fid]
-                sums = np.zeros(local.size)
-                # np.add.at applies updates sequentially in index order,
-                # which is the scalar scatter order — every intermediate
-                # rounding step matches the dict accumulation.
-                np.add.at(sums, sc.dst_slots, local[sc.src_slots] / sc.deg)
+                if shm_sums is not None:
+                    sums = shm_sums[fid]
+                else:
+                    sums = np.zeros(local.size)
+                    # np.add.at applies updates sequentially in index order,
+                    # which is the scalar scatter order — every intermediate
+                    # rounding step matches the dict accumulation.
+                    np.add.at(sums, sc.dst_slots, local[sc.src_slots] / sc.deg)
                 cluster.charge_bulk(fid, sc.ops, vertices=plan.verts(fid))
                 partials[fid] = (sc.touched_ids, sums[sc.touched_slots])
 

@@ -52,6 +52,7 @@ class SingleSourceShortestPath(Algorithm):
         use_kernels = self._use_kernels(params)
         graph = partition.graph
         cluster = self._cluster(partition, clock, params)
+        self._check_backend(cluster, use_kernels)
         if use_kernels:
             return self._run_kernel(partition, cluster, source, max_iterations)
 
@@ -149,7 +150,17 @@ class SingleSourceShortestPath(Algorithm):
             dist[fid][slot] = 0.0
             active[fid][slot] = True
 
+        runner = cluster.shm_runner()
+
         for _ in range(max_iterations):
+            # shm backend: frontier relaxation runs in worker processes
+            # (the runner mirrors the skip conditions below exactly);
+            # charges are still computed here from the same sel/lens.
+            shm_best = (
+                runner.sssp_relax(plan, dist, active)
+                if runner is not None
+                else None
+            )
             partials = {}
             for fragment in partition.fragments:
                 fid = fragment.fid
@@ -164,8 +175,13 @@ class SingleSourceShortestPath(Algorithm):
                 if idx.size == 0:
                     continue
                 local = dist[fid]
-                best = np.full(local.size, INF)
-                np.minimum.at(best, t.targets[idx], np.repeat(local[sel], lens) + 1.0)
+                if shm_best is not None:
+                    best = shm_best[fid]
+                else:
+                    best = np.full(local.size, INF)
+                    np.minimum.at(
+                        best, t.targets[idx], np.repeat(local[sel], lens) + 1.0
+                    )
                 mask = best < local
                 if mask.any():
                     partials[fid] = (plan.verts(fid)[mask], best[mask])

@@ -37,6 +37,24 @@ from repro.runtime.plan import DUMMY as ROLE_DUMMY
 from repro.runtime.plan import get_plan
 
 
+def _group_misses(
+    wa: np.ndarray, wb: np.ndarray, wp: np.ndarray
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Group missed wedges (already miss-filtered) by pivot slot.
+
+    ``wp`` is slot-major, so the misses form contiguous runs per pivot;
+    shared by the in-process and shm-worker paths so both produce the
+    identical per-slot arrays the query loop consumes.
+    """
+    out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    if wp.size:
+        uslots, starts = np.unique(wp, return_index=True)
+        ends = np.append(starts[1:], wp.size)
+        for s, lo, hi in zip(uslots.tolist(), starts.tolist(), ends.tolist()):
+            out[int(s)] = (wa[lo:hi], wb[lo:hi])
+    return out
+
+
 class TriangleCounting(Algorithm):
     """Exact global triangle count over the undirected view of the graph."""
 
@@ -52,6 +70,7 @@ class TriangleCounting(Algorithm):
         graph = partition.graph
         use_kernels = self._use_kernels(params)
         cluster = self._cluster(partition, clock, params)
+        self._check_backend(cluster, use_kernels)
 
         def order(v: int) -> Tuple[int, int]:
             return (graph.degree(v), v)
@@ -119,6 +138,16 @@ class TriangleCounting(Algorithm):
         # Superstep 1: e-cut pivots work locally; v-cut copies ship lists.
         if use_kernels:
             plan = get_plan(partition)
+            # shm backend: wedge enumeration + closing-edge membership (the
+            # bulk of superstep 1) run in worker processes; found counts
+            # and missed wedges come back bit-identical to the in-process
+            # block below.  The query/answer pump stays parent-side.
+            runner = cluster.shm_runner()
+            shm_wedges = (
+                runner.tc_wedges(plan, graph.directed)
+                if runner is not None
+                else None
+            )
             for fragment in partition.fragments:
                 fid = fragment.fid
                 verts = plan.verts(fid)
@@ -142,41 +171,43 @@ class TriangleCounting(Algorithm):
                     cluster.charge_bulk(
                         fid, ks * (ks - 1), vertices=verts[ecut_slots]
                     )
-                    wa_parts, wb_parts, wp_parts = [], [], []
-                    for slot, k in zip(ecut_slots.tolist(), ks.tolist()):
-                        if k < 2:
-                            continue
-                        start = int(t.oindptr[slot])
-                        seg = t.onbrs[start : start + k]
-                        ii, jj = plan.triu_pairs(k)
-                        wa_parts.append(seg[ii])
-                        wb_parts.append(seg[jj])
-                        wp_parts.append(np.full(ii.size, slot, dtype=np.int64))
-                    if wa_parts:
-                        wa = np.concatenate(wa_parts)
-                        wb = np.concatenate(wb_parts)
-                        wp = np.concatenate(wp_parts)
-                        if graph.directed:
-                            found = plan.has_edges(fid, wa, wb) | plan.has_edges(
-                                fid, wb, wa
+                    if shm_wedges is not None:
+                        entry = shm_wedges.get(fid)
+                        if entry is not None:
+                            found_count, wa_m, wb_m, wp_m = entry
+                            triangles += found_count
+                            miss_by_slot = _group_misses(wa_m, wb_m, wp_m)
+                    else:
+                        wa_parts, wb_parts, wp_parts = [], [], []
+                        for slot, k in zip(ecut_slots.tolist(), ks.tolist()):
+                            if k < 2:
+                                continue
+                            start = int(t.oindptr[slot])
+                            seg = t.onbrs[start : start + k]
+                            ii, jj = plan.triu_pairs(k)
+                            wa_parts.append(seg[ii])
+                            wb_parts.append(seg[jj])
+                            wp_parts.append(
+                                np.full(ii.size, slot, dtype=np.int64)
                             )
-                        else:
-                            found = plan.has_edges(
-                                fid, np.minimum(wa, wb), np.maximum(wa, wb)
-                            )
-                        triangles += int(found.sum())
-                        miss = np.nonzero(~found)[0]
-                        if miss.size:
-                            # wp is slot-major, so the missed wedges group
-                            # into contiguous runs per pivot slot.
-                            mp = wp[miss]
-                            uslots, starts = np.unique(mp, return_index=True)
-                            ends = np.append(starts[1:], mp.size)
-                            for s, lo, hi in zip(
-                                uslots.tolist(), starts.tolist(), ends.tolist()
-                            ):
-                                sel = miss[lo:hi]
-                                miss_by_slot[s] = (wa[sel], wb[sel])
+                        if wa_parts:
+                            wa = np.concatenate(wa_parts)
+                            wb = np.concatenate(wb_parts)
+                            wp = np.concatenate(wp_parts)
+                            if graph.directed:
+                                found = plan.has_edges(
+                                    fid, wa, wb
+                                ) | plan.has_edges(fid, wb, wa)
+                            else:
+                                found = plan.has_edges(
+                                    fid, np.minimum(wa, wb), np.maximum(wa, wb)
+                                )
+                            triangles += int(found.sum())
+                            miss = np.nonzero(~found)[0]
+                            if miss.size:
+                                miss_by_slot = _group_misses(
+                                    wa[miss], wb[miss], wp[miss]
+                                )
                 # Queries and inlists go out in fragment vertex order —
                 # the scalar send order the fault stream expects.
                 # Single-home queries accumulate into one batch per

@@ -46,6 +46,7 @@ class WeaklyConnectedComponents(Algorithm):
         max_iterations = int(params.get("max_iterations", self.max_iterations))
         use_kernels = self._use_kernels(params)
         cluster = self._cluster(partition, clock, params)
+        self._check_backend(cluster, use_kernels)
         if use_kernels:
             return self._run_kernel(partition, cluster, max_iterations)
 
@@ -121,8 +122,14 @@ class WeaklyConnectedComponents(Algorithm):
             }
 
         cluster.set_snapshot(snapshot)
+        runner = cluster.shm_runner()
 
         for _ in range(max_iterations):
+            # shm backend: the relaxation sweep runs in worker processes;
+            # outputs are bit-identical to the in-process minimum.at.
+            shm_best = (
+                runner.wcc_relax(plan, labels) if runner is not None else None
+            )
             partials = {}
             for fragment in partition.fragments:
                 fid = fragment.fid
@@ -131,9 +138,12 @@ class WeaklyConnectedComponents(Algorithm):
                     continue
                 ent = plan.wcc_entries(fid)
                 lab = labels[fid]
-                best = lab.copy()
-                if ent.rel_v.size:
-                    np.minimum.at(best, ent.rel_v, lab[ent.rel_u])
+                if shm_best is not None:
+                    best = shm_best[fid]
+                else:
+                    best = lab.copy()
+                    if ent.rel_v.size:
+                        np.minimum.at(best, ent.rel_v, lab[ent.rel_u])
                 cluster.charge_bulk(fid, ent.counts, vertices=verts)
                 improved = best < lab
                 border_extra = ent.border & ~improved

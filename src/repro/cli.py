@@ -354,11 +354,17 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         try:
             if profiler is not None:
                 profiler.enable()
+            run_kwargs = {}
+            if args.backend is not None:
+                run_kwargs["backend"] = args.backend
+                if args.shm_workers is not None:
+                    run_kwargs["shm_workers"] = args.shm_workers
             try:
                 result = algorithm.run(
                     partition,
                     use_kernels=not args.no_kernels,
                     cluster_spec=cluster_spec,
+                    **run_kwargs,
                 )
             finally:
                 if profiler is not None:
@@ -418,6 +424,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         argv.append("--no-kernels")
     if args.cluster_spec is not None:
         argv += ["--cluster-spec", args.cluster_spec]
+    if args.backend is not None:
+        argv += ["--backend", args.backend]
+    if args.shm_workers is not None:
+        argv += ["--shm-workers", str(args.shm_workers)]
     if args.job_timeout is not None:
         argv += ["--job-timeout", str(args.job_timeout)]
     if args.trace_out is not None:
@@ -666,6 +676,21 @@ def build_parser() -> argparse.ArgumentParser:
         "reflect the heterogeneous capacities",
     )
     ev.add_argument(
+        "--backend",
+        choices=["simulated", "shm"],
+        default=None,
+        help="execution backend: 'shm' runs fragment compute in shared-"
+        "memory worker processes (results and simulated metrics are "
+        "bit-identical to the default in-process 'simulated' backend)",
+    )
+    ev.add_argument(
+        "--shm-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend shm (default: min(4, cpus))",
+    )
+    ev.add_argument(
         "--profile",
         metavar="OUT.pstats",
         help="dump cProfile stats for the algorithm runs to this file",
@@ -755,6 +780,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster-spec",
         metavar="PATH",
         help="JSON cluster spec forwarded to the sweep (heterogeneous cells)",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=["simulated", "shm"],
+        default=None,
+        help="execution backend forwarded to the sweep",
+    )
+    sweep.add_argument(
+        "--shm-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend shm",
     )
     sweep.add_argument(
         "--job-timeout",

@@ -133,6 +133,26 @@ class EvalEngine:
             params["cluster_spec"] = payload
         return params
 
+    @staticmethod
+    def _fold_backend(params: Dict) -> Dict:
+        """Fold a non-default execution backend into run params.
+
+        Same contract as the planner's fold: ``simulated`` (the default)
+        leaves ``params`` — and hence every legacy cache key —
+        byte-identical; ``shm`` is recorded so cached cells are keyed by
+        the backend that produced them.
+        """
+        from repro.runtime.parallel import backend_default, shm_workers_default
+
+        if "backend" not in params:
+            backend = backend_default()
+            if backend != "simulated":
+                params["backend"] = backend
+                workers = shm_workers_default()
+                if workers is not None:
+                    params.setdefault("shm_workers", workers)
+        return params
+
     def refine_partition(
         self, partition, algorithm: str, cut_type: str, model, **refiner_kwargs
     ):
@@ -187,7 +207,9 @@ class EvalEngine:
         self, partition, algorithm: str, params: Optional[Dict] = None
     ) -> float:
         """Simulated makespan of ``algorithm`` on ``partition`` (seconds)."""
-        run_params = self._fold_cluster_spec(dict(params) if params else {})
+        run_params = self._fold_backend(
+            self._fold_cluster_spec(dict(params) if params else {})
+        )
         if self.cache is None:
             from repro.algorithms.registry import get_algorithm
 

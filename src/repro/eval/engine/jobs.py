@@ -132,6 +132,27 @@ class Planner:
             params["cluster_spec"] = payload
         return params
 
+    @staticmethod
+    def _fold_backend(params: Dict) -> Dict:
+        """Record a non-default execution backend at plan time.
+
+        Mirrors :meth:`_fold_cluster_spec`: ``run_all --backend shm``
+        flips the process-wide default before planning, so every planned
+        run cell carries the backend its workers must select.  The
+        default (``simulated``) folds to nothing, leaving legacy job ids
+        byte-identical.
+        """
+        from repro.runtime.parallel import backend_default, shm_workers_default
+
+        if "backend" not in params:
+            backend = backend_default()
+            if backend != "simulated":
+                params["backend"] = backend
+                workers = shm_workers_default()
+                if workers is not None:
+                    params.setdefault("shm_workers", workers)
+        return params
+
     def refine(
         self,
         dataset: str,
@@ -170,7 +191,7 @@ class Planner:
             "kind": "run",
             "dataset": dataset,
             "algorithm": algorithm,
-            "params": self._fold_cluster_spec(dict(params or {})),
+            "params": self._fold_backend(self._fold_cluster_spec(dict(params or {}))),
             "view": view,
             # Recorded at plan time so subprocess workers execute the
             # same path the planning process selected (run_all

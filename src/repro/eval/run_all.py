@@ -293,6 +293,20 @@ def main(argv=None) -> int:
         help="JSON cluster spec (per-worker speeds/bandwidths); refiners "
         "and the simulator charge heterogeneous capacities everywhere",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["simulated", "shm"],
+        default=None,
+        help="execution backend for algorithm runs: 'shm' uses shared-"
+        "memory worker processes (simulated metrics stay bit-identical)",
+    )
+    parser.add_argument(
+        "--shm-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend shm (default: min(4, cpus))",
+    )
     resilience_group = parser.add_argument_group(
         "resilience", "failure policy of the warm phase"
     )
@@ -401,6 +415,16 @@ def main(argv=None) -> int:
         try:
             set_cluster_spec_default(ClusterSpec.load(args.cluster_spec))
         except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+
+    if args.backend:
+        # Same pattern again: planned run cells fold the non-default
+        # backend, so spawn workers execute over shared memory too.
+        from repro.runtime.parallel import set_backend_default
+
+        try:
+            set_backend_default(args.backend, args.shm_workers)
+        except (ValueError, RuntimeError) as exc:
             parser.error(str(exc))
 
     selected = _parse_only(args.only, parser) if args.only else list(SECTION_NAMES)

@@ -66,6 +66,7 @@ class HybridPartition:
         self._masters: Dict[int, int] = {}
         self._global_incident: Dict[int, int] = {}
         self._listeners: List[Callable[[int], None]] = []
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -128,8 +129,20 @@ class HybridPartition:
         self._listeners.remove(callback)
 
     def _notify(self, v: int) -> None:
+        self._generation += 1
         for callback in self._listeners:
             callback(v)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter.
+
+        Incremented on every copy-set change; :func:`repro.runtime.plan.get_plan`
+        compares it against the generation a cached plan was compiled at,
+        so plan invalidation needs no listener registration (refiners fire
+        thousands of mutations and pay for every registered listener).
+        """
+        return getattr(self, "_generation", 0)
 
     # ------------------------------------------------------------------
     # Global helpers

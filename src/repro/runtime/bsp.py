@@ -50,6 +50,7 @@ so algorithm results stay bit-identical to a clean run.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -79,6 +80,8 @@ class Cluster:
         checkpoint_interval: int = 0,
         snapshot: Optional[Callable[[], Any]] = None,
         spec: Optional[ClusterSpec] = None,
+        backend: Optional[str] = None,
+        shm_workers: Optional[int] = None,
     ) -> None:
         if partition.num_fragments <= 0:
             raise ValueError(
@@ -88,6 +91,15 @@ class Cluster:
         self.partition = partition
         self.num_workers = partition.num_fragments
         self.clock = clock or CostClock()
+        # Execution backend: "simulated" (in-process, the oracle) or
+        # "shm" (real worker processes over shared-memory plan views).
+        # Either way the CostClock below is the sole metrics source, so
+        # profiles and makespans are backend-independent bit for bit.
+        from repro.runtime.parallel import resolve_backend
+
+        self.backend, self.shm_workers = resolve_backend(backend, shm_workers)
+        self._shm_runner = None
+        self._wall_last = time.perf_counter()
         # Heterogeneous capacities.  A uniform spec collapses to None so
         # the homogeneous code path stays byte-for-byte the historical
         # one; only a genuinely skewed spec activates the scaled barrier.
@@ -135,6 +147,22 @@ class Cluster:
         self.checkpoints: Optional[CheckpointManager] = None
         if checkpoint_interval:
             self.checkpoints = CheckpointManager(checkpoint_interval, snapshot)
+
+    def shm_runner(self):
+        """The run's :class:`~repro.runtime.parallel.ShmRunner`, or None.
+
+        Returns None on the simulated backend, so kernels can gate their
+        offload with a single ``runner is not None`` check.  The runner
+        is created lazily (first kernel superstep) and torn down —
+        workers detached, arena unlinked — by :meth:`finish`.
+        """
+        if self.backend != "shm":
+            return None
+        if self._shm_runner is None:
+            from repro.runtime.parallel import ShmRunner
+
+            self._shm_runner = ShmRunner(self.shm_workers)
+        return self._shm_runner
 
     def set_snapshot(self, snapshot: Callable[[], Any]) -> None:
         """Register the algorithm's state-snapshot hook for checkpointing.
@@ -596,12 +624,16 @@ class Cluster:
         crash scheduled for this superstep triggers rollback replay (see
         :meth:`_recover`).
         """
+        wall_now = time.perf_counter()
         record = SuperstepRecord(
             index=self._step_index,
             ops_by_worker=dict(self._step_ops),
             bytes_by_worker=dict(self._step_bytes),
             time=self._superstep_time(),
+            wall_time_s=wall_now - self._wall_last,
         )
+        self._wall_last = wall_now
+        self.profile.wall_time_s += record.wall_time_s
         if self.faults is not None:
             for crash in self.faults.crashes_at(self._step_index):
                 self._recover(crash, record)
@@ -633,4 +665,7 @@ class Cluster:
         if pending:
             self.deliver()
         self._fold_bulk_attribution()
+        if self._shm_runner is not None:
+            self._shm_runner.close()
+            self._shm_runner = None
         return self.profile

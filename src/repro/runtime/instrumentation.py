@@ -66,7 +66,15 @@ class FailureEvent:
 
 @dataclass
 class SuperstepRecord:
-    """Cost accounting for one superstep."""
+    """Cost accounting for one superstep.
+
+    ``wall_time_s`` is the *measured* wall-clock span of the superstep
+    (compute + barrier), recorded so real and simulated time can be
+    reported side by side.  It is deliberately excluded from
+    :meth:`to_dict`: canonical comparisons, cache keys, and golden
+    fixtures see only the simulated quantities, which stay bit-identical
+    across execution backends.
+    """
 
     index: int
     ops_by_worker: Dict[int, float]
@@ -76,6 +84,7 @@ class SuperstepRecord:
     recovery_time: float = 0.0
     checkpoint_bytes: float = 0.0
     failover_time: float = 0.0
+    wall_time_s: float = 0.0  # measured; never serialized
 
     @property
     def max_ops(self) -> float:
@@ -119,7 +128,12 @@ class SuperstepRecord:
 
 @dataclass
 class RunProfile:
-    """Full instrumentation record of one algorithm run."""
+    """Full instrumentation record of one algorithm run.
+
+    ``wall_time_s`` sums the measured per-superstep wall clock; like the
+    per-record field it is excluded from :meth:`to_dict` so profiles
+    compare bit-identically across execution backends.
+    """
 
     num_workers: int
     comp_ops_by_copy: Dict[Tuple[int, int], float] = field(default_factory=dict)
@@ -137,6 +151,7 @@ class RunProfile:
     promoted_masters: int = 0
     replaced_vertices: int = 0
     failover_time: float = 0.0
+    wall_time_s: float = 0.0  # measured; never serialized
 
     @property
     def num_supersteps(self) -> int:

@@ -16,11 +16,14 @@ honors:
   ``edge_list(fid)`` snapshots ``Fragment.edges()`` likewise, so any
   kernel that charges or sends "per vertex copy" does so in exactly the
   order the scalar loop would have.
-* **Plans are immutable snapshots.**  The plan registers a mutation
-  listener on the partition; any vertex move flips ``valid`` to False
-  and :func:`get_plan` rebuilds from scratch.  A stale plan is never
-  partially updated, so scalar and kernel paths always observe the same
-  partition state.
+* **Plans are immutable snapshots.**  The plan records the partition's
+  mutation ``generation`` at compile time; any vertex move bumps the
+  counter, making ``valid`` False, and :func:`get_plan` rebuilds from
+  scratch.  A stale plan is never partially updated, so scalar and
+  kernel paths always observe the same partition state.  (Earlier
+  versions registered a mutation listener per plan; the generation
+  counter gives the same invalidation without charging every refiner
+  mutation a listener callback.)
 
 Plans are cached on the partition object itself (``_kernel_plan``) so
 repeated runs over the same partition pay the compilation cost once.
@@ -82,7 +85,9 @@ class FragmentPlan:
         self.num_vertices = n
         #: key base for (slot, neighbor) / (u, v) packed int64 keys
         self.key_base = max(1, n)
-        self.valid = True
+        self._valid = True
+        #: partition mutation generation this plan was compiled at
+        self.generation = partition.generation
 
         master_of = np.full(n, -1, dtype=np.int64)
         rep_count = np.zeros(n, dtype=np.int64)
@@ -135,8 +140,19 @@ class FragmentPlan:
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
+    @property
+    def valid(self) -> bool:
+        """True while no partition mutation has occurred since compile."""
+        return self._valid and self.generation == self.partition.generation
+
+    @valid.setter
+    def valid(self, flag: bool) -> None:
+        # Callers (benchmarks, tests) may force-invalidate; forcing True
+        # cannot resurrect a plan the generation counter has outdated.
+        self._valid = bool(flag)
+
     def _on_mutation(self, _v: int) -> None:
-        self.valid = False
+        self._valid = False
 
     # ------------------------------------------------------------------
     # Per-fragment basics
@@ -525,16 +541,16 @@ class FragmentPlan:
 
 
 def get_plan(partition: HybridPartition) -> FragmentPlan:
-    """Return the partition's cached plan, rebuilding if invalidated."""
+    """Return the partition's cached plan, rebuilding if invalidated.
+
+    Staleness is detected by comparing the partition's mutation
+    generation against the one recorded at compile time — no listener
+    registration, so a cached plan adds zero overhead to refinement
+    mutations and a warm partition revalidates in O(1).
+    """
     plan = getattr(partition, "_kernel_plan", None)
     if plan is not None and plan.valid:
         return plan
-    if plan is not None:
-        try:
-            partition.remove_listener(plan._on_mutation)
-        except ValueError:
-            pass
     plan = FragmentPlan(partition)
-    partition.add_listener(plan._on_mutation)
     partition._kernel_plan = plan
     return plan

@@ -1,0 +1,179 @@
+"""Shared-memory arenas: zero-copy array publication for worker processes.
+
+The shm execution backend (:mod:`repro.runtime.parallel`) runs fragment
+compute in real worker processes.  Workers need the compiled
+:class:`~repro.runtime.plan.FragmentPlan` tables and the per-superstep
+algorithm state, but pickling megabytes of CSR arrays through a pipe per
+superstep would drown the parallel win.  Instead the parent publishes
+everything once into a single ``multiprocessing.shared_memory`` segment
+— an *arena* — and ships only the segment name plus a manifest of
+``key -> (offset, dtype, shape)``.  Workers attach and map NumPy views
+directly onto the segment: zero copies, zero serialization on the hot
+path.
+
+Layout: one segment per (run, algorithm), arrays packed back to back at
+64-byte-aligned offsets (NumPy favors aligned bases for vectorized
+loads).  Plan tables are written once and treated as read-only; state
+and output arrays are rewritten in place each superstep by whichever
+side owns them (parent writes state, workers write outputs).
+
+Ownership and teardown: the *parent* owns every segment.  Workers
+unregister their attachment from ``multiprocessing.resource_tracker``
+(Python < 3.13 has no ``track=False``) so the tracker neither
+double-unlinks nor warns; the parent unlinks in
+:meth:`SharedArena.close`, which is also wired into a module-level
+registry flushed at interpreter exit — so even an abandoned arena (e.g.
+a worker crash unwinding the run) never leaks a ``/dev/shm`` entry.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+try:  # POSIX shared memory; absent/odd on some exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - every CPython >= 3.8 has it
+    _shared_memory = None
+
+#: byte alignment of every array offset inside an arena
+ALIGN = 64
+
+# Parent-owned segments still to be unlinked; keyed by segment name.
+_LIVE: Dict[str, "SharedArena"] = {}
+
+
+def _cleanup_live() -> None:  # pragma: no cover - exercised at exit
+    for arena in list(_LIVE.values()):
+        arena.close(unlink=True)
+
+
+atexit.register(_cleanup_live)
+
+
+def live_arena_names() -> List[str]:
+    """Names of parent-owned segments not yet unlinked (test hook)."""
+    return sorted(_LIVE)
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+class ArenaBuilder:
+    """Collects named arrays, then seals them into one shared segment."""
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def add(self, key: str, array: np.ndarray) -> None:
+        """Publish ``array`` (copied into the segment at seal time)."""
+        if key in self._arrays:
+            raise ValueError(f"duplicate arena key {key!r}")
+        self._arrays[key] = np.ascontiguousarray(array)
+
+    def add_zeros(self, key: str, shape, dtype) -> None:
+        """Reserve a zero-initialized array (state/output buffers)."""
+        self.add(key, np.zeros(shape, dtype=dtype))
+
+    def seal(self) -> "SharedArena":
+        """Create the segment, copy every array in, return the arena."""
+        manifest: Dict[str, Tuple[int, str, Tuple[int, ...]]] = {}
+        offset = 0
+        for key, arr in self._arrays.items():
+            offset = _align(offset)
+            manifest[key] = (offset, arr.dtype.str, arr.shape)
+            offset += arr.nbytes
+        arena = SharedArena._create(max(1, _align(offset)), manifest)
+        for key, arr in self._arrays.items():
+            if arr.size:
+                arena.view(key)[...] = arr
+        self._arrays.clear()
+        return arena
+
+
+class SharedArena:
+    """One shared-memory segment holding a manifest of named arrays.
+
+    Parent side: built via :class:`ArenaBuilder` (``owner=True``, will
+    unlink).  Worker side: built via :meth:`attach` from the pickled
+    payload (``owner=False``, close-only).
+    """
+
+    def __init__(self, shm, manifest, owner: bool) -> None:
+        self.shm = shm
+        self.name = shm.name
+        self.manifest = manifest
+        self.owner = owner
+        self._closed = False
+
+    @classmethod
+    def _create(cls, nbytes: int, manifest) -> "SharedArena":
+        if _shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        name = f"rshm-{os.getpid()}-{secrets.token_hex(4)}"
+        shm = _shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        arena = cls(shm, manifest, owner=True)
+        _LIVE[arena.name] = arena
+        return arena
+
+    @classmethod
+    def attach(cls, payload: Dict) -> "SharedArena":
+        """Worker-side attach from :meth:`payload`.
+
+        The attachment must not register with the resource tracker: the
+        parent owns the segment's lifetime, and on Python < 3.13 (no
+        ``track=False``) a worker registration would make the shared
+        tracker unlink-or-complain on worker exit.  Registration is
+        suppressed for the duration of the open; the worker process is
+        single-threaded, so the temporary patch cannot race.
+        """
+        if _shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        try:
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+        except Exception:  # pragma: no cover - tracker internals shifted
+            resource_tracker = None
+            original = None
+        try:
+            shm = _shared_memory.SharedMemory(name=payload["name"])
+        finally:
+            if resource_tracker is not None:
+                resource_tracker.register = original
+        return cls(shm, payload["manifest"], owner=False)
+
+    def payload(self) -> Dict:
+        """Picklable attach handle: segment name + array manifest."""
+        return {"name": self.name, "manifest": self.manifest}
+
+    def view(self, key: str) -> np.ndarray:
+        """NumPy view of array ``key`` mapped onto the segment."""
+        offset, dtype, shape = self.manifest[key]
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=self.shm.buf, offset=offset)
+
+    def close(self, unlink: bool = False) -> None:
+        """Release the mapping; the owner also unlinks the segment.
+
+        Idempotent, and safe to call on a half-torn-down arena: the
+        atexit registry calls it again for anything still live.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE.pop(self.name, None)
+        try:
+            self.shm.close()
+        except Exception:  # pragma: no cover - buffer already released
+            pass
+        if unlink and self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

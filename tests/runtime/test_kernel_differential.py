@@ -91,6 +91,48 @@ def test_kernel_matches_scalar(algorithm, family, directed, config_name):
         assert scalar.profile.to_dict() == kernel.profile.to_dict()
 
 
+def test_plan_generation_counter_invalidation():
+    """Plan reuse is generation-keyed; refiners pay no listener churn."""
+    graph = _families(True)["powerlaw"]
+    partition = _edge_cut(graph)
+    listeners_before = len(partition._listeners)
+    gen = partition.generation
+    plan = get_plan(partition)
+    assert get_plan(partition) is plan
+    # get_plan registers no mutation listeners: validity is checked by
+    # comparing generation counters instead.
+    assert len(partition._listeners) == listeners_before
+    assert plan.valid
+
+    v, target = next(
+        (u, fid)
+        for u in partition.fragments[0].vertices()
+        for fid in range(partition.num_fragments)
+        if fid not in partition.placement(u)
+    )
+    assert partition.add_vertex_to(target, v)
+    assert partition.generation > gen
+    assert not plan.valid
+    # Forcing valid=True cannot resurrect a plan from an older generation.
+    plan.valid = True
+    assert not plan.valid
+    rebuilt = get_plan(partition)
+    assert rebuilt is not plan
+    assert rebuilt.valid
+
+
+def test_wall_time_recorded_on_simulated_backend():
+    """wall_time_s is measured on every backend, serialized on none."""
+    graph = _families(True)["powerlaw"]
+    partition = _edge_cut(graph)
+    profile = get_algorithm("pr").run(partition).profile
+    assert profile.wall_time_s > 0.0
+    assert profile.wall_time_s == sum(r.wall_time_s for r in profile.supersteps)
+    payload = profile.to_dict()
+    assert "wall_time_s" not in payload
+    assert all("wall_time_s" not in s for s in payload["supersteps"])
+
+
 def test_kernels_default_process_wide():
     from repro.algorithms.base import kernels_default, set_kernels_default
 
