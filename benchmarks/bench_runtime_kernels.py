@@ -77,10 +77,14 @@ def _best_of(fn, repeats: int = REPEATS) -> float:
 
 
 def _invalidate_plan(partition) -> None:
-    """Drop the cached FragmentPlan so the next kernel run compiles cold."""
-    plan = getattr(partition, "_kernel_plan", None)
-    if plan is not None:
-        plan.valid = False
+    """Drop the cached FragmentPlan so the next kernel run compiles cold.
+
+    The plan cache must be removed outright: merely forcing
+    ``plan.valid = False`` now takes the net-empty-delta revalidation
+    fast path (DESIGN §15) instead of a cold recompile.
+    """
+    if getattr(partition, "_kernel_plan", None) is not None:
+        partition._kernel_plan = None
 
 
 def _run_cell(algorithm: str, partition) -> Dict:

@@ -197,12 +197,25 @@ def cmd_partition(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.no_incremental and not args.apply_mutations:
+        print(
+            "error: --no-incremental requires --apply-mutations",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out_graph and not args.apply_mutations:
+        print(
+            "error: --out-graph requires --apply-mutations",
+            file=sys.stderr,
+        )
+        return 2
     cluster_spec = _load_cluster_spec_or_die(args)
     graph = _load_graph(args.graph)
     partitioner = get_partitioner(args.partitioner)
     partition = partitioner.partition(graph, args.fragments)
     label = args.partitioner
     stats = None
+    refiner = None
     if args.refine:
         model = trained_cost_model(args.refine)
         use_gain_cache = not args.no_gain_cache
@@ -215,7 +228,9 @@ def cmd_partition(args: argparse.Namespace) -> int:
                 use_gain_cache=use_gain_cache,
                 cluster_spec=cluster_spec,
             )
-            partition = refiner.refine(partition, in_place=True)
+            partition = refiner.refine(
+                partition, in_place=True, capture_seed=bool(args.apply_mutations)
+            )
         elif partitioner.cut_type == "vertex":
             from repro.core.v2h import V2H
 
@@ -225,7 +240,9 @@ def cmd_partition(args: argparse.Namespace) -> int:
                 use_gain_cache=use_gain_cache,
                 cluster_spec=cluster_spec,
             )
-            partition = refiner.refine(partition, in_place=True)
+            partition = refiner.refine(
+                partition, in_place=True, capture_seed=bool(args.apply_mutations)
+            )
         else:
             print(
                 f"error: cannot refine hybrid baseline {args.partitioner!r}",
@@ -234,6 +251,50 @@ def cmd_partition(args: argparse.Namespace) -> int:
             return 2
         label += f" + {args.refine}-driven refinement"
         stats = refiner.last_stats
+    if args.apply_mutations:
+        from repro.core.incremental import MutationBatch, apply_mutations
+        from repro.runtime.plan import plan_for, plan_stats
+
+        try:
+            batch = MutationBatch.from_file(args.apply_mutations)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        dirty = apply_mutations(partition, batch)
+        # Compile a plan against the updated graph so the maintenance
+        # pass below exercises (and reports) the delta-patch path.
+        plan_for(partition)
+        plan_before = plan_stats().snapshot()
+        if refiner is not None and dirty:
+            if args.no_incremental:
+                partition = refiner.refine(partition, in_place=True)
+            else:
+                partition = refiner.refine_incremental(partition, dirty)
+            stats = refiner.last_stats
+        plan_for(partition, incremental=not args.no_incremental)
+        plan_after = plan_stats().snapshot()
+        recompiled, patched, revalidated = (
+            a - b for a, b in zip(plan_after, plan_before)
+        )
+        mode = "full re-refinement" if args.no_incremental else "dirty-region"
+        summary = (
+            f"incremental: {len(batch)} mutations, {len(dirty)} dirty "
+            f"vertices ({mode}); plans patched={patched} "
+            f"recompiled={recompiled} revalidated={revalidated}"
+        )
+        if stats is not None:
+            summary += f"; rescoring calls={stats.rescoring_calls}"
+            if stats.incremental is not None:
+                inc = stats.incremental
+                summary += (
+                    f" (frontier={inc.frontier}, fragments={inc.fragments}, "
+                    f"seeded={'yes' if inc.seeded else 'no'})"
+                )
+        print(summary)
+        label += " + mutation maintenance"
+        if args.out_graph:
+            write_edge_list(partition.graph, args.out_graph)
+            print(f"wrote mutated {partition.graph} to {args.out_graph}")
     check_partition(partition)
     if stats is not None and stats.gain_cache is not None:
         c = stats.gain_cache
@@ -623,6 +684,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-gain-cache",
         action="store_true",
         help="refine on the uncached reference path (bit-identical, slower)",
+    )
+    part.add_argument(
+        "--apply-mutations",
+        metavar="FILE",
+        help="after partitioning, apply a mutation batch ('+ u v' insert, "
+        "'- u v' delete, bare id = ensure vertex) and maintain the "
+        "partition incrementally",
+    )
+    part.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="with --apply-mutations: re-refine from scratch instead of "
+        "the dirty-region fast path (reference behaviour)",
+    )
+    part.add_argument(
+        "--out-graph",
+        metavar="FILE",
+        help="with --apply-mutations: also write the mutated graph, so "
+        "evaluate/metrics can load the partition against it",
     )
     part.add_argument(
         "--cluster-spec",

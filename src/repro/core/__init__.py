@@ -17,9 +17,15 @@ a hybrid partition tailored to algorithm ``A``:
   reduction from set partition.
 """
 
-from repro.core.tracker import CostTracker
+from repro.core.tracker import CostTracker, TrackerSeed
 from repro.core.budget import compute_budget, classify_fragments
 from repro.core.candidates import get_candidates
+from repro.core.dirty import (
+    IncrementalStats,
+    RescoringModel,
+    dirty_frontier,
+    touched_fragments,
+)
 from repro.core.gaincache import (
     FragmentCostIndex,
     GainCache,
@@ -35,10 +41,20 @@ from repro.core.me2h import ME2H
 from repro.core.mv2h import MV2H
 from repro.core.parallel import ParE2H, ParV2H, ParME2H, ParMV2H, RefinementProfile
 from repro.core.adp import ADPInstance, adp_decision, reduction_from_set_partition
-from repro.core.incremental import IncrementalRefiner, apply_graph_delta
+from repro.core.incremental import (
+    IncrementalRefiner,
+    MutationBatch,
+    apply_graph_delta,
+    apply_mutations,
+)
 
 __all__ = [
     "CostTracker",
+    "TrackerSeed",
+    "IncrementalStats",
+    "RescoringModel",
+    "dirty_frontier",
+    "touched_fragments",
     "compute_budget",
     "classify_fragments",
     "get_candidates",
@@ -62,4 +78,6 @@ __all__ = [
     "reduction_from_set_partition",
     "IncrementalRefiner",
     "apply_graph_delta",
+    "MutationBatch",
+    "apply_mutations",
 ]

@@ -26,10 +26,16 @@ from typing import Dict, List, Optional
 
 from repro.core.budget import classify_fragments, compute_budget
 from repro.core.candidates import get_candidates
+from repro.core.dirty import (
+    IncrementalStats,
+    RescoringModel,
+    dirty_frontier,
+    touched_fragments,
+)
 from repro.core.gaincache import GainCache, GainCacheStats
 from repro.core.massign import massign
 from repro.core.operations import emigrate, split_migrate_edge
-from repro.core.tracker import CostTracker
+from repro.core.tracker import CostTracker, TrackerSeed
 from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
 from repro.integrity.guard import (
@@ -64,6 +70,11 @@ class RefineStats:
     cost_after: float = 0.0
     guard: Optional[GuardStats] = None
     gain_cache: Optional[GainCacheStats] = None
+    #: h/g funnel requests reaching the cost model (tracker rebuild,
+    #: candidate pricing, Eq. 5 scoring) — the incremental path's currency.
+    rescoring_calls: int = 0
+    #: Set on dirty-region passes only (``refine_incremental``).
+    incremental: Optional[IncrementalStats] = None
 
 
 class E2H:
@@ -123,15 +134,22 @@ class E2H:
         self.use_gain_cache = use_gain_cache
         self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[RefineStats] = None
+        self.last_seed: Optional[TrackerSeed] = None
 
     # ------------------------------------------------------------------
     def refine(
-        self, partition: HybridPartition, in_place: bool = False
+        self,
+        partition: HybridPartition,
+        in_place: bool = False,
+        capture_seed: bool = False,
     ) -> HybridPartition:
         """Refine an edge-cut partition into a hybrid one.
 
         Returns a new partition unless ``in_place`` is set.  Statistics
-        of the run are kept in :attr:`last_stats`.
+        of the run are kept in :attr:`last_stats`.  With
+        ``capture_seed`` the final tracker state is snapshotted into
+        :attr:`last_seed` so a later :meth:`refine_incremental` can
+        warm-start instead of rebuilding the tracker cold.
         """
         if not in_place:
             partition = partition.copy()
@@ -151,7 +169,10 @@ class E2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model, spec=self.cluster_spec)
+        # Outermost counting layer: tallies the h/g requests the run
+        # demands (values pass through untouched).
+        counted = RescoringModel(model)
+        tracker = CostTracker(partition, counted, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
         stats.cost_before = tracker.parallel_cost()
@@ -210,6 +231,154 @@ class E2H:
             guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
+        if capture_seed:
+            self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
+        tracker.detach()
+        if cache is not None:
+            cache.detach()
+        self.last_stats = stats
+        return partition
+
+    # ------------------------------------------------------------------
+    def refine_incremental(
+        self,
+        partition: HybridPartition,
+        dirty_vertices,
+        in_place: bool = True,
+        seed="auto",
+    ) -> HybridPartition:
+        """Dirty-region refinement after a small mutation batch (DESIGN §15).
+
+        Runs the same three phases as :meth:`refine` with their scope
+        narrowed to the dirty frontier — ``dirty_vertices`` plus their
+        graph neighbors — inside the fragments hosting any frontier
+        vertex: candidates outside the frontier are skipped, and MAssign
+        only revisits frontier border vertices.  The cost tracker is
+        seeded from ``seed`` (default: :attr:`last_seed`, captured by a
+        prior ``refine(..., capture_seed=True)`` or incremental pass)
+        when the partition's mutation journal still covers it, replacing
+        the cold per-copy rebuild with a delta replay.  A fresh snapshot
+        is stored in :attr:`last_seed` afterwards so consecutive
+        incremental passes stay warm.
+
+        Defaults to in-place: a copied partition has its own journal and
+        generation counter, against which a seed captured on the
+        original cannot be replayed.
+        """
+        if not in_place:
+            partition = partition.copy()
+            seed = None
+        stats = RefineStats()
+        inc = IncrementalStats()
+        stats.incremental = inc
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
+        counted = RescoringModel(model)
+        if seed == "auto":
+            seed = self.last_seed
+        tracker = CostTracker(
+            partition, counted, spec=self.cluster_spec, seed=seed
+        )
+        inc.seeded = tracker.seeded
+        if cache is not None:
+            cache.bind(tracker)
+        stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
+
+        dirty_in = {
+            v for v in dirty_vertices if 0 <= v < partition.graph.num_vertices
+        }
+        frontier = dirty_frontier(partition.graph, dirty_in)
+        touched = touched_fragments(partition, frontier)
+        inc.dirty = len(dirty_in)
+        inc.frontier = len(frontier)
+        inc.fragments = len(touched)
+        entry_generation = partition.generation
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+        for fid in overloaded:
+            if fid not in touched:
+                continue
+            order = None
+            if self.candidate_order == "arbitrary":
+                order = sorted(partition.fragments[fid].vertices())
+            # The BFS walk itself prices nothing (cached per-copy sums);
+            # only frontier members may move.
+            cand = get_candidates(
+                tracker,
+                fid,
+                tracker.keep_budget(fid, budget),
+                NodeRole.ECUT,
+                order=order,
+            )
+            candidates[fid] = [unit for unit in cand if unit[0] in frontier]
+            stats.candidates += len(candidates[fid])
+
+        early_stopped = False
+        try:
+            if self.enable_emigrate:
+                start = time.perf_counter()
+                self._phase_emigrate(
+                    tracker, budget, underloaded, candidates, stats, guard, cache
+                )
+                stats.phase_seconds["emigrate"] = time.perf_counter() - start
+            if self.enable_esplit:
+                start = time.perf_counter()
+                self._phase_esplit(tracker, candidates, stats, guard, cache)
+                stats.phase_seconds["esplit"] = time.perf_counter() - start
+            if self.enable_massign:
+                start = time.perf_counter()
+                # Only vertices whose Eq. 5 inputs changed need rescoring:
+                # the batch's dirty vertices plus everything the movement
+                # phases just churned (a vertex's h/g features depend
+                # solely on its own placement and incident edges, all of
+                # which notify the journal).  The residual pass keeps the
+                # untouched masters' standing communication in the
+                # accumulators.
+                moved = partition.mutations_since(entry_generation)
+                if moved is None:
+                    reassign = sorted(frontier)
+                else:
+                    reassign = sorted(dirty_in | moved)
+                stats.master_moves = massign(
+                    tracker,
+                    vertices=reassign,
+                    guard=guard,
+                    cache=cache,
+                    residual=True,
+                )
+                stats.phase_seconds["massign"] = time.perf_counter() - start
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
+
+        stats.cost_after = tracker.parallel_cost()
+        self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
         tracker.detach()
         if cache is not None:
             cache.detach()

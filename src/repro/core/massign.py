@@ -35,6 +35,7 @@ def massign(
     vertices: Optional[Iterable[int]] = None,
     guard: Optional["RefinementGuard"] = None,
     cache: Optional["GainCache"] = None,
+    residual: bool = False,
 ) -> int:
     """Reassign masters of border vertices by Eq. 5; return moves made.
 
@@ -43,6 +44,15 @@ def massign(
     ``guard`` (the guarded pipeline) is stepped once per master move.
     ``cache`` serves the per-host ``(g, Δh)`` score pairs from the gain
     cache; values are exactly what the direct evaluation produces.
+
+    ``residual`` (the dirty-region path, DESIGN §15) starts the
+    communication accumulators from the fragments' *current* C_g minus
+    the restricted vertices' own contributions, instead of from zero.
+    The zeroed start is only correct when every border master is being
+    reassigned; a subset pass that ignored the standing communication of
+    untouched masters would pile its masters onto fragments that are
+    already synchronization-heavy.  On the full vertex set the residual
+    base degenerates to all zeros, so both modes agree there.
     """
     partition = tracker.partition
     model = tracker.cost_model
@@ -53,6 +63,13 @@ def massign(
         )
     comp = tracker.comp_costs()
     comm = [0.0] * partition.num_fragments
+    if residual:
+        vertices = list(vertices)
+        comm = tracker.comm_costs()
+        for v in vertices:
+            standing = tracker.comm_contribution(v)
+            if standing is not None:
+                comm[standing[0]] -= standing[1]
     caps = tracker.capacities
     bws = tracker.bandwidths
     moves = 0

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.candidates import bfs_order
+from repro.core.dirty import IncrementalStats
+from repro.core.e2h import E2H
 from repro.core.gaincache import GainCache, GainCacheStats
 from repro.core.getdest import get_dest
 from repro.core.massign import massign
@@ -60,6 +62,10 @@ class CompositeStats:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     guard: Dict[str, GuardStats] = field(default_factory=dict)
     gain_cache: Dict[str, GainCacheStats] = field(default_factory=dict)
+    #: Summed h/g funnel requests across outputs (incremental passes).
+    rescoring_calls: int = 0
+    #: Per-output dirty-region scopes (incremental passes only).
+    incremental: Dict[str, "IncrementalStats"] = field(default_factory=dict)
 
 
 class _GuardSet:
@@ -130,6 +136,50 @@ class ME2H:
         self.use_gain_cache = use_gain_cache
         self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[CompositeStats] = None
+        # Persistent per-algorithm dirty-region workers: their tracker
+        # seeds survive across mutation batches (DESIGN §15).
+        self._maintainers: Dict[str, E2H] = {}
+
+    # ------------------------------------------------------------------
+    def refine_incremental(
+        self, composite: CompositePartition, dirty_vertices
+    ) -> CompositePartition:
+        """Dirty-region maintenance of a composite's outputs (DESIGN §15).
+
+        Each output partition gets an in-place incremental E2H pass over
+        the dirty frontier, run by a persistent per-algorithm worker so
+        tracker seeds carry over from batch to batch (the first pass on
+        a given composite is cold).  The composite core/residual index
+        is rebuilt once at the end.  Per-output bookkeeping lands in
+        :attr:`last_stats`.
+        """
+        stats = CompositeStats()
+        for name in composite.names:
+            worker = self._maintainers.get(name)
+            if worker is None:
+                worker = E2H(
+                    self.cost_models[name],
+                    budget_slack=self.budget_slack,
+                    guard_config=self.guard_config,
+                    use_gain_cache=self.use_gain_cache,
+                    cluster_spec=self.cluster_spec,
+                )
+                self._maintainers[name] = worker
+            worker.refine_incremental(
+                composite.partitions[name], dirty_vertices
+            )
+            wstats = worker.last_stats
+            stats.budgets[name] = wstats.budget
+            if wstats.guard is not None:
+                stats.guard[name] = wstats.guard
+            if wstats.gain_cache is not None:
+                stats.gain_cache[name] = wstats.gain_cache
+            stats.phase_seconds[name] = sum(wstats.phase_seconds.values())
+            stats.rescoring_calls += wstats.rescoring_calls
+            stats.incremental[name] = wstats.incremental
+        composite.rebuild_index()
+        self.last_stats = stats
+        return composite
 
     # ------------------------------------------------------------------
     def refine(self, partition: HybridPartition) -> CompositePartition:

@@ -60,6 +60,48 @@ class MV2H:
         self.use_gain_cache = use_gain_cache
         self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[CompositeStats] = None
+        # Persistent per-algorithm dirty-region workers (DESIGN §15).
+        self._maintainers: Dict[str, V2H] = {}
+
+    # ------------------------------------------------------------------
+    def refine_incremental(
+        self, composite: CompositePartition, dirty_vertices
+    ) -> CompositePartition:
+        """Dirty-region maintenance of a composite's outputs (DESIGN §15).
+
+        The vertex-cut counterpart of
+        :meth:`~repro.core.me2h.ME2H.refine_incremental`: each output
+        gets an in-place incremental V2H pass from a persistent
+        per-algorithm worker, then the composite index is rebuilt once.
+        """
+        stats = CompositeStats()
+        for name in composite.names:
+            worker = self._maintainers.get(name)
+            if worker is None:
+                worker = V2H(
+                    self.cost_models[name],
+                    budget_slack=self.budget_slack,
+                    vmerge_passes=self.vmerge_passes,
+                    guard_config=self.guard_config,
+                    use_gain_cache=self.use_gain_cache,
+                    cluster_spec=self.cluster_spec,
+                )
+                self._maintainers[name] = worker
+            worker.refine_incremental(
+                composite.partitions[name], dirty_vertices
+            )
+            wstats = worker.last_stats
+            stats.budgets[name] = wstats.budget
+            if wstats.guard is not None:
+                stats.guard[name] = wstats.guard
+            if wstats.gain_cache is not None:
+                stats.gain_cache[name] = wstats.gain_cache
+            stats.phase_seconds[name] = sum(wstats.phase_seconds.values())
+            stats.rescoring_calls += wstats.rescoring_calls
+            stats.incremental[name] = wstats.incremental
+        composite.rebuild_index()
+        self.last_stats = stats
+        return composite
 
     # ------------------------------------------------------------------
     def refine(self, partition: HybridPartition) -> CompositePartition:

@@ -32,12 +32,18 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.budget import classify_fragments, compute_budget
 from repro.core.candidates import get_candidates
+from repro.core.dirty import (
+    IncrementalStats,
+    RescoringModel,
+    dirty_frontier,
+    touched_fragments,
+)
 from repro.core.e2h import RefineStats
 from repro.core.gaincache import GainCache
 from repro.core.me2h import ME2H, CompositeStats
 from repro.core.mv2h import MV2H
 from repro.core.operations import emigrate, split_migrate_edge, vmerge, vmigrate
-from repro.core.tracker import CostTracker
+from repro.core.tracker import CostTracker, TrackerSeed
 from repro.core.v2h import V2H
 from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
@@ -129,12 +135,20 @@ class ParE2H:
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
         self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
+        self.last_seed: Optional[TrackerSeed] = None
 
     # ------------------------------------------------------------------
     def refine(
-        self, partition: HybridPartition, in_place: bool = False
+        self,
+        partition: HybridPartition,
+        in_place: bool = False,
+        capture_seed: bool = False,
     ) -> Tuple[HybridPartition, RefinementProfile]:
-        """Refine; returns ``(hybrid partition, timing profile)``."""
+        """Refine; returns ``(hybrid partition, timing profile)``.
+
+        ``capture_seed`` snapshots the final tracker state into
+        :attr:`last_seed` for a later :meth:`refine_incremental`.
+        """
         wall_start = time.perf_counter()
         if not in_place:
             partition = partition.copy()
@@ -151,7 +165,8 @@ class ParE2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model, spec=self.cluster_spec)
+        counted = RescoringModel(model)
+        tracker = CostTracker(partition, counted, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
         cluster = Cluster(partition, clock=self.clock, spec=self.cluster_spec)
@@ -217,6 +232,149 @@ class ParE2H:
             guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
+        if capture_seed:
+            self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
+        tracker.detach()
+        if cache is not None:
+            cache.detach()
+        profile.total_time = cluster.profile.makespan
+        profile.wall_seconds = time.perf_counter() - wall_start
+        profile.stats = stats
+        return partition, profile
+
+    # ------------------------------------------------------------------
+    def refine_incremental(
+        self,
+        partition: HybridPartition,
+        dirty_vertices,
+        in_place: bool = True,
+        seed="auto",
+    ) -> Tuple[HybridPartition, RefinementProfile]:
+        """Dirty-region parallel refinement (DESIGN §15).
+
+        The batched phases run with their scope narrowed to the dirty
+        frontier inside the fragments hosting it, over a tracker seeded
+        from ``seed`` (default :attr:`last_seed`); see
+        :meth:`~repro.core.e2h.E2H.refine_incremental` for the scoping
+        rules.  Returns ``(partition, profile)`` like :meth:`refine`.
+        """
+        wall_start = time.perf_counter()
+        if not in_place:
+            partition = partition.copy()
+            seed = None
+        stats = RefineStats()
+        inc = IncrementalStats()
+        stats.incremental = inc
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
+        counted = RescoringModel(model)
+        if seed == "auto":
+            seed = self.last_seed
+        tracker = CostTracker(
+            partition, counted, spec=self.cluster_spec, seed=seed
+        )
+        inc.seeded = tracker.seeded
+        if cache is not None:
+            cache.bind(tracker)
+        cluster = Cluster(partition, clock=self.clock, spec=self.cluster_spec)
+        profile = RefinementProfile()
+        meter = _PhaseMeter(cluster, profile)
+        stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
+
+        dirty_in = {
+            v for v in dirty_vertices if 0 <= v < partition.graph.num_vertices
+        }
+        frontier = dirty_frontier(partition.graph, dirty_in)
+        touched = touched_fragments(partition, frontier)
+        inc.dirty = len(dirty_in)
+        inc.frontier = len(frontier)
+        inc.fragments = len(touched)
+        entry_generation = partition.generation
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+
+        def setup() -> None:
+            for fid in overloaded:
+                if fid not in touched:
+                    continue
+                cands = get_candidates(
+                    tracker, fid, tracker.keep_budget(fid, budget), NodeRole.ECUT
+                )
+                cands = [unit for unit in cands if unit[0] in frontier]
+                candidates[fid] = cands
+                stats.candidates += len(cands)
+                cluster.charge(fid, partition.fragments[fid].num_vertices)
+            _sync_state(cluster)
+
+        meter.run("setup", setup)
+        early_stopped = False
+        try:
+            if self.enable_emigrate:
+                meter.run(
+                    "emigrate",
+                    lambda: self._parallel_emigrate(
+                        cluster, tracker, budget, underloaded, candidates,
+                        stats, guard, cache
+                    ),
+                )
+            if self.enable_esplit:
+                meter.run(
+                    "esplit",
+                    lambda: self._parallel_esplit(
+                        cluster, tracker, candidates, stats, guard, cache
+                    ),
+                )
+            if self.enable_massign:
+                moved = partition.mutations_since(entry_generation)
+                if moved is None:
+                    reassign = frontier
+                else:
+                    reassign = dirty_in | moved
+                meter.run(
+                    "massign",
+                    lambda: _parallel_massign_impl(
+                        cluster,
+                        tracker,
+                        stats,
+                        self.batch_size,
+                        guard,
+                        cache,
+                        vertices=reassign,
+                        residual=True,
+                    ),
+                )
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
+
+        stats.cost_after = tracker.parallel_cost()
+        self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
         tracker.detach()
         if cache is not None:
             cache.detach()
@@ -358,15 +516,20 @@ def _parallel_massign_impl(
     batch_size: int,
     guard: Optional[RefinementGuard] = None,
     cache: Optional[GainCache] = None,
+    vertices=None,
+    residual: bool = False,
 ) -> None:
     partition = tracker.partition
     model = tracker.cost_model
     avg = tracker.avg_degree
     # Each worker is responsible for the border vertices it currently
     # masters; comp snapshot is shared, comm accumulators persist.
+    # ``vertices`` restricts the pass to the dirty region (DESIGN §15);
+    # ``residual`` then starts the communication accumulators from the
+    # standing C_g of the untouched masters (see massign()).
     work: Dict[int, List[int]] = {fid: [] for fid in range(partition.num_fragments)}
     for v, hosts in partition.vertex_fragments():
-        if len(hosts) > 1:
+        if len(hosts) > 1 and (vertices is None or v in vertices):
             master = partition.master(v)
             # A corrupted master pointing outside [0, n) still needs a
             # worker; fall back to the lowest host until repair runs.
@@ -377,6 +540,13 @@ def _parallel_massign_impl(
         work[fid].sort()
     comp = tracker.comp_costs()
     comm = [0.0] * partition.num_fragments
+    if residual:
+        comm = tracker.comm_costs()
+        for batch_list in work.values():
+            for v in batch_list:
+                standing = tracker.comm_contribution(v)
+                if standing is not None:
+                    comm[standing[0]] -= standing[1]
     caps = tracker.capacities
     bws = tracker.bandwidths
     while any(work.values()):
@@ -462,11 +632,19 @@ class ParV2H:
         self.guard_config = guard_config
         self.use_gain_cache = use_gain_cache
         self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
+        self.last_seed: Optional[TrackerSeed] = None
 
     def refine(
-        self, partition: HybridPartition, in_place: bool = False
+        self,
+        partition: HybridPartition,
+        in_place: bool = False,
+        capture_seed: bool = False,
     ) -> Tuple[HybridPartition, RefinementProfile]:
-        """Refine; returns ``(hybrid partition, timing profile)``."""
+        """Refine; returns ``(hybrid partition, timing profile)``.
+
+        ``capture_seed`` snapshots the final tracker state into
+        :attr:`last_seed` for a later :meth:`refine_incremental`.
+        """
         wall_start = time.perf_counter()
         if not in_place:
             partition = partition.copy()
@@ -483,7 +661,8 @@ class ParV2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model, spec=self.cluster_spec)
+        counted = RescoringModel(model)
+        tracker = CostTracker(partition, counted, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
         cluster = Cluster(partition, clock=self.clock, spec=self.cluster_spec)
@@ -555,6 +734,156 @@ class ParV2H:
             guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
+        if capture_seed:
+            self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
+        tracker.detach()
+        if cache is not None:
+            cache.detach()
+        profile.total_time = cluster.profile.makespan
+        profile.wall_seconds = time.perf_counter() - wall_start
+        profile.stats = stats
+        return partition, profile
+
+    # ------------------------------------------------------------------
+    def refine_incremental(
+        self,
+        partition: HybridPartition,
+        dirty_vertices,
+        in_place: bool = True,
+        seed="auto",
+    ) -> Tuple[HybridPartition, RefinementProfile]:
+        """Dirty-region parallel refinement (DESIGN §15).
+
+        Mirrors :meth:`refine` with the batched phases narrowed to the
+        dirty frontier in its hosting fragments and the tracker seeded
+        from ``seed`` (default :attr:`last_seed`); see
+        :meth:`~repro.core.v2h.V2H.refine_incremental` for the scoping
+        rules.  Returns ``(partition, profile)``.
+        """
+        wall_start = time.perf_counter()
+        if not in_place:
+            partition = partition.copy()
+            seed = None
+        stats = RefineStats()
+        inc = IncrementalStats()
+        stats.incremental = inc
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
+        counted = RescoringModel(model)
+        if seed == "auto":
+            seed = self.last_seed
+        tracker = CostTracker(
+            partition, counted, spec=self.cluster_spec, seed=seed
+        )
+        inc.seeded = tracker.seeded
+        if cache is not None:
+            cache.bind(tracker)
+        cluster = Cluster(partition, clock=self.clock, spec=self.cluster_spec)
+        profile = RefinementProfile()
+        meter = _PhaseMeter(cluster, profile)
+        stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
+        helper = V2H(
+            model,
+            budget_slack=self.budget_slack,
+            vmerge_passes=self.vmerge_passes,
+            cluster_spec=self.cluster_spec,
+        )
+
+        dirty_in = {
+            v for v in dirty_vertices if 0 <= v < partition.graph.num_vertices
+        }
+        frontier = dirty_frontier(partition.graph, dirty_in)
+        touched = touched_fragments(partition, frontier)
+        inc.dirty = len(dirty_in)
+        inc.frontier = len(frontier)
+        inc.fragments = len(touched)
+        entry_generation = partition.generation
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+
+        def setup() -> None:
+            for fid in overloaded:
+                if fid not in touched:
+                    continue
+                cands = get_candidates(
+                    tracker, fid, tracker.keep_budget(fid, budget), NodeRole.VCUT
+                )
+                cands = [unit for unit in cands if unit[0] in frontier]
+                candidates[fid] = cands
+                stats.candidates += len(cands)
+                cluster.charge(fid, partition.fragments[fid].num_vertices)
+            _sync_state(cluster)
+
+        meter.run("setup", setup)
+        early_stopped = False
+        try:
+            if self.enable_vmigrate:
+                meter.run(
+                    "vmigrate",
+                    lambda: self._parallel_vmigrate(
+                        cluster, tracker, helper, budget, underloaded,
+                        candidates, stats, guard, cache
+                    ),
+                )
+            if self.enable_vmerge:
+                meter.run(
+                    "vmerge",
+                    lambda: self._parallel_vmerge(
+                        cluster, tracker, helper, budget, stats, guard, cache,
+                        frontier=frontier, fragments=touched
+                    ),
+                )
+            if self.enable_massign:
+                moved = partition.mutations_since(entry_generation)
+                if moved is None:
+                    reassign = frontier
+                else:
+                    reassign = dirty_in | moved
+                meter.run(
+                    "massign",
+                    lambda: _parallel_massign_impl(
+                        cluster,
+                        tracker,
+                        stats,
+                        self.batch_size,
+                        guard,
+                        cache,
+                        vertices=reassign,
+                        residual=True,
+                    ),
+                )
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
+
+        stats.cost_after = tracker.parallel_cost()
+        self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
         tracker.detach()
         if cache is not None:
             cache.detach()
@@ -634,21 +963,28 @@ class ParV2H:
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
         cache: Optional[GainCache] = None,
+        frontier=None,
+        fragments=None,
     ) -> None:
         partition = tracker.partition
         graph = partition.graph
         for _pass in range(self.vmerge_passes):
             merged_any = False
             # Each underloaded worker scans its own v-cut nodes in batches.
+            # ``frontier``/``fragments`` narrow the scan for the
+            # incremental path (DESIGN §15); None scans everything.
             work: Dict[int, List[int]] = {}
             for fid in range(partition.num_fragments):
+                if fragments is not None and fid not in fragments:
+                    continue
                 if tracker.load(fid) > budget:
                     continue
                 fragment = partition.fragments[fid]
                 vcuts = [
                     v
                     for v in fragment.vertices()
-                    if partition.role(v, fid) is NodeRole.VCUT
+                    if (frontier is None or v in frontier)
+                    and partition.role(v, fid) is NodeRole.VCUT
                 ]
                 # Ties by vertex id: fragment insertion order is not
                 # stable across builds.

@@ -21,10 +21,17 @@ which is the quantity the refiners balance so that a slow worker gets a
 proportionally smaller share of the work.  With no spec (or the uniform
 one) every load query returns the raw cost bit-for-bit, keeping the
 homogeneous refinement path byte-identical to the historical one.
+
+Incremental maintenance (DESIGN §15): :meth:`CostTracker.snapshot`
+freezes the priced state as a :class:`TrackerSeed`; a tracker built with
+``seed=`` restores it and reprices only the vertices the partition's
+mutation journal says changed since the snapshot, replacing the cold
+full rebuild with a delta replay.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.costmodel.features import vertex_features
@@ -32,6 +39,33 @@ from repro.costmodel.model import CostModel
 from repro.graph.metrics import average_degree
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.clusterspec import ClusterSpec, effective_spec
+
+
+@dataclass
+class TrackerSeed:
+    """Frozen tracker state for warm-starting a later tracker (DESIGN §15).
+
+    Captured by :meth:`CostTracker.snapshot` after a refinement pass and
+    replayed through the partition's mutation journal: a tracker built
+    from a seed restores these sums verbatim and marks only the vertices
+    mutated since ``generation`` dirty, so the usual cold ``_rebuild``
+    (one model evaluation per placed copy) shrinks to the delta.
+
+    ``avg_degree`` is pinned in the seed: the average degree enters every
+    feature vector, so repricing the delta under a post-mutation average
+    while keeping pre-mutation prices for the rest would mix two feature
+    scales.  Restoring the seed's value keeps all prices mutually
+    consistent; the drift a small batch causes is re-absorbed by the next
+    full (cold) refinement.
+    """
+
+    partition: HybridPartition
+    generation: int
+    avg_degree: float
+    comp: List[float]
+    comm: List[float]
+    copy_contrib: Dict[int, Dict[int, float]]
+    comm_contrib: Dict[int, Tuple[int, float]]
 
 
 class CostTracker:
@@ -42,6 +76,7 @@ class CostTracker:
         partition: HybridPartition,
         cost_model: CostModel,
         spec: Optional[ClusterSpec] = None,
+        seed: Optional[TrackerSeed] = None,
     ) -> None:
         self.partition = partition
         self.cost_model = cost_model
@@ -64,7 +99,49 @@ class CostTracker:
         self._dirty: Set[int] = set()
         self._cost_listeners: List[Callable[[int], None]] = []
         partition.add_listener(self._mark_dirty)
-        self._rebuild()
+        self.seeded = seed is not None and self._restore(seed)
+        if not self.seeded:
+            self._rebuild()
+
+    def snapshot(self) -> TrackerSeed:
+        """Capture current state as a :class:`TrackerSeed`.
+
+        The seed deep-copies the contribution maps, so it stays valid
+        however this tracker (or a tracker restored from it) mutates
+        afterwards.
+        """
+        self._flush()
+        return TrackerSeed(
+            partition=self.partition,
+            generation=self.partition.generation,
+            avg_degree=self.avg_degree,
+            comp=list(self._comp),
+            comm=list(self._comm),
+            copy_contrib={v: dict(c) for v, c in self._copy_contrib.items()},
+            comm_contrib=dict(self._comm_contrib),
+        )
+
+    def _restore(self, seed: TrackerSeed) -> bool:
+        """Warm-start from ``seed``; False when it cannot be replayed.
+
+        A seed is replayable only against the exact partition object it
+        was captured from (the journal is per-object) and only while the
+        journal still covers ``seed.generation``.
+        """
+        if seed.partition is not self.partition:
+            return False
+        if len(seed.comp) != self.partition.num_fragments:
+            return False
+        delta = self.partition.mutations_since(seed.generation)
+        if delta is None:
+            return False
+        self.avg_degree = seed.avg_degree
+        self._comp = list(seed.comp)
+        self._comm = list(seed.comm)
+        self._copy_contrib = {v: dict(c) for v, c in seed.copy_contrib.items()}
+        self._comm_contrib = dict(seed.comm_contrib)
+        self._dirty = set(delta)
+        return True
 
     def detach(self) -> None:
         """Stop listening to partition mutations."""
@@ -180,6 +257,16 @@ class CostTracker:
         """All fragments' C_h as a list."""
         self._flush()
         return list(self._comp)
+
+    def comm_costs(self) -> list:
+        """All fragments' C_g as a list."""
+        self._flush()
+        return list(self._comm)
+
+    def comm_contribution(self, v: int) -> Optional[Tuple[int, float]]:
+        """Current ``(master fid, g contribution)`` of ``v``, if any."""
+        self._flush()
+        return self._comm_contrib.get(v)
 
     def parallel_cost(self) -> float:
         """``max_i C_A(F_i)``."""

@@ -21,11 +21,17 @@ from typing import Dict, List, Optional
 
 from repro.core.budget import classify_fragments, compute_budget
 from repro.core.candidates import get_candidates
+from repro.core.dirty import (
+    IncrementalStats,
+    RescoringModel,
+    dirty_frontier,
+    touched_fragments,
+)
 from repro.core.e2h import RefineStats
 from repro.core.gaincache import GainCache
 from repro.core.massign import massign
 from repro.core.operations import vmerge, vmigrate
-from repro.core.tracker import CostTracker
+from repro.core.tracker import CostTracker, TrackerSeed
 from repro.costmodel.features import vertex_features
 from repro.costmodel.guarded import guard_cost_model
 from repro.costmodel.model import CostModel
@@ -75,12 +81,20 @@ class V2H:
         self.use_gain_cache = use_gain_cache
         self.cluster_spec = effective_spec(coerce_cluster_spec(cluster_spec))
         self.last_stats: Optional[RefineStats] = None
+        self.last_seed: Optional[TrackerSeed] = None
 
     # ------------------------------------------------------------------
     def refine(
-        self, partition: HybridPartition, in_place: bool = False
+        self,
+        partition: HybridPartition,
+        in_place: bool = False,
+        capture_seed: bool = False,
     ) -> HybridPartition:
-        """Refine a vertex-cut partition into a hybrid one."""
+        """Refine a vertex-cut partition into a hybrid one.
+
+        ``capture_seed`` snapshots the final tracker state into
+        :attr:`last_seed` for a later :meth:`refine_incremental`.
+        """
         if not in_place:
             partition = partition.copy()
         stats = RefineStats()
@@ -96,7 +110,8 @@ class V2H:
             cache = GainCache(partition, model)
             stats.gain_cache = cache.stats
             model = cache.model
-        tracker = CostTracker(partition, model, spec=self.cluster_spec)
+        counted = RescoringModel(model)
+        tracker = CostTracker(partition, counted, spec=self.cluster_spec)
         if cache is not None:
             cache.bind(tracker)
         stats.cost_before = tracker.parallel_cost()
@@ -145,6 +160,142 @@ class V2H:
             guard.finish(early_stopped=early_stopped)
 
         stats.cost_after = tracker.parallel_cost()
+        if capture_seed:
+            self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
+        tracker.detach()
+        if cache is not None:
+            cache.detach()
+        self.last_stats = stats
+        return partition
+
+    # ------------------------------------------------------------------
+    def refine_incremental(
+        self,
+        partition: HybridPartition,
+        dirty_vertices,
+        in_place: bool = True,
+        seed="auto",
+    ) -> HybridPartition:
+        """Dirty-region refinement after a small mutation batch (DESIGN §15).
+
+        Mirrors :meth:`refine` with every phase narrowed to the dirty
+        frontier (``dirty_vertices`` plus graph neighbors) inside the
+        fragments hosting any frontier vertex: VMigrate candidates are
+        filtered to frontier members, VMerge only scans touched
+        fragments' frontier v-cuts, and MAssign revisits only frontier
+        border vertices.  The tracker warm-starts from ``seed``
+        (default: :attr:`last_seed`) via the mutation journal; a fresh
+        snapshot is captured afterwards.  In-place by default — a copy's
+        journal cannot replay a seed captured on the original.
+        """
+        if not in_place:
+            partition = partition.copy()
+            seed = None
+        stats = RefineStats()
+        inc = IncrementalStats()
+        stats.incremental = inc
+        model = self.cost_model
+        if self.guard_config is not None:
+            stats.guard = GuardStats()
+            model = guard_cost_model(
+                self.cost_model,
+                on_intervention=stats.guard.note_cost_model_intervention,
+            )
+        cache: Optional[GainCache] = None
+        if self.use_gain_cache:
+            cache = GainCache(partition, model)
+            stats.gain_cache = cache.stats
+            model = cache.model
+        counted = RescoringModel(model)
+        if seed == "auto":
+            seed = self.last_seed
+        tracker = CostTracker(
+            partition, counted, spec=self.cluster_spec, seed=seed
+        )
+        inc.seeded = tracker.seeded
+        if cache is not None:
+            cache.bind(tracker)
+        stats.cost_before = tracker.parallel_cost()
+        guard: Optional[RefinementGuard] = None
+        if self.guard_config is not None:
+            guard = RefinementGuard(
+                partition,
+                self.guard_config,
+                stats=stats.guard,
+                cost_fn=lambda: model.parallel_cost(partition),
+            )
+
+        dirty_in = {
+            v for v in dirty_vertices if 0 <= v < partition.graph.num_vertices
+        }
+        frontier = dirty_frontier(partition.graph, dirty_in)
+        touched = touched_fragments(partition, frontier)
+        inc.dirty = len(dirty_in)
+        inc.frontier = len(frontier)
+        inc.fragments = len(touched)
+        entry_generation = partition.generation
+
+        budget = compute_budget(tracker, self.budget_slack)
+        stats.budget = budget
+        overloaded, underloaded = classify_fragments(tracker, budget)
+        stats.overloaded = len(overloaded)
+
+        candidates: Dict[int, List] = {}
+        for fid in overloaded:
+            if fid not in touched:
+                continue
+            cand = get_candidates(
+                tracker, fid, tracker.keep_budget(fid, budget), NodeRole.VCUT
+            )
+            candidates[fid] = [unit for unit in cand if unit[0] in frontier]
+            stats.candidates += len(candidates[fid])
+
+        early_stopped = False
+        try:
+            if self.enable_vmigrate:
+                start = time.perf_counter()
+                self._phase_vmigrate(
+                    tracker, budget, underloaded, candidates, stats, guard, cache
+                )
+                stats.phase_seconds["vmigrate"] = time.perf_counter() - start
+            if self.enable_vmerge:
+                start = time.perf_counter()
+                self._phase_vmerge(
+                    tracker,
+                    budget,
+                    stats,
+                    guard,
+                    cache,
+                    frontier=frontier,
+                    fragments=touched,
+                )
+                stats.phase_seconds["vmerge"] = time.perf_counter() - start
+            if self.enable_massign:
+                start = time.perf_counter()
+                # Rescore only vertices whose Eq. 5 inputs changed (see
+                # the E2H incremental pass for the rationale).
+                moved = partition.mutations_since(entry_generation)
+                if moved is None:
+                    reassign = sorted(frontier)
+                else:
+                    reassign = sorted(dirty_in | moved)
+                stats.master_moves = massign(
+                    tracker,
+                    vertices=reassign,
+                    guard=guard,
+                    cache=cache,
+                    residual=True,
+                )
+                stats.phase_seconds["massign"] = time.perf_counter() - start
+        except RefinementBudgetExceeded:
+            early_stopped = True
+        if guard is not None:
+            guard.finish(early_stopped=early_stopped)
+
+        stats.cost_after = tracker.parallel_cost()
+        self.last_seed = tracker.snapshot()
+        stats.rescoring_calls = counted.calls
         tracker.detach()
         if cache is not None:
             cache.detach()
@@ -241,8 +392,16 @@ class V2H:
         stats: RefineStats,
         guard: Optional[RefinementGuard] = None,
         cache: Optional[GainCache] = None,
+        frontier: Optional[set] = None,
+        fragments: Optional[set] = None,
     ) -> None:
-        """Fig. 4 lines 11-14: promote v-cut nodes to e-cut nodes."""
+        """Fig. 4 lines 11-14: promote v-cut nodes to e-cut nodes.
+
+        ``frontier``/``fragments`` narrow the scan for the incremental
+        path: only the listed fragments are visited and only frontier
+        v-cuts considered for promotion.  ``None`` (the full pass) scans
+        everything.
+        """
         partition = tracker.partition
         graph = partition.graph
         n = partition.num_fragments
@@ -253,13 +412,16 @@ class V2H:
             else:
                 order = sorted(range(n), key=tracker.load)
             for fid in order:
+                if fragments is not None and fid not in fragments:
+                    continue
                 if tracker.load(fid) > budget:
                     continue
                 fragment = partition.fragments[fid]
                 vcut_here = [
                     v
                     for v in fragment.vertices()
-                    if partition.role(v, fid) is NodeRole.VCUT
+                    if (frontier is None or v in frontier)
+                    and partition.role(v, fid) is NodeRole.VCUT
                 ]
                 # Cheapest promotions first: fewest missing edges, ties
                 # broken by vertex id (fragment insertion order is not

@@ -7,6 +7,7 @@ kind       artifact
 ========== ==========================================================
 partition  baseline partition of (graph, partitioner, n) + seconds
 refine     ParE2H / ParV2H refinement of a partition for one model
+incremental mutation batch + dirty-region re-refinement (DESIGN §15)
 run        simulated execution of one algorithm over one partition
 composite  ParME2H / ParMV2H composite refinement over a batch
 memo       any JSON-serializable computation (Exp-6 training tables)
@@ -131,6 +132,67 @@ def compute_refine_cell(
     }
 
 
+def compute_incremental_cell(
+    graph,
+    initial: Dict,
+    algorithm: str,
+    cut_type: str,
+    model: Dict,
+    mutations: str,
+    kwargs: Optional[Dict] = None,
+    virtual: bool = False,
+) -> Dict:
+    """Incremental maintenance of a refined partition (DESIGN §15).
+
+    Applies the mutation batch through the in-place coherence hooks and
+    runs the dirty-region refiner over the resulting dirty set.  The
+    shared dataset graph is never touched: the batch replays against a
+    private copy, so every other cell in the process keeps seeing the
+    original graph.
+    """
+    from repro.core.incremental import MutationBatch, apply_mutations
+    from repro.core.parallel import ParE2H, ParV2H
+    from repro.graph.digraph import Graph
+    from repro.partition.serialize import partition_from_dict, partition_to_dict
+
+    if cut_type == "edge":
+        refiner_cls = ParE2H
+    elif cut_type == "vertex":
+        refiner_cls = ParV2H
+    else:
+        raise ValueError(f"cannot incrementally refine a {cut_type!r} baseline")
+    private = Graph(graph.num_vertices, list(graph.edges()), directed=graph.directed)
+    partition = partition_from_dict(initial, private)
+    batch = MutationBatch.parse(mutations)
+    dirty = apply_mutations(partition, batch)
+    refiner = refiner_cls(model_from_payload(model), **(kwargs or {}))
+    refined, profile = refiner.refine_incremental(partition, dirty)
+    profile_payload = profile_to_payload(profile)
+    if virtual:
+        profile_payload["wall_seconds"] = profile.total_time
+    stats = profile.stats
+    inc = stats.incremental
+    payload = partition_to_dict(refined)
+    return {
+        "kind": "incremental",
+        "algorithm": algorithm,
+        "partition": payload,
+        "content": payload_digest(payload),
+        "profile": profile_payload,
+        "maintenance": {
+            "mutations": len(batch),
+            "batch": batch.digest(),
+            "dirty": inc.dirty if inc else len(dirty),
+            "frontier": inc.frontier if inc else 0,
+            "fragments": inc.fragments if inc else 0,
+            "seeded": bool(inc.seeded) if inc else False,
+            "rescoring_calls": stats.rescoring_calls,
+            "cost_before": stats.cost_before,
+            "cost_after": stats.cost_after,
+        },
+    }
+
+
 def compute_run_cell(
     graph,
     partition: Dict,
@@ -230,6 +292,7 @@ def compute_memo_cell(memo_kind: str, params: Dict) -> Dict:
 REQUIRED_FIELDS: Dict[str, Sequence[str]] = {
     "partition": ("partition", "content", "seconds"),
     "refine": ("partition", "content", "profile"),
+    "incremental": ("partition", "content", "profile", "maintenance"),
     "run": ("makespan", "profile"),
     "composite": ("partitions", "views", "profile"),
     "memo": ("value",),

@@ -51,6 +51,10 @@ class EvalEngine:
         # recorded whenever this engine produces a partition so run cells
         # can be keyed without re-serializing.
         self._digests: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        # Summary of the most recent maintain_partition call (cached
+        # profiles drop per-run refiner stats, so the maintenance
+        # counters are surfaced here in both modes).
+        self.last_maintenance: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -202,6 +206,96 @@ class EvalEngine:
         refined = partition_from_dict(payload["partition"], partition.graph)
         self._digests[refined] = payload["content"]
         return refined, cells.profile_from_payload(payload["profile"])
+
+    def maintain_partition(
+        self, partition, algorithm: str, cut_type: str, model, mutations, **kwargs
+    ):
+        """Apply a mutation batch and dirty-region-refine; returns
+        ``(maintained partition, profile)``.
+
+        In passthrough mode this is the in-place fast path: the caller's
+        graph and partition are mutated directly.  In cached mode the
+        cell runs over private copies (the shared dataset graph is never
+        touched) and is keyed on the base partition's content digest plus
+        the batch digest, so replaying the same update stream is a hit;
+        on a hit the updated graph is rebuilt by replaying the batch's
+        graph-level ops on a copy of the caller's graph.
+        """
+        from repro.core.incremental import MutationBatch, apply_mutations
+
+        if not isinstance(mutations, MutationBatch):
+            mutations = MutationBatch.parse(str(mutations))
+        kwargs = self._fold_cluster_spec(dict(kwargs))
+        if self.cache is None:
+            from repro.core.parallel import ParE2H, ParV2H
+
+            if cut_type == "edge":
+                refiner = ParE2H(model, **kwargs)
+            elif cut_type == "vertex":
+                refiner = ParV2H(model, **kwargs)
+            else:
+                raise ValueError(
+                    f"cannot incrementally refine a {cut_type!r} baseline"
+                )
+            dirty = apply_mutations(partition, mutations)
+            maintained, profile = refiner.refine_incremental(partition, dirty)
+            stats = profile.stats
+            inc = stats.incremental
+            self.last_maintenance = {
+                "mutations": len(mutations),
+                "batch": mutations.digest(),
+                "dirty": inc.dirty if inc else len(dirty),
+                "frontier": inc.frontier if inc else 0,
+                "fragments": inc.fragments if inc else 0,
+                "seeded": bool(inc.seeded) if inc else False,
+                "rescoring_calls": stats.rescoring_calls,
+                "cost_before": stats.cost_before,
+                "cost_after": stats.cost_after,
+            }
+            return maintained, profile
+
+        from repro.graph.digraph import Graph
+        from repro.partition.serialize import partition_from_dict, partition_to_dict
+
+        model_payload = keys.model_payload(model)
+        content, initial_payload = self._digest_and_payload(partition)
+        key = keys.incremental_key(
+            content,
+            algorithm,
+            cut_type,
+            keys.payload_digest(model_payload),
+            mutations.digest(),
+            kwargs,
+            self.virtual,
+        )
+
+        def compute() -> Dict:
+            initial = (
+                initial_payload
+                if initial_payload is not None
+                else partition_to_dict(partition)
+            )
+            return cells.compute_incremental_cell(
+                partition.graph,
+                initial,
+                algorithm,
+                cut_type,
+                model_payload,
+                mutations.to_text(),
+                kwargs,
+                self.virtual,
+            )
+
+        payload = self._load_or_compute(key, compute)
+        self.last_maintenance = dict(payload["maintenance"])
+        graph = partition.graph
+        updated = Graph(
+            graph.num_vertices, list(graph.edges()), directed=graph.directed
+        )
+        mutations.apply_to_graph(updated)
+        maintained = partition_from_dict(payload["partition"], updated)
+        self._digests[maintained] = payload["content"]
+        return maintained, cells.profile_from_payload(payload["profile"])
 
     def run_algorithm(
         self, partition, algorithm: str, params: Optional[Dict] = None

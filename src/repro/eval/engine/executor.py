@@ -85,6 +85,18 @@ def physical_key(job: Job, dep_meta: Optional[Dict], virtual: bool) -> str:
             spec["kwargs"],
             virtual,
         )
+    if kind == "incremental":
+        from repro.core.incremental import MutationBatch
+
+        return keys.incremental_key(
+            dep_meta["content"],
+            spec["algorithm"],
+            spec["cut"],
+            keys.payload_digest(spec["model"]),
+            MutationBatch.parse(spec["mutations"]).digest(),
+            spec["kwargs"],
+            virtual,
+        )
     if kind == "run":
         return keys.run_key(
             cells.cell_deps_content(spec, dep_meta),
@@ -119,6 +131,18 @@ def compute_cell(spec: Dict, dep_payload: Optional[Dict], virtual: bool) -> Dict
             spec["algorithm"],
             spec["cut"],
             spec["model"],
+            spec["kwargs"],
+            virtual,
+        )
+    if kind == "incremental":
+        graph = _graph_for(spec["dataset"])
+        return cells.compute_incremental_cell(
+            graph,
+            dep_payload["partition"],
+            spec["algorithm"],
+            spec["cut"],
+            spec["model"],
+            spec["mutations"],
             spec["kwargs"],
             virtual,
         )

@@ -176,6 +176,40 @@ class Planner:
             Job(_jid("refine", spec, (base.jid,)), "refine", spec, (base.jid,))
         )
 
+    def incremental(
+        self,
+        dataset: str,
+        baseline: str,
+        n: int,
+        algorithm: str,
+        cut_type: str,
+        mutations,
+        **kwargs,
+    ) -> Job:
+        """Plan an incremental-maintenance cell over a refined partition.
+
+        ``mutations`` is a :class:`~repro.core.incremental.MutationBatch`
+        or its text form; the spec stores the canonical text so the job
+        id and the physical cache key agree on the batch digest.
+        """
+        from repro.core.incremental import MutationBatch
+
+        if not isinstance(mutations, MutationBatch):
+            mutations = MutationBatch.parse(str(mutations))
+        base = self.refine(dataset, baseline, n, algorithm, cut_type)
+        spec = {
+            "kind": "incremental",
+            "dataset": dataset,
+            "algorithm": algorithm,
+            "cut": cut_type,
+            "model": self._model(algorithm),
+            "mutations": mutations.to_text(),
+            "kwargs": self._fold_cluster_spec(dict(kwargs)),
+        }
+        return self.graph.add(
+            Job(_jid("incremental", spec, (base.jid,)), "incremental", spec, (base.jid,))
+        )
+
     def run(
         self,
         dataset: str,

@@ -96,6 +96,34 @@ def refine_key(
     )
 
 
+def incremental_key(
+    partition_content: str,
+    algorithm: str,
+    cut_type: str,
+    model_hash: str,
+    batch_digest: str,
+    kwargs: Optional[Dict] = None,
+    virtual: bool = False,
+) -> str:
+    """Key of an incremental-maintenance cell (DESIGN §15).
+
+    Keyed on the **base** partition's content hash plus the mutation
+    batch's canonical digest: the same update stream replayed over the
+    same deployment is a cache hit, while any divergence in either —
+    a different base refinement or a reordered batch — recomputes.
+    """
+    return config_digest(
+        "incremental",
+        partition=partition_content,
+        algorithm=algorithm,
+        cut=cut_type,
+        model=model_hash,
+        batch=batch_digest,
+        kwargs=kwargs or {},
+        **_walls(virtual),
+    )
+
+
 def run_key(
     partition_content: str,
     algorithm: str,

@@ -1,15 +1,23 @@
 """Core graph data structure.
 
-:class:`Graph` is the single graph type used throughout the library.  It is
-immutable once built, stores edges in NumPy arrays, and materializes CSR
-(compressed sparse row) indices for both out- and in-adjacency so that the
-degree metrics of the paper's cost model (Section 3.1) are O(1) lookups and
-neighbor scans are contiguous slices.
+:class:`Graph` is the single graph type used throughout the library.  It
+stores edges in NumPy arrays and materializes CSR (compressed sparse row)
+indices for both out- and in-adjacency so that the degree metrics of the
+paper's cost model (Section 3.1) are O(1) lookups and neighbor scans are
+contiguous slices.
 
 Vertices are integers ``0 .. num_vertices - 1``.  Undirected graphs store
 each edge once in canonical ``(min, max)`` order; adjacency queries expose
 both directions.  Self-loops are permitted; parallel edges are removed at
 construction (the paper's partition model treats the edge set as a set).
+
+Graphs are *mostly* immutable: the streaming-ingestion hooks
+:meth:`Graph.add_vertex`, :meth:`Graph.add_edge` and
+:meth:`Graph.remove_edge` (DESIGN §15) mutate the edge set in place,
+bump :attr:`Graph.version`, and rebuild the array/CSR caches lazily on
+the next array access.  Any :class:`~repro.partition.hybrid.
+HybridPartition` built over the graph must be re-synced through
+``HybridPartition.graph_changed`` after such a mutation.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ Edge = Tuple[int, int]
 
 
 class Graph:
-    """An immutable (un)directed graph with CSR adjacency.
+    """An (un)directed graph with CSR adjacency and streaming hooks.
 
     Parameters
     ----------
@@ -47,6 +55,8 @@ class Graph:
         "_in_indices",
         "_edge_set",
         "_digest",
+        "_version",
+        "_arrays_stale",
     )
 
     def __init__(
@@ -80,6 +90,8 @@ class Graph:
         self._dst = dst
         self._edge_set = pairs
         self._digest: str = ""
+        self._version = 0
+        self._arrays_stale = False
 
         out_src = np.concatenate([src, dst]) if not directed else src
         out_dst = np.concatenate([dst, src]) if not directed else dst
@@ -112,6 +124,87 @@ class Graph:
         return indptr, indices
 
     # ------------------------------------------------------------------
+    # Mutation hooks (streaming ingestion, DESIGN §15)
+    # ------------------------------------------------------------------
+    def _check_endpoint(self, v: int) -> int:
+        v = int(v)
+        if not 0 <= v < self._num_vertices:
+            raise ValueError(
+                f"edge endpoint {v} out of range for a graph with "
+                f"{self._num_vertices} vertices "
+                f"(valid ids: 0..{self._num_vertices - 1})"
+            )
+        return v
+
+    def _invalidate_arrays(self) -> None:
+        self._version += 1
+        self._digest = ""
+        self._arrays_stale = True
+
+    def _refresh(self) -> None:
+        """Rebuild the canonical edge arrays and CSR indices if stale."""
+        if not self._arrays_stale:
+            return
+        if self._edge_set:
+            arr = np.asarray(sorted(self._edge_set), dtype=np.int64)
+            src, dst = arr[:, 0], arr[:, 1]
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        self._src = src
+        self._dst = dst
+        out_src = np.concatenate([src, dst]) if not self._directed else src
+        out_dst = np.concatenate([dst, src]) if not self._directed else dst
+        self._out_indptr, self._out_indices = self._build_csr(out_src, out_dst)
+        if self._directed:
+            self._in_indptr, self._in_indices = self._build_csr(dst, src)
+        else:
+            self._in_indptr, self._in_indices = self._out_indptr, self._out_indices
+        self._arrays_stale = False
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every in-place change.
+
+        Consumers that cache arrays derived from the graph (e.g.
+        :class:`repro.runtime.plan.FragmentPlan`) record the version at
+        build time and treat any difference as a structural change.
+        """
+        return self._version
+
+    def add_vertex(self) -> int:
+        """Append one isolated vertex and return its id."""
+        v = self._num_vertices
+        self._num_vertices += 1
+        self._invalidate_arrays()
+        return v
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``(u, v)``; True if it was not already present.
+
+        Undirected graphs store the canonical ``(min, max)`` form, so
+        inserting ``(v, u)`` after ``(u, v)`` is a no-op.  Raises
+        :class:`ValueError` when either endpoint is out of range.
+        """
+        u, v = self._check_endpoint(u), self._check_endpoint(v)
+        edge = self.canonical_edge(u, v)
+        if edge in self._edge_set:
+            return False
+        self._edge_set.add(edge)
+        self._invalidate_arrays()
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete edge ``(u, v)``; True if it was present."""
+        u, v = self._check_endpoint(u), self._check_endpoint(v)
+        edge = self.canonical_edge(u, v)
+        if edge not in self._edge_set:
+            return False
+        self._edge_set.discard(edge)
+        self._invalidate_arrays()
+        return True
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
@@ -122,7 +215,7 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Number of (distinct) edges in the graph."""
-        return len(self._src)
+        return len(self._edge_set)
 
     @property
     def directed(self) -> bool:
@@ -136,6 +229,7 @@ class Graph:
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over edges as ``(u, v)`` tuples (canonical order)."""
+        self._refresh()
         for u, v in zip(self._src.tolist(), self._dst.tolist()):
             yield (u, v)
 
@@ -150,6 +244,7 @@ class Graph:
         (:mod:`repro.eval.engine`).
         """
         if not self._digest:
+            self._refresh()
             hasher = hashlib.sha256()
             hasher.update(f"graph:{self._num_vertices}:{int(self._directed)}:".encode())
             hasher.update(np.ascontiguousarray(self._src, dtype="<i8").tobytes())
@@ -159,6 +254,7 @@ class Graph:
 
     def edge_array(self) -> np.ndarray:
         """Return an ``(m, 2)`` int64 array of edges (canonical order)."""
+        self._refresh()
         return np.stack([self._src, self._dst], axis=1) if len(self._src) else np.empty((0, 2), dtype=np.int64)
 
     def has_edge(self, u: int, v: int) -> bool:
@@ -178,10 +274,12 @@ class Graph:
     # ------------------------------------------------------------------
     def out_neighbors(self, v: int) -> np.ndarray:
         """Out-neighbors of ``v`` (all neighbors if undirected)."""
+        self._refresh()
         return self._out_indices[self._out_indptr[v] : self._out_indptr[v + 1]]
 
     def in_neighbors(self, v: int) -> np.ndarray:
         """In-neighbors of ``v`` (all neighbors if undirected)."""
+        self._refresh()
         return self._in_indices[self._in_indptr[v] : self._in_indptr[v + 1]]
 
     def neighbors(self, v: int) -> np.ndarray:
@@ -192,10 +290,12 @@ class Graph:
 
     def out_degree(self, v: int) -> int:
         """``d⁻_G(v)``: out-degree of ``v`` in the full graph."""
+        self._refresh()
         return int(self._out_indptr[v + 1] - self._out_indptr[v])
 
     def in_degree(self, v: int) -> int:
         """``d⁺_G(v)``: in-degree of ``v`` in the full graph."""
+        self._refresh()
         return int(self._in_indptr[v + 1] - self._in_indptr[v])
 
     def degree(self, v: int) -> int:
@@ -206,10 +306,12 @@ class Graph:
 
     def out_degrees(self) -> np.ndarray:
         """Vector of out-degrees for all vertices."""
+        self._refresh()
         return np.diff(self._out_indptr)
 
     def in_degrees(self) -> np.ndarray:
         """Vector of in-degrees for all vertices."""
+        self._refresh()
         return np.diff(self._in_indptr)
 
     def incident_edges(self, v: int) -> Iterator[Edge]:

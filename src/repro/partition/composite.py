@@ -151,6 +151,17 @@ class CompositePartition:
         total = sum(c.storage_size() for c in self.composite_fragments)
         return core / max(1, total)
 
+    def rebuild_index(self) -> None:
+        """Recompute cores/residuals after members changed in place.
+
+        The incremental maintenance path (DESIGN §15) mutates the member
+        partitions directly — through their own coherence hooks and the
+        dirty-region refiners — and refreshes the composite view once at
+        the end instead of routing every touch through
+        :meth:`delete_edge`/:meth:`insert_edge`.
+        """
+        self._build()
+
     # ------------------------------------------------------------------
     # Coherence updates (Section 6.1 "Coherence")
     # ------------------------------------------------------------------

@@ -42,13 +42,21 @@ class NodeRole(enum.Enum):
     DUMMY = "dummy"
 
 
+#: mutation-journal capacity; once exceeded the oldest half is dropped and
+#: delta queries that reach past the window report "unknown" (full rebuild)
+JOURNAL_CAP = 1 << 17
+
+
 class HybridPartition:
     """A hybrid n-way partition HP(n) = (F_1, ..., F_n) of a graph.
 
     Parameters
     ----------
     graph:
-        The partitioned graph.  Not copied; must not be mutated.
+        The partitioned graph.  Not copied.  In-place graph mutations
+        (streaming ingestion) must be followed by :meth:`graph_changed`
+        for the touched vertices so the cross-fragment indexes stay
+        coherent.
     num_fragments:
         ``n``, the number of fragments (= simulated workers).
     """
@@ -67,6 +75,10 @@ class HybridPartition:
         self._global_incident: Dict[int, int] = {}
         self._listeners: List[Callable[[int], None]] = []
         self._generation = 0
+        # Mutation journal: entry i records the vertex whose notify moved
+        # the generation from _journal_start + i to _journal_start + i + 1.
+        self._journal: List[int] = []
+        self._journal_start = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -130,8 +142,30 @@ class HybridPartition:
 
     def _notify(self, v: int) -> None:
         self._generation += 1
+        journal = self._journal
+        journal.append(v)
+        if len(journal) > JOURNAL_CAP:
+            drop = len(journal) // 2
+            del journal[:drop]
+            self._journal_start += drop
         for callback in self._listeners:
             callback(v)
+
+    def mutations_since(self, generation: int) -> Optional[Set[int]]:
+        """Vertices notified after ``generation``, or None when unknown.
+
+        Returns the exact set of vertices whose copies may have changed
+        between ``generation`` and :attr:`generation` — the delta that
+        :func:`repro.runtime.plan.plan_for` patches instead of
+        recompiling.  Returns ``None`` when ``generation`` predates the
+        journal window (capped at :data:`JOURNAL_CAP` entries), which
+        forces callers back to a full rebuild.
+        """
+        if generation < self._journal_start:
+            return None
+        if generation >= self._generation:
+            return set()
+        return set(self._journal[generation - self._journal_start :])
 
     @property
     def generation(self) -> int:
@@ -334,6 +368,31 @@ class HybridPartition:
             else:
                 self._notify(w)
         return True
+
+    def graph_changed(self, vertices: Iterable[int]) -> None:
+        """Re-sync per-vertex caches after an in-place graph mutation.
+
+        Callers that mutate ``self.graph`` through its streaming hooks
+        (``Graph.add_edge`` / ``Graph.remove_edge`` / ``Graph.add_vertex``)
+        must pass every vertex whose incident edge set changed.  Cached
+        global incident counts are dropped, fullness is recomputed on
+        every hosting fragment (a full copy may stop being full when an
+        edge appears, or become full when one disappears), and listeners
+        and the generation counter fire as for any other mutation.
+        """
+        for v in sorted({int(v) for v in vertices}):
+            self._global_incident.pop(v, None)
+            total = self.graph.incident_edge_count(v)
+            hosts = self._placement.get(v, ())
+            if total == 0:
+                # Every copy of an edge-free vertex is trivially full.
+                if hosts:
+                    self._full[v] = set(hosts)
+                else:
+                    self._full.pop(v, None)
+            for fid in sorted(hosts):
+                self._refresh_fullness(v, fid)
+            self._notify(v)
 
     def _refresh_fullness(self, v: int, fid: int) -> None:
         total = self.global_incident_count(v)

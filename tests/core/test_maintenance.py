@@ -1,0 +1,277 @@
+"""Tests for the mutation-maintenance engine (DESIGN §15).
+
+Covers :class:`MutationBatch` parsing/canonicalization, the
+``apply_mutations`` driver over single, composite, and multi-partition
+targets, and a differential suite that checks every refiner's
+``refine_incremental`` against a full refinement pass on the same
+mutated deployment: the incremental pass must stay valid, never
+regress the cost it starts from, and do strictly less rescoring work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.e2h import E2H
+from repro.core.incremental import MutationBatch, apply_mutations
+from repro.core.me2h import ME2H
+from repro.core.mv2h import MV2H
+from repro.core.parallel import ParE2H, ParV2H
+from repro.core.v2h import V2H
+from repro.costmodel.library import builtin_cost_model, builtin_cost_models
+from repro.graph.digraph import Graph
+from repro.graph.generators import chung_lu_power_law, erdos_renyi, road_grid
+from repro.partition.validation import check_partition
+
+from tests.conftest import make_edge_cut, make_vertex_cut
+
+
+class TestMutationBatch:
+    def test_parse_and_round_trip(self):
+        text = "# comment\n+ 0 1\n\n- 2 3\n7\n"
+        batch = MutationBatch.parse(text)
+        assert len(batch) == 3
+        assert batch.ops == (("+", 0, 1), ("-", 2, 3), ("v", 7, -1))
+        assert MutationBatch.parse(batch.to_text()) == batch
+
+    def test_digest_is_content_addressed(self):
+        a = MutationBatch.parse("+ 0 1\n- 2 3")
+        b = MutationBatch.parse("# different text, same ops\n+ 0 1\n- 2 3\n")
+        c = MutationBatch.parse("+ 0 1")
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_parse_errors_carry_source_and_line(self):
+        with pytest.raises(ValueError, match=r"<string>, line 2"):
+            MutationBatch.parse("+ 0 1\n+ 0")
+        with pytest.raises(ValueError, match="line 1"):
+            MutationBatch.parse("+ 0 -1")
+        with pytest.raises(ValueError, match="line 1"):
+            MutationBatch.parse("* 0 1")
+        with pytest.raises(ValueError, match="line 1"):
+            MutationBatch.parse("+ a b")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "batch.txt"
+        path.write_text("+ 0 2\n- 1 2\n")
+        batch = MutationBatch.from_file(path)
+        assert batch.ops == (("+", 0, 2), ("-", 1, 2))
+        bad = tmp_path / "bad.txt"
+        bad.write_text("nope nope nope\n")
+        with pytest.raises(ValueError, match="bad.txt, line 1"):
+            MutationBatch.from_file(bad)
+
+    def test_apply_to_graph(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        batch = MutationBatch.parse("- 1 2\n+ 2 0\n4")
+        dirty = batch.apply_to_graph(g)
+        assert g == Graph(5, [(0, 1), (2, 0)])
+        assert {2, 0, 1} <= dirty
+
+
+class TestApplyMutations:
+    def _graph(self, seed=3):
+        return erdos_renyi(40, 120, directed=True, seed=seed)
+
+    def test_single_partition_insert_delete(self):
+        g = self._graph()
+        partition = make_edge_cut(g, 4, seed=1)
+        missing = next(
+            (u, v)
+            for u in range(g.num_vertices)
+            for v in range(g.num_vertices)
+            if u != v and not g.has_edge(u, v)
+        )
+        present = next(iter(g.edges()))
+        batch = MutationBatch.parse(
+            f"+ {missing[0]} {missing[1]}\n- {present[0]} {present[1]}"
+        )
+        dirty = apply_mutations(partition, batch)
+        assert set(missing) <= dirty and set(present) <= dirty
+        assert g.has_edge(*missing) and not g.has_edge(*present)
+        check_partition(partition)
+        # The inserted edge lives in exactly the fragments that host it.
+        hosts = [
+            fid
+            for fid in range(partition.num_fragments)
+            if partition.fragments[fid].has_edge(g.canonical_edge(*missing))
+        ]
+        assert len(hosts) == 1
+        # The deleted edge is gone from every fragment.
+        for fid in range(partition.num_fragments):
+            assert not partition.fragments[fid].has_edge(
+                g.canonical_edge(*present)
+            )
+
+    def test_vertex_ensure_grows_graph_and_partition(self):
+        g = self._graph()
+        partition = make_edge_cut(g, 4, seed=1)
+        n0 = g.num_vertices
+        dirty = apply_mutations(partition, MutationBatch.parse(f"{n0 + 2}"))
+        assert g.num_vertices == n0 + 3
+        assert {n0, n0 + 1, n0 + 2} <= dirty
+        for v in (n0, n0 + 1, n0 + 2):
+            assert partition.placement(v)
+        check_partition(partition)
+
+    def test_insert_implies_endpoints(self):
+        g = self._graph()
+        partition = make_edge_cut(g, 4, seed=1)
+        n0 = g.num_vertices
+        # Inserting an edge to an unseen id grows the graph; deleting
+        # with an unknown endpoint is a no-op.
+        dirty = apply_mutations(
+            partition, MutationBatch.parse(f"+ 0 {n0 + 1}\n- 0 {n0 + 5}")
+        )
+        assert g.num_vertices == n0 + 2
+        assert g.has_edge(0, n0 + 1)
+        assert {0, n0, n0 + 1} <= dirty
+        check_partition(partition)
+
+    def test_routing_is_deterministic(self):
+        batch = MutationBatch.parse("+ 0 30\n+ 5 17\n- 1 2")
+        placements = []
+        for _ in range(2):
+            g = self._graph()
+            partition = make_edge_cut(g, 4, seed=1)
+            apply_mutations(partition, batch)
+            placements.append(
+                {v: tuple(sorted(partition.placement(v))) for v in (0, 30, 5, 17)}
+            )
+        assert placements[0] == placements[1]
+
+    def test_composite_target(self):
+        g = self._graph()
+        models = builtin_cost_models(("cn", "pr"))
+        composite = ME2H(models).refine(make_edge_cut(g, 3, seed=2))
+        batch = MutationBatch.parse("+ 0 30\n- 0 1\n41")
+        dirty = apply_mutations(composite, batch)
+        assert dirty
+        for name in composite.names:
+            check_partition(composite.partition_for(name))
+        # Index rebuilt over the mutated members: space accounting sane.
+        assert composite.composite_replication_ratio() >= 1.0
+
+    def test_sequence_target_shares_graph(self):
+        g = self._graph()
+        parts = [make_edge_cut(g, 3, seed=s) for s in (1, 2)]
+        dirty = apply_mutations(parts, MutationBatch.parse("+ 0 30"))
+        assert {0, 30} <= dirty
+        for p in parts:
+            check_partition(p)
+
+    def test_rejects_mixed_graphs_and_empty_targets(self):
+        a = make_edge_cut(self._graph(1), 3, seed=1)
+        b = make_edge_cut(self._graph(2), 3, seed=1)
+        with pytest.raises(ValueError, match="share one graph"):
+            apply_mutations([a, b], MutationBatch.parse("+ 0 1"))
+        with pytest.raises(ValueError, match="at least one"):
+            apply_mutations([], MutationBatch.parse("+ 0 1"))
+
+
+# ---------------------------------------------------------------------------
+# Differential suite: refine_incremental vs full refinement, every
+# refiner x three graph families x five seeds (ISSUE satellite 3).
+# ---------------------------------------------------------------------------
+
+FAMILIES = {
+    "powerlaw": lambda seed: chung_lu_power_law(
+        110, 5.0, exponent=2.1, directed=True, seed=seed
+    ),
+    "er": lambda seed: erdos_renyi(100, 300, directed=True, seed=seed),
+    "grid": lambda seed: road_grid(9, 11, seed=seed),
+}
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def _mutation_batch(graph, rng, count=6):
+    """Half deletions of existing edges, half fresh insertions."""
+    edges = list(graph.edges())
+    lines = []
+    for e in rng.choice(len(edges), size=min(count // 2, len(edges)), replace=False):
+        u, v = edges[int(e)]
+        lines.append(f"- {u} {v}")
+    n = graph.num_vertices
+    added = 0
+    while added < count - count // 2:
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v and not graph.has_edge(u, v):
+            lines.append(f"+ {u} {v}")
+            added += 1
+    return MutationBatch.parse("\n".join(lines))
+
+
+def _full_refine(refiner, partition):
+    """Run a refiner's full pass; normalize the (partition, stats) shape."""
+    if isinstance(refiner, (ParE2H, ParV2H)):
+        refined, profile = refiner.refine(partition)
+        return refined, profile.stats
+    if isinstance(refiner, (ME2H, MV2H)):
+        composite = refiner.refine(partition)
+        return composite, refiner.last_stats
+    refined = refiner.refine(partition, in_place=True, capture_seed=True)
+    return refined, refiner.last_stats
+
+
+def _make_refiner(name):
+    model = builtin_cost_model("pr")
+    models = builtin_cost_models(("cn", "pr"))
+    return {
+        "e2h": lambda: (E2H(model), "edge"),
+        "v2h": lambda: (V2H(model), "vertex"),
+        "pare2h": lambda: (ParE2H(model), "edge"),
+        "parv2h": lambda: (ParV2H(model), "vertex"),
+        "me2h": lambda: (ME2H(models), "edge"),
+        "mv2h": lambda: (MV2H(models), "vertex"),
+    }[name]()
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize(
+    "name", ["e2h", "v2h", "pare2h", "parv2h", "me2h", "mv2h"]
+)
+def test_incremental_matches_full_refinement(name, family):
+    for seed in SEEDS:
+        refiner, cut = _make_refiner(name)
+        graph = FAMILIES[family](seed)
+        make = make_edge_cut if cut == "edge" else make_vertex_cut
+        base = make(graph, 3, seed=seed)
+        refined, _ = _full_refine(refiner, base)
+
+        rng = np.random.default_rng(100 + seed)
+        batch = _mutation_batch(graph, rng)
+        dirty = apply_mutations(refined, batch)
+        assert dirty
+
+        result = refiner.refine_incremental(refined, dirty)
+        if isinstance(refiner, (ME2H, MV2H)):
+            stats = refiner.last_stats
+            members = [result.partition_for(n) for n in result.names]
+            incs = stats.incremental.values()
+        elif isinstance(refiner, (ParE2H, ParV2H)):
+            result, profile = result
+            stats = profile.stats
+            members = [result]
+            incs = [stats.incremental]
+        else:
+            stats = refiner.last_stats
+            members = [result]
+            incs = [stats.incremental]
+
+        for member in members:
+            check_partition(member)
+        for inc in incs:
+            assert inc is not None
+            assert inc.dirty == len(dirty & set(range(graph.num_vertices)))
+            assert inc.frontier >= inc.dirty
+            assert 0 < inc.fragments <= 3
+
+        # Scoped maintenance must do less rescoring work than starting
+        # over: compare against a fresh full pass on a copy of the same
+        # mutated deployment.
+        if not isinstance(refiner, (ME2H, MV2H)):
+            fresh, full_stats = _full_refine(
+                type(refiner)(builtin_cost_model("pr")), members[0].copy()
+            )
+            check_partition(fresh)
+            assert stats.rescoring_calls <= full_stats.rescoring_calls

@@ -337,3 +337,125 @@ def test_run_all_only_rejects_unknown_experiment(tmp_path):
     )
     assert result.returncode == 2
     assert "unknown experiment" in result.stderr
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance cells (DESIGN §15)
+# ----------------------------------------------------------------------
+BATCH_TEXT = "+ 0 5\n- 0 1\n+ 3 9"
+
+
+def test_incremental_key_depends_on_base_batch_and_model():
+    base = engine_keys.incremental_key("c0", "pr", "edge", "m0", "b0")
+    assert engine_keys.incremental_key("c1", "pr", "edge", "m0", "b0") != base
+    assert engine_keys.incremental_key("c0", "pr", "edge", "m0", "b1") != base
+    assert engine_keys.incremental_key("c0", "pr", "edge", "m1", "b0") != base
+    assert engine_keys.incremental_key("c0", "pr", "vertex", "m0", "b0") != base
+    assert engine_keys.incremental_key("c0", "pr", "edge", "m0", "b0") == base
+
+
+def test_planner_incremental_plans_refine_dep_and_dedups():
+    from repro.core.incremental import MutationBatch
+
+    planner = Planner(model_for=builtin_cost_model)
+    job = planner.incremental(
+        "livejournal_like", "fennel", 2, "pr", "edge", BATCH_TEXT
+    )
+    # partition + refine dependencies were auto-planned.
+    assert len(planner.graph) == 3
+    assert len(job.deps) == 1
+    # Same batch (whether text or parsed) deduplicates; a different
+    # batch is a new cell.
+    again = planner.incremental(
+        "livejournal_like", "fennel", 2, "pr", "edge",
+        MutationBatch.parse(BATCH_TEXT),
+    )
+    assert again.jid == job.jid
+    other = planner.incremental(
+        "livejournal_like", "fennel", 2, "pr", "edge", "+ 0 5"
+    )
+    assert other.jid != job.jid
+    assert len(planner.graph) == 4
+
+
+@pytest.mark.slow
+def test_maintain_partition_cached_matches_passthrough(tmp_path, small_graph):
+    from repro.graph.digraph import Graph
+
+    model = builtin_cost_model("pr")
+
+    def private_copy():
+        g = Graph(
+            small_graph.num_vertices,
+            list(small_graph.edges()),
+            directed=small_graph.directed,
+        )
+        return g
+
+    present = next(iter(small_graph.edges()))
+    missing = next(
+        (u, v)
+        for u in range(20)
+        for v in range(20)
+        if u != v and not small_graph.has_edge(u, v)
+    )
+    batch = f"+ {missing[0]} {missing[1]}\n- {present[0]} {present[1]}"
+
+    passthrough = EvalEngine()
+    g0 = private_copy()
+    p0, _ = passthrough.initial_partition(g0, "fennel", 2)
+    r0, _ = passthrough.refine_partition(p0, "pr", "edge", model)
+    m0, prof0 = passthrough.maintain_partition(r0, "pr", "edge", model, batch)
+    assert m0 is r0  # in-place fast path
+    assert prof0.stats.incremental is not None
+    assert passthrough.last_maintenance["dirty"] == prof0.stats.incremental.dirty
+
+    cached = EvalEngine(cache=ArtifactCache(tmp_path))
+    p1, _ = cached.initial_partition(small_graph, "fennel", 2)
+    r1, _ = cached.refine_partition(p1, "pr", "edge", model)
+    m1, prof1 = cached.maintain_partition(r1, "pr", "edge", model, batch)
+    # Cached mode computes over private copies: the shared dataset graph
+    # and the caller's refined partition stay untouched.
+    assert m1 is not r1
+    assert small_graph.has_edge(*present) and not small_graph.has_edge(*missing)
+    assert m1.graph.has_edge(*missing) and not m1.graph.has_edge(*present)
+    # Cached profiles drop refiner stats; the counters ride on the
+    # engine's maintenance summary instead.
+    assert cached.last_maintenance["dirty"] == passthrough.last_maintenance["dirty"]
+    assert (
+        cached.last_maintenance["batch"] == passthrough.last_maintenance["batch"]
+    )
+
+    # Replay is a pure cache hit and reproduces the same maintained state.
+    before = cached.stats.snapshot()
+    m2, prof2 = cached.maintain_partition(r1, "pr", "edge", model, batch)
+    delta = cached.stats.delta(before)
+    assert delta.misses == 0 and delta.hits == 1
+    assert prof2.wall_seconds == prof1.wall_seconds
+    assert m2.graph == m1.graph
+    assert {v: sorted(m2.placement(v)) for v in range(m2.graph.num_vertices)} == {
+        v: sorted(m1.placement(v)) for v in range(m1.graph.num_vertices)
+    }
+
+
+@pytest.mark.slow
+def test_executor_warms_incremental_cell_for_facade(tmp_path):
+    planner = Planner(model_for=builtin_cost_model)
+    planner.incremental("livejournal_like", "fennel", 2, "pr", "edge", BATCH_TEXT)
+    cache = ArtifactCache(tmp_path)
+    report = execute(planner.graph, cache, jobs=1)
+    assert report.computed == report.total == 3
+
+    engine = EvalEngine(cache=cache)
+    graph = load_dataset("livejournal_like")
+    before = cache.stats.snapshot()
+    partition, _ = engine.initial_partition(graph, "fennel", 2)
+    refined, _ = engine.refine_partition(
+        partition, "pr", "edge", builtin_cost_model("pr")
+    )
+    engine.maintain_partition(
+        refined, "pr", "edge", builtin_cost_model("pr"), BATCH_TEXT
+    )
+    delta = cache.stats.delta(before)
+    assert delta.misses == 0
+    assert delta.hits == 3

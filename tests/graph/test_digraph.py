@@ -134,3 +134,77 @@ class TestDerived:
         arr = g.edge_array()
         assert arr.shape == (2, 2)
         assert arr.dtype == np.int64
+
+
+class TestMutationHooks:
+    def test_add_vertex_returns_new_id(self):
+        g = Graph(3, [(0, 1)])
+        v = g.add_vertex()
+        assert v == 3
+        assert g.num_vertices == 4
+        assert g.incident_edge_count(v) == 0
+
+    def test_add_edge_reports_novelty(self):
+        g = Graph(3, [(0, 1)])
+        assert g.add_edge(1, 2) is True
+        assert g.add_edge(1, 2) is False
+        assert g.has_edge(1, 2)
+        assert g.num_edges == 2
+
+    def test_undirected_add_edge_canonical_noop(self):
+        g = Graph(3, [(0, 1)], directed=False)
+        assert g.add_edge(1, 0) is False
+        assert g.num_edges == 1
+
+    def test_remove_edge_reports_presence(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.remove_edge(0, 1) is True
+        assert g.remove_edge(0, 1) is False
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_out_of_range_endpoints_raise(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            g.add_edge(-1, 1)
+        with pytest.raises(ValueError):
+            g.remove_edge(0, 5)
+
+    def test_version_bumps_on_structural_change_only(self):
+        g = Graph(3, [(0, 1)])
+        v0 = g.version
+        g.add_edge(1, 2)
+        v1 = g.version
+        assert v1 > v0
+        # Canonical no-ops leave the version untouched.
+        g.add_edge(1, 2)
+        g.remove_edge(0, 2)
+        assert g.version == v1
+        g.remove_edge(1, 2)
+        assert g.version > v1
+        g.add_vertex()
+        assert g.version > v1 + 1 or g.version != v1
+
+    def test_arrays_refresh_after_mutation(self):
+        g = Graph(3, [(0, 1)])
+        before = g.edge_array().copy()
+        assert g.out_degree(1) == 0
+        g.add_edge(1, 2)
+        g.add_vertex()
+        arr = g.edge_array()
+        assert arr.shape == (2, 2)
+        assert set(map(tuple, arr.tolist())) == {(0, 1), (1, 2)}
+        assert g.out_degree(1) == 1
+        assert g.in_degree(2) == 1
+        assert list(g.neighbors(1)) == [0, 2]
+        assert g.out_degrees().shape == (4,)
+        assert before.shape == (1, 2)
+
+    def test_mutated_graph_equals_fresh_construction(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        g.remove_edge(1, 2)
+        g.add_vertex()
+        g.add_edge(2, 3)
+        assert g == Graph(4, [(0, 1), (2, 3)])

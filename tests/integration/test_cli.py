@@ -107,3 +107,120 @@ def test_metrics_with_cost_model(graph_file, tmp_path, capsys):
     )
     assert rc == 0
     assert "lambda_wcc" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def mutation_file(graph_file, tmp_path):
+    """A small batch valid for the generated graph: one delete, one insert."""
+    edges = []
+    for line in graph_file.read_text().splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        u, v = map(int, line.split())
+        edges.append((u, v))
+    present = edges[0]
+    have = set(edges)
+    missing = next(
+        (u, v)
+        for u in range(50)
+        for v in range(50)
+        if u != v and (u, v) not in have
+    )
+    path = tmp_path / "batch.txt"
+    path.write_text(
+        f"# maintenance batch\n- {present[0]} {present[1]}\n"
+        f"+ {missing[0]} {missing[1]}\n305\n"
+    )
+    return path
+
+
+def test_partition_apply_mutations(graph_file, mutation_file, tmp_path, capsys):
+    part_file = tmp_path / "p.json"
+    graph_out = tmp_path / "g2.txt"
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "grid",
+            "--fragments", "3", "--refine", "pr",
+            "--apply-mutations", str(mutation_file),
+            "--out-graph", str(graph_out), "--out", str(part_file),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "incremental: 3 mutations" in out
+    assert "dirty-region" in out
+    assert "rescoring calls=" in out
+    assert "mutation maintenance" in out
+    assert part_file.exists()
+    # The mutated graph loads back with the maintained partition, so the
+    # rest of the pipeline keeps working on the updated deployment.
+    rc = main(
+        [
+            "evaluate", "--graph", str(graph_out),
+            "--partition", str(part_file), "--algorithms", "pr",
+        ]
+    )
+    assert rc == 0
+
+
+def test_out_graph_requires_apply_mutations(graph_file, tmp_path, capsys):
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "grid",
+            "--fragments", "3", "--out-graph", str(tmp_path / "g2.txt"),
+            "--out", str(tmp_path / "p.json"),
+        ]
+    )
+    assert rc == 2
+    assert "--out-graph requires" in capsys.readouterr().err
+
+
+def test_partition_apply_mutations_full_mode(
+    graph_file, mutation_file, tmp_path, capsys
+):
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "grid",
+            "--fragments", "3", "--refine", "pr",
+            "--apply-mutations", str(mutation_file), "--no-incremental",
+            "--out", str(tmp_path / "p.json"),
+        ]
+    )
+    assert rc == 0
+    assert "full re-refinement" in capsys.readouterr().out
+
+
+def test_no_incremental_requires_apply_mutations(graph_file, tmp_path, capsys):
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "grid",
+            "--fragments", "3", "--no-incremental",
+            "--out", str(tmp_path / "p.json"),
+        ]
+    )
+    assert rc == 2
+    assert "--no-incremental requires" in capsys.readouterr().err
+
+
+def test_apply_mutations_bad_file(graph_file, tmp_path, capsys):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("+ 0\n")
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "grid",
+            "--fragments", "3", "--apply-mutations", str(bad),
+            "--out", str(tmp_path / "p.json"),
+        ]
+    )
+    assert rc == 2
+    assert "line 1" in capsys.readouterr().err
+
+    rc = main(
+        [
+            "partition", "--graph", str(graph_file), "--partitioner", "grid",
+            "--fragments", "3",
+            "--apply-mutations", str(tmp_path / "missing.txt"),
+            "--out", str(tmp_path / "p.json"),
+        ]
+    )
+    assert rc == 2

@@ -1,0 +1,169 @@
+"""Property tests for incremental maintenance (DESIGN §15).
+
+The contract under test: however a deployment is mutated — through the
+partition's own coherence hooks, or through ``apply_mutations`` driving
+interleaved graph *and* partition changes — the next ``plan_for(...,
+incremental=True)`` must hand back routing tables byte-identical to a
+from-scratch compile, a net-empty delta must revalidate the cached plan
+object instead of rebuilding it, and ``apply_mutations`` must leave
+every partition it touches structurally valid.
+"""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.incremental import MutationBatch, apply_mutations
+from repro.graph.digraph import Graph
+from repro.partition.hybrid import HybridPartition
+from repro.partition.validation import check_partition
+from repro.runtime.plan import FragmentPlan, plan_for
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def partition_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    directed = draw(st.booleans())
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=3 * n,
+        )
+    )
+    graph = Graph(n, edges, directed=directed)
+    k = draw(st.integers(min_value=1, max_value=4))
+    if draw(st.booleans()):
+        assignment = [draw(st.integers(0, k - 1)) for _ in range(n)]
+        partition = HybridPartition.from_vertex_assignment(graph, assignment, k)
+    else:
+        edge_assignment = {e: draw(st.integers(0, k - 1)) for e in graph.edges()}
+        partition = HybridPartition.from_edge_assignment(graph, edge_assignment, k)
+    return partition
+
+
+def _assert_plans_identical(plan: FragmentPlan, partition: HybridPartition):
+    """Every routing array must match a from-scratch compile, bit for bit."""
+    fresh = FragmentPlan(partition)
+    for name in (
+        "master_of",
+        "rep_count",
+        "border_mask",
+        "place_indptr",
+        "place_fids",
+    ):
+        a, b = getattr(plan, name), getattr(fresh, name)
+        assert np.array_equal(a, b), f"plan diverges from fresh compile in {name}"
+        assert a.dtype == b.dtype
+    assert np.array_equal(plan.home_of(), fresh.home_of())
+    for fid in range(partition.num_fragments):
+        assert np.array_equal(plan.verts(fid), fresh.verts(fid))
+        assert np.array_equal(plan.roles(fid), fresh.roles(fid))
+        assert plan.edge_list(fid) == fresh.edge_list(fid)
+
+
+def _apply_partition_mutations(partition, data, rounds):
+    n = partition.graph.num_vertices
+    k = partition.num_fragments
+    for _ in range(rounds):
+        v = data.draw(st.integers(0, n - 1))
+        hosts = sorted(partition.placement(v))
+        if data.draw(st.booleans()):
+            partition.add_vertex_to(data.draw(st.integers(0, k - 1)), v)
+        elif hosts:
+            partition.set_master(v, data.draw(st.sampled_from(hosts)))
+
+
+@st.composite
+def mutation_texts(draw, n):
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(st.sampled_from(["+", "-", "v"]))
+        if kind == "v":
+            lines.append(str(draw(st.integers(0, n + 2))))
+            continue
+        # Ids may run past the current vertex set: inserts imply their
+        # endpoints, deletes of unknown endpoints are no-ops.
+        u = draw(st.integers(0, n + 1))
+        v = draw(st.integers(0, n + 1))
+        if u != v:
+            lines.append(f"{kind} {u} {v}")
+    return "\n".join(lines) or f"{n}"
+
+
+@given(partition_cases(), st.data())
+@SETTINGS
+def test_patched_plan_is_byte_identical(partition, data):
+    """Partition-level churn: the delta-patched plan == fresh compile."""
+    plan_for(partition)
+    for _ in range(data.draw(st.integers(1, 3))):
+        _apply_partition_mutations(
+            partition, data, rounds=data.draw(st.integers(1, 4))
+        )
+        plan = plan_for(partition, incremental=True)
+        assert plan.valid
+        _assert_plans_identical(plan, partition)
+
+
+@given(partition_cases(), st.data())
+@SETTINGS
+def test_plan_survives_interleaved_graph_and_partition_mutations(
+    partition, data
+):
+    """apply_mutations batches interleaved with placement churn."""
+    plan_for(partition)
+    for _ in range(data.draw(st.integers(1, 3))):
+        text = data.draw(mutation_texts(partition.graph.num_vertices))
+        dirty = apply_mutations(partition, MutationBatch.parse(text))
+        _apply_partition_mutations(
+            partition, data, rounds=data.draw(st.integers(0, 3))
+        )
+        check_partition(partition)
+        plan = plan_for(partition, incremental=True)
+        assert plan.valid
+        _assert_plans_identical(plan, partition)
+        assert all(v >= 0 for v in dirty)
+
+
+@given(partition_cases(), st.data())
+@SETTINGS
+def test_net_empty_delta_revalidates_same_plan(partition, data):
+    """A delta that cancels out must hand back the same plan object."""
+    plan = plan_for(partition)
+    moved = False
+    for v in range(partition.graph.num_vertices):
+        hosts = sorted(partition.placement(v))
+        if len(hosts) > 1:
+            original = partition.master(v)
+            other = next(fid for fid in hosts if fid != original)
+            partition.set_master(v, other)
+            partition.set_master(v, original)
+            moved = True
+            break
+    if not moved:
+        return
+    assert plan_for(partition, incremental=True) is plan
+
+
+@given(partition_cases(), st.data())
+@SETTINGS
+def test_apply_mutations_preserves_invariants(partition, data):
+    graph = partition.graph
+    text = data.draw(mutation_texts(graph.num_vertices))
+    batch = MutationBatch.parse(text)
+    reference = Graph(
+        graph.num_vertices, list(graph.edges()), directed=graph.directed
+    )
+    dirty = apply_mutations(partition, batch)
+    batch.apply_to_graph(reference)
+    assert graph == reference
+    check_partition(partition)
+    for v in dirty:
+        assert 0 <= v < graph.num_vertices

@@ -27,7 +27,14 @@ from repro.graph.digraph import Graph
 from repro.graph.generators import chung_lu_power_law, road_grid, small_world
 from repro.partition.hybrid import HybridPartition
 from repro.runtime.faults import CrashFault, FaultPlan, StragglerFault
-from repro.runtime.plan import DUMMY, ECUT, VCUT, FragmentPlan, get_plan
+from repro.runtime.plan import (
+    DUMMY,
+    ECUT,
+    VCUT,
+    FragmentPlan,
+    get_plan,
+    plan_stats,
+)
 
 ALGORITHMS = ("pr", "wcc", "sssp", "tc", "cn")
 
@@ -252,9 +259,20 @@ def test_plan_invalidates_and_rebuilds_after_mutations(partition, data):
 
     if mutated:
         assert not plan.valid, "mutation did not invalidate the cached plan"
+    before = plan_stats().snapshot()
     rebuilt = get_plan(partition)
     if mutated:
-        assert rebuilt is not plan
+        # A stale plan is brought current one of three ways: a net-empty
+        # journal revalidates the same object, a small dirty region is
+        # delta-patched into a fresh plan, and anything else recompiles
+        # from scratch.
+        after = plan_stats().snapshot()
+        assert sum(after) == sum(before) + 1
+        if after[2] > before[2]:  # revalidated: same object, still current
+            assert rebuilt is plan
+        else:  # patched or recompiled: a new plan replaces the stale one
+            assert rebuilt is not plan
+        assert rebuilt.valid
     _check_routing_tables(rebuilt, partition)
     # The rebuilt plan is cached until the next mutation.
     assert get_plan(partition) is rebuilt
